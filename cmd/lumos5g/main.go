@@ -1,0 +1,305 @@
+// Command lumos5g is the command-line interface to the library: it
+// generates measurement campaigns, inspects datasets, trains and
+// evaluates throughput predictors, and renders 5G throughput maps.
+//
+// Usage:
+//
+//	lumos5g generate -area Airport -passes 8 -seed 1 -out airport.csv
+//	lumos5g summary  -in airport.csv
+//	lumos5g eval     -in airport.csv -group L+M -model GDBT
+//	lumos5g map      -in airport.csv -min 3
+//	lumos5g congestion -ues 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lumos5g"
+	"lumos5g/internal/sim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "summary":
+		err = cmdSummary(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "map":
+		err = cmdMap(os.Args[2:])
+	case "congestion":
+		err = cmdCongestion(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "predict":
+		err = cmdPredict(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "lumos5g: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lumos5g:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `lumos5g <command> [flags]
+
+commands:
+  generate    simulate a measurement campaign and write CSV
+  summary     print Table 3-style statistics for a dataset
+  eval        train/evaluate a model on a feature group (70/30 split)
+  map         render the 2 m-grid throughput map (Fig 6)
+  train       train a GDBT predictor on a dataset and save it (gob)
+  predict     load a saved predictor and score a dataset CSV
+  congestion  run the 4-UE congestion experiment (Fig 21)`)
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	areaName := fs.String("area", "", "Airport, Intersection, Loop, or empty for all")
+	passes := fs.Int("passes", 8, "walking passes per trajectory")
+	drives := fs.Int("drives", 8, "driving passes per Loop trajectory")
+	seed := fs.Uint64("seed", 1, "campaign seed")
+	out := fs.String("out", "", "output CSV path (default stdout)")
+	clean := fs.Bool("clean", true, "apply the §3.1 quality filter")
+	fs.Parse(args)
+
+	cfg := lumos5g.CampaignConfig{
+		Seed: *seed, WalkPasses: *passes, DrivePasses: *drives,
+		StationarySessions: 4, BackgroundUEProb: 0.12,
+	}
+	var d *lumos5g.Dataset
+	if *areaName == "" {
+		d = lumos5g.GenerateCampaign(cfg)
+	} else {
+		a, err := lumos5g.AreaByName(*areaName)
+		if err != nil {
+			return err
+		}
+		d = lumos5g.GenerateArea(a, cfg)
+	}
+	if *clean {
+		var dropped int
+		d, dropped = lumos5g.CleanDataset(d)
+		fmt.Fprintf(os.Stderr, "quality filter dropped %d records\n", dropped)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := lumos5g.WriteCSV(d, w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d records\n", d.Len())
+	return nil
+}
+
+func loadCSV(path string) (*lumos5g.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return lumos5g.ReadCSV(f)
+}
+
+func cmdSummary(args []string) error {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV path")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("summary: -in required")
+	}
+	d, err := loadCSV(*in)
+	if err != nil {
+		return err
+	}
+	s := d.Summary()
+	fmt.Printf("data points : %d per-second samples\n", s.DataPoints)
+	fmt.Printf("walked      : %.1f km\n", s.WalkedKm)
+	fmt.Printf("driven      : %.1f km\n", s.DrivenKm)
+	fmt.Printf("downloaded  : %.1f GB\n", s.DownloadGB)
+	fmt.Printf("5G attach   : %.1f%%\n", 100*s.NRFraction)
+	fmt.Printf("handoffs    : %.2f per 100 samples\n", s.HandoffRate)
+	for area, n := range s.Areas {
+		fmt.Printf("area %-12s %d samples\n", area, n)
+	}
+	return nil
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV path")
+	groupName := fs.String("group", "L+M", "feature group: L, L+M, T+M, L+M+C, T+M+C")
+	modelName := fs.String("model", "GDBT", "model: KNN, RF, OK, HM, GDBT, Seq2Seq")
+	seed := fs.Uint64("seed", 1, "split/model seed")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("eval: -in required")
+	}
+	d, err := loadCSV(*in)
+	if err != nil {
+		return err
+	}
+	g, err := lumos5g.ParseFeatureGroup(*groupName)
+	if err != nil {
+		return err
+	}
+	m, err := lumos5g.ParseModel(*modelName)
+	if err != nil {
+		return err
+	}
+	res := lumos5g.Evaluate(d, g, m, lumos5g.Scale{Seed: *seed})
+	if res.Err != nil {
+		return res.Err
+	}
+	fmt.Printf("%s on %s over %d test samples:\n", m, g, res.NTest)
+	fmt.Printf("  MAE  %.1f Mbps\n  RMSE %.1f Mbps\n", res.MAE, res.RMSE)
+	fmt.Printf("  weighted-avg F1 %.3f\n  recall(low)     %.3f\n", res.WeightedF1, res.RecallLow)
+	return nil
+}
+
+func cmdMap(args []string) error {
+	fs := flag.NewFlagSet("map", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV path")
+	min := fs.Int("min", 3, "minimum samples per cell")
+	svgOut := fs.String("svg", "", "also write an SVG heatmap to this path")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("map: -in required")
+	}
+	d, err := loadCSV(*in)
+	if err != nil {
+		return err
+	}
+	tm := lumos5g.BuildThroughputMap(d, *min)
+	fmt.Println(tm)
+	fmt.Println("legend: '.' <60 Mbps  ':' <300  'o' <700  'O' <1000  '#' >=1000")
+	fmt.Print(tm.Render())
+	fmt.Printf("cells with CV>=50%%: %.0f%%\n", 100*tm.CVExceedingFraction(0.5))
+	if *svgOut != "" {
+		if err := os.WriteFile(*svgOut, []byte(tm.RenderSVG(6)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote SVG heatmap to %s\n", *svgOut)
+	}
+	return nil
+}
+
+func cmdCongestion(args []string) error {
+	fs := flag.NewFlagSet("congestion", flag.ExitOnError)
+	ues := fs.Int("ues", 4, "number of UEs")
+	seed := fs.Uint64("seed", 1, "seed")
+	fs.Parse(args)
+	res := sim.RunCongestionExperiment(*seed, *ues, 60, (*ues)*60)
+	for u, series := range res.Series {
+		var active []float64
+		for t, v := range series {
+			if t >= res.Starts[u] {
+				active = append(active, v)
+			}
+		}
+		var sum float64
+		for _, v := range active {
+			sum += v
+		}
+		fmt.Printf("UE%d: start t=%3ds, mean %.0f Mbps over %d s\n",
+			u+1, res.Starts[u], sum/float64(len(active)), len(active))
+	}
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	in := fs.String("in", "", "training CSV path")
+	groupName := fs.String("group", "L+M", "feature group")
+	out := fs.String("out", "model.gob", "output model path")
+	seed := fs.Uint64("seed", 1, "model seed")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("train: -in required")
+	}
+	d, err := loadCSV(*in)
+	if err != nil {
+		return err
+	}
+	g, err := lumos5g.ParseFeatureGroup(*groupName)
+	if err != nil {
+		return err
+	}
+	pred, err := lumos5g.Train(d, g, lumos5g.ModelGDBT, lumos5g.Scale{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pred.Save(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trained GDBT %s on %d records -> %s\n", g, d.Len(), *out)
+	return nil
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	model := fs.String("model", "model.gob", "saved predictor path")
+	in := fs.String("in", "", "CSV of records to score")
+	limit := fs.Int("n", 10, "rows to print (0 = summary only)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("predict: -in required")
+	}
+	f, err := os.Open(*model)
+	if err != nil {
+		return err
+	}
+	pred, err := lumos5g.LoadPredictor(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	d, err := loadCSV(*in)
+	if err != nil {
+		return err
+	}
+	est, idx := pred.PredictDataset(d)
+	var mae float64
+	for i := range est {
+		diff := est[i] - d.Records[idx[i]].ThroughputMbps
+		if diff < 0 {
+			diff = -diff
+		}
+		mae += diff
+		if i < *limit {
+			r := d.Records[idx[i]]
+			fmt.Printf("(%.5f, %.5f) -> predicted %.0f Mbps (%s), observed %.0f\n",
+				r.Latitude, r.Longitude, est[i], lumos5g.ClassOf(est[i]), r.ThroughputMbps)
+		}
+	}
+	if len(est) > 0 {
+		fmt.Printf("scored %d records with %s %s: MAE %.1f Mbps\n",
+			len(est), pred.Model(), pred.Group(), mae/float64(len(est)))
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+// Command lumosbench regenerates the paper's tables and figures from the
+// simulated campaign.
+//
+// Usage:
+//
+//	lumosbench [-run id[,id...]] [-profile quick|paper] [-seed N] [-values]
+//
+// With no -run flag every experiment runs in paper order. The quick
+// profile (default) uses a reduced campaign and scaled-down models that
+// preserve the qualitative results; -profile paper approaches the paper's
+// scale (long runtime).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lumos5g/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	profile := flag.String("profile", "quick", "quick or paper")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	values := flag.Bool("values", false, "also print named values")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var prof experiments.Profile
+	switch *profile {
+	case "quick":
+		prof = experiments.ProfileQuick
+	case "paper":
+		prof = experiments.ProfilePaper
+	default:
+		fmt.Fprintf(os.Stderr, "lumosbench: unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+	lab := experiments.NewLab(experiments.Options{Profile: prof, Seed: *seed})
+
+	var selected []experiments.Experiment
+	if *run == "" {
+		selected = experiments.Registry()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lumosbench:", err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		rep := e.Run(lab)
+		fmt.Print(rep.String())
+		if *values {
+			fmt.Print(rep.ValuesString())
+		}
+		fmt.Printf("-- %s done in %.1fs --\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

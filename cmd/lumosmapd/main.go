@@ -1,0 +1,69 @@
+// Command lumosmapd serves a 5G throughput map and its companion ML
+// model over HTTP — the paper's Fig 4 scenario: apps fetch the map for
+// their surroundings, download the model, and query predictions.
+//
+// Usage:
+//
+//	lumosmapd -in airport.csv -listen :8457
+//	lumosmapd -area Airport -passes 6 -listen :8457   # simulate instead
+//
+// Routes: /healthz, /map.svg, /cells.json, /model, /predict?lat=..&lon=..&speed=..&bearing=..
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"lumos5g"
+	"lumos5g/internal/mapserver"
+)
+
+func main() {
+	in := flag.String("in", "", "dataset CSV (mutually exclusive with -area)")
+	areaName := flag.String("area", "", "simulate this area instead of loading a CSV")
+	passes := flag.Int("passes", 6, "walking passes when simulating")
+	seed := flag.Uint64("seed", 1, "campaign/model seed")
+	listen := flag.String("listen", "127.0.0.1:8457", "listen address")
+	minSamples := flag.Int("min", 3, "minimum samples per map cell")
+	flag.Parse()
+
+	var d *lumos5g.Dataset
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err = lumos5g.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *areaName != "":
+		area, err := lumos5g.AreaByName(*areaName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := lumos5g.CampaignConfig{Seed: *seed, WalkPasses: *passes, BackgroundUEProb: 0.12}
+		raw := lumos5g.GenerateArea(area, cfg)
+		d, _ = lumos5g.CleanDataset(raw)
+	default:
+		fmt.Fprintln(os.Stderr, "lumosmapd: one of -in or -area is required")
+		os.Exit(2)
+	}
+
+	tm := lumos5g.BuildThroughputMap(d, *minSamples)
+	pred, err := lumos5g.Train(d, lumos5g.GroupLM, lumos5g.ModelGDBT, lumos5g.Scale{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := mapserver.New(tm, pred)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %d map cells and an L+M GDBT model on http://%s", len(tm.Cells), *listen)
+	log.Fatal(http.ListenAndServe(*listen, srv))
+}

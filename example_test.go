@@ -1,0 +1,49 @@
+package lumos5g_test
+
+import (
+	"fmt"
+
+	"lumos5g"
+	"lumos5g/internal/ml/gbdt"
+)
+
+// Example_evaluate generates a small Airport campaign and evaluates the
+// paper's GDBT model on the Location+Mobility feature group.
+func Example_evaluate() {
+	area, _ := lumos5g.AreaByName("Airport")
+	cfg := lumos5g.CampaignConfig{Seed: 1, WalkPasses: 3, StationarySessions: 1, BackgroundUEProb: 0.1}
+	clean, _ := lumos5g.CleanDataset(lumos5g.GenerateArea(area, cfg))
+
+	sc := lumos5g.Scale{GBDT: gbdt.Config{Estimators: 60}, Seed: 1}
+	res := lumos5g.Evaluate(clean, lumos5g.GroupLM, lumos5g.ModelGDBT, sc)
+	fmt.Println(res.Err == nil && res.WeightedF1 > 0.5 && res.MAE < 400)
+	// Output: true
+}
+
+// Example_throughputClasses shows the §5.2 class thresholds.
+func Example_throughputClasses() {
+	fmt.Println(lumos5g.ClassOf(120))
+	fmt.Println(lumos5g.ClassOf(450))
+	fmt.Println(lumos5g.ClassOf(1500))
+	// Output:
+	// low
+	// medium
+	// high
+}
+
+// Example_featureGroups parses the Table 6 feature-group names.
+func Example_featureGroups() {
+	g, _ := lumos5g.ParseFeatureGroup("c+m+t")
+	fmt.Println(g)
+	// Output: T+M+C
+}
+
+// Example_throughputMap builds the Fig 3c artifact from a campaign.
+func Example_throughputMap() {
+	area, _ := lumos5g.AreaByName("Airport")
+	cfg := lumos5g.CampaignConfig{Seed: 1, WalkPasses: 2, BackgroundUEProb: 0.1}
+	clean, _ := lumos5g.CleanDataset(lumos5g.GenerateArea(area, cfg))
+	tm := lumos5g.BuildThroughputMap(clean, 2)
+	fmt.Println(len(tm.Cells) > 50)
+	// Output: true
+}

@@ -1,0 +1,56 @@
+// Quickstart: generate a small measurement campaign for the Airport area,
+// clean it, train a Lumos5G GDBT model on the L+M feature group, evaluate
+// it against the paper's metrics, and query the trained predictor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lumos5g"
+)
+
+func main() {
+	// 1. Simulate a small measurement campaign over the Airport corridor
+	//    (two head-on mmWave panels ~200 m apart, Table 2).
+	area, err := lumos5g.AreaByName("Airport")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := lumos5g.SmallCampaign()
+	raw := lumos5g.GenerateArea(area, cfg)
+	clean, dropped := lumos5g.CleanDataset(raw)
+	fmt.Printf("campaign: %d raw samples, %d dropped by the §3.1 quality filter\n",
+		raw.Len(), dropped)
+
+	sum := clean.Summary()
+	fmt.Printf("walked %.1f km, downloaded %.1f GB, 5G attachment %.0f%%\n",
+		sum.WalkedKm, sum.DownloadGB, 100*sum.NRFraction)
+
+	// 2. Evaluate GDBT on Location+Mobility features with a 70/30 split.
+	scale := lumos5g.Scale{Seed: 1}
+	res := lumos5g.Evaluate(clean, lumos5g.GroupLM, lumos5g.ModelGDBT, scale)
+	if res.Err != nil {
+		log.Fatal(res.Err)
+	}
+	fmt.Printf("GDBT %s: MAE %.0f Mbps, RMSE %.0f Mbps, weighted F1 %.2f, recall(low) %.2f\n",
+		res.Group, res.MAE, res.RMSE, res.WeightedF1, res.RecallLow)
+
+	// 3. Compare against the location-only view the paper shows is
+	//    insufficient (§4.1).
+	resL := lumos5g.Evaluate(clean, lumos5g.GroupL, lumos5g.ModelGDBT, scale)
+	fmt.Printf("GDBT %s (location only): MAE %.0f Mbps — %.1fx worse\n",
+		resL.Group, resL.MAE, resL.MAE/res.MAE)
+
+	// 4. Train a production predictor on all data and query it.
+	pred, err := lumos5g.Train(clean, lumos5g.GroupLM, lumos5g.ModelGDBT, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predictor features: %v\n", pred.FeatureNames())
+	estimates, idx := pred.PredictDataset(clean)
+	r := clean.Records[idx[0]]
+	fmt.Printf("sample: at (%.5f, %.5f) heading %.0f° -> predicted %.0f Mbps (%s), observed %.0f Mbps\n",
+		r.Latitude, r.Longitude, r.CompassDeg,
+		estimates[0], lumos5g.ClassOf(estimates[0]), r.ThroughputMbps)
+}

@@ -1,0 +1,3 @@
+module lumos5g
+
+go 1.22

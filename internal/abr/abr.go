@@ -1,0 +1,193 @@
+// Package abr implements the adaptive-bitrate machinery behind the
+// paper's motivating use case (§2.2) and its §8.2 "Building 5G-Aware
+// Apps" agenda: a chunked streaming session simulator with a rebuffering
+// model, three controller families — rate-based (the classic
+// throughput-rule), buffer-based (BBA-style), and model-predictive
+// control driven by multi-step throughput forecasts — plus the paper's
+// proposed "content bursting" mechanism that prefetches aggressively
+// while a predicted high-throughput patch lasts.
+//
+// The QoE objective follows the standard MPC formulation the paper cites
+// ([64], Yin et al.): bitrate utility minus rebuffering and switching
+// penalties.
+package abr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DefaultLadder is the bitrate ladder in Mbps, up to the paper's 8K-class
+// eMBB tiers.
+var DefaultLadder = []float64{20, 50, 145, 300, 700, 1200, 1800}
+
+// Config describes the player.
+type Config struct {
+	// Ladder is the ascending bitrate ladder in Mbps. Nil means
+	// DefaultLadder.
+	Ladder []float64
+	// MaxBufferSec caps buffered content. <=0 means 30 s.
+	MaxBufferSec float64
+	// StartupSec is the initial buffer before playback begins.
+	// <=0 means 5 s.
+	StartupSec float64
+	// RebufferPenalty is the QoE penalty per stalled second, in Mbps
+	// units. <=0 means 3000 (stalls hurt far more than quality, [64]).
+	RebufferPenalty float64
+	// SwitchPenalty is the QoE penalty per Mbps of bitrate change.
+	// <=0 means 1.
+	SwitchPenalty float64
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Ladder) == 0 {
+		c.Ladder = DefaultLadder
+	}
+	if c.MaxBufferSec <= 0 {
+		c.MaxBufferSec = 30
+	}
+	if c.StartupSec <= 0 {
+		c.StartupSec = 5
+	}
+	if c.RebufferPenalty <= 0 {
+		c.RebufferPenalty = 3000
+	}
+	if c.SwitchPenalty <= 0 {
+		c.SwitchPenalty = 1
+	}
+	return c
+}
+
+// State is what a controller sees when choosing the next chunk's bitrate.
+type State struct {
+	// BufferSec is the current buffer level in seconds of content.
+	BufferSec float64
+	// PrevBitrate is the previously selected rung's bitrate (0 before
+	// the first chunk).
+	PrevBitrate float64
+	// Forecast is the controller's throughput forecast for the next
+	// seconds, in Mbps (at least one entry).
+	Forecast []float64
+}
+
+// Controller picks a ladder index for the next 1-second chunk.
+type Controller interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Choose returns the index into the ladder.
+	Choose(cfg Config, s State) int
+}
+
+// Metrics summarises a streamed session.
+type Metrics struct {
+	MeanBitrateMbps float64
+	RebufferSec     float64
+	Switches        int
+	// QoE is the [64]-style objective: Σ bitrate − λ·rebuffer − μ·Σ|Δbitrate|.
+	QoE float64
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("bitrate %.0f Mbps, rebuffer %.1f s, %d switches, QoE %.0f",
+		m.MeanBitrateMbps, m.RebufferSec, m.Switches, m.QoE)
+}
+
+// Simulate plays one session: trace[t] is the actual deliverable
+// throughput during wall-clock second t; forecasts(t) returns the
+// controller's forecast for seconds t, t+1, ... (at least one entry).
+// Each chunk holds one second of content; downloading a chunk at bitrate
+// b with throughput r takes b/r seconds.
+func Simulate(cfg Config, ctrl Controller, trace []float64, forecasts func(t int) []float64) (Metrics, error) {
+	cfg = cfg.withDefaults()
+	if len(trace) == 0 {
+		return Metrics{}, errors.New("abr: empty trace")
+	}
+	if forecasts == nil {
+		return Metrics{}, errors.New("abr: nil forecast source")
+	}
+
+	var m Metrics
+	var bitSum float64
+	var chunks int
+	buffer := cfg.StartupSec
+	prevIdx := -1
+	clock := 0.0 // wall-clock seconds, fractional
+	horizon := float64(len(trace))
+
+	for clock < horizon {
+		t := int(clock)
+		fc := forecasts(t)
+		if len(fc) == 0 {
+			return Metrics{}, fmt.Errorf("abr: empty forecast at t=%d", t)
+		}
+		s := State{BufferSec: buffer, Forecast: fc}
+		if prevIdx >= 0 {
+			s.PrevBitrate = cfg.Ladder[prevIdx]
+		}
+		idx := ctrl.Choose(cfg, s)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(cfg.Ladder) {
+			idx = len(cfg.Ladder) - 1
+		}
+		bitrate := cfg.Ladder[idx]
+
+		// Download one 1-second chunk across possibly several trace
+		// seconds.
+		remaining := bitrate // Mbit remaining of this chunk
+		for remaining > 0 && clock < horizon {
+			r := trace[int(clock)]
+			if r < 0.1 {
+				r = 0.1
+			}
+			// Time until either the chunk completes or the second ends.
+			secLeft := math.Floor(clock+1) - clock
+			if secLeft <= 0 {
+				secLeft = 1
+			}
+			canDownload := r * secLeft
+			var dt float64
+			if canDownload >= remaining {
+				dt = remaining / r
+				remaining = 0
+			} else {
+				dt = secLeft
+				remaining -= canDownload
+			}
+			// Playback drains while downloading.
+			if buffer >= dt {
+				buffer -= dt
+			} else {
+				m.RebufferSec += dt - buffer
+				buffer = 0
+			}
+			clock += dt
+		}
+		if remaining > 0 {
+			break // trace ended mid-chunk
+		}
+		buffer += 1 // one second of content landed
+		if buffer > cfg.MaxBufferSec {
+			// Throttle: wait (playing) until there is room.
+			over := buffer - cfg.MaxBufferSec
+			clock += over
+			buffer = cfg.MaxBufferSec
+		}
+		bitSum += bitrate
+		chunks++
+		if prevIdx >= 0 && idx != prevIdx {
+			m.Switches++
+			m.QoE -= cfg.SwitchPenalty * math.Abs(bitrate-cfg.Ladder[prevIdx])
+		}
+		prevIdx = idx
+		m.QoE += bitrate
+	}
+	if chunks == 0 {
+		return Metrics{}, errors.New("abr: no chunks completed")
+	}
+	m.MeanBitrateMbps = bitSum / float64(chunks)
+	m.QoE -= cfg.RebufferPenalty * m.RebufferSec
+	return m, nil
+}

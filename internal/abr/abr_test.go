@@ -1,0 +1,207 @@
+package abr
+
+import (
+	"math"
+	"testing"
+)
+
+// flatForecast returns a forecast source that always predicts v for h
+// steps.
+func flatForecast(v float64, h int) func(int) []float64 {
+	fc := make([]float64, h)
+	for i := range fc {
+		fc[i] = v
+	}
+	return func(int) []float64 { return fc }
+}
+
+// constTrace builds a constant-throughput trace.
+func constTrace(v float64, n int) []float64 {
+	tr := make([]float64, n)
+	for i := range tr {
+		tr[i] = v
+	}
+	return tr
+}
+
+func TestSimulateSteadyState(t *testing.T) {
+	// 800 Mbps steady link, perfect forecast: rate-based picks the 700
+	// rung (0.8×800=640 ≥ 300, < 700 → 300? 0.8*800=640 → highest ≤640 is
+	// 300). Check no stalls and the expected rung.
+	trace := constTrace(800, 120)
+	m, err := Simulate(Config{}, RateBased{}, trace, flatForecast(800, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RebufferSec != 0 {
+		t.Fatalf("steady link should never stall: %v", m.RebufferSec)
+	}
+	if m.MeanBitrateMbps != 300 {
+		t.Fatalf("rate-based at 0.8×800 should hold the 300 rung, got %v", m.MeanBitrateMbps)
+	}
+	if m.Switches != 0 {
+		t.Fatalf("steady conditions should not switch: %d", m.Switches)
+	}
+}
+
+func TestSimulateOverambitiousStalls(t *testing.T) {
+	// A controller that always picks the top rung on a slow link must
+	// accumulate rebuffering.
+	trace := constTrace(100, 60)
+	m, err := Simulate(Config{}, greedyTop{}, trace, flatForecast(100, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RebufferSec <= 0 {
+		t.Fatal("1800 Mbps chunks over a 100 Mbps link must stall")
+	}
+	if m.QoE >= 0 {
+		t.Fatalf("stall-heavy session should have deeply negative QoE: %v", m.QoE)
+	}
+}
+
+// greedyTop always picks the highest rung.
+type greedyTop struct{}
+
+func (greedyTop) Name() string                 { return "greedy" }
+func (greedyTop) Choose(c Config, s State) int { return len(c.Ladder) - 1 }
+
+func TestBufferBasedMapsBufferToRung(t *testing.T) {
+	b := BufferBased{ReservoirSec: 5, CushionSec: 20}
+	cfg := Config{}.withDefaults()
+	if got := b.Choose(cfg, State{BufferSec: 2, Forecast: []float64{999}}); got != 0 {
+		t.Fatalf("near-empty buffer should pick rung 0, got %d", got)
+	}
+	if got := b.Choose(cfg, State{BufferSec: 25, Forecast: []float64{1}}); got != len(cfg.Ladder)-1 {
+		t.Fatalf("full cushion should pick the top rung, got %d", got)
+	}
+	lo := b.Choose(cfg, State{BufferSec: 8, Forecast: []float64{1}})
+	hi := b.Choose(cfg, State{BufferSec: 16, Forecast: []float64{1}})
+	if hi <= lo {
+		t.Fatalf("rung should grow with buffer: %d vs %d", lo, hi)
+	}
+}
+
+func TestPredictiveAvoidsForecastSlump(t *testing.T) {
+	// 60 s trace: strong for 30 s, dead for 30 s. A rate-based controller
+	// streams high until the cliff and stalls; the predictive controller
+	// sees the slump in its horizon and banks buffer.
+	trace := append(constTrace(1500, 30), constTrace(30, 30)...)
+	perfect := func(t int) []float64 {
+		h := make([]float64, 10)
+		for i := range h {
+			idx := t + i
+			if idx >= len(trace) {
+				idx = len(trace) - 1
+			}
+			h[i] = trace[idx]
+		}
+		return h
+	}
+	rb, err := Simulate(Config{}, RateBased{}, trace, perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpc, err := Simulate(Config{}, Predictive{HorizonSec: 10}, trace, perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mpc.QoE <= rb.QoE {
+		t.Fatalf("lookahead should beat the throughput rule across a cliff: MPC %v vs rate %v", mpc.QoE, rb.QoE)
+	}
+}
+
+func TestContentBurstBanksBuffer(t *testing.T) {
+	// With a predicted slump, the bursting variant should rebuffer no
+	// more than the plain predictive controller.
+	trace := append(constTrace(1000, 20), constTrace(25, 20)...)
+	perfect := func(t int) []float64 {
+		h := make([]float64, 12)
+		for i := range h {
+			idx := t + i
+			if idx >= len(trace) {
+				idx = len(trace) - 1
+			}
+			h[i] = trace[idx]
+		}
+		return h
+	}
+	plain, err := Simulate(Config{}, Predictive{HorizonSec: 12}, trace, perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst, err := Simulate(Config{}, Predictive{HorizonSec: 12, Burst: true}, trace, perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if burst.RebufferSec > plain.RebufferSec+1e-9 {
+		t.Fatalf("bursting should not increase stalls: %v vs %v", burst.RebufferSec, plain.RebufferSec)
+	}
+}
+
+func TestOracleUpperBoundish(t *testing.T) {
+	// On a fluctuating trace with truthful forecasts, the oracle should
+	// not stall.
+	trace := make([]float64, 90)
+	for i := range trace {
+		trace[i] = 200 + 150*math.Sin(float64(i)/5)
+	}
+	truth := func(t int) []float64 {
+		h := make([]float64, 8)
+		for i := range h {
+			idx := t + i
+			if idx >= len(trace) {
+				idx = len(trace) - 1
+			}
+			h[i] = trace[idx]
+		}
+		return h
+	}
+	m, err := Simulate(Config{}, Oracle{HorizonSec: 8}, trace, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RebufferSec > 1 {
+		t.Fatalf("oracle stalled %v s on a truthful forecast", m.RebufferSec)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(Config{}, RateBased{}, nil, flatForecast(1, 1)); err == nil {
+		t.Fatal("empty trace should error")
+	}
+	if _, err := Simulate(Config{}, RateBased{}, constTrace(1, 5), nil); err == nil {
+		t.Fatal("nil forecasts should error")
+	}
+	if _, err := Simulate(Config{}, RateBased{}, constTrace(1, 5),
+		func(int) []float64 { return nil }); err == nil {
+		t.Fatal("empty forecast should error")
+	}
+}
+
+func TestControllerNames(t *testing.T) {
+	if (RateBased{}).Name() == "" || (BufferBased{}).Name() == "" {
+		t.Fatal("controller names empty")
+	}
+	if (Predictive{}).Name() == "predictive+burst" {
+		t.Fatal("plain predictive mislabeled")
+	}
+	if (Predictive{Burst: true}).Name() != "predictive+burst" {
+		t.Fatal("burst variant mislabeled")
+	}
+	if (Oracle{}).Name() != "oracle" {
+		t.Fatal("oracle name")
+	}
+}
+
+func TestChunkClampsBadIndices(t *testing.T) {
+	trace := constTrace(500, 20)
+	if _, err := Simulate(Config{}, badIdx{}, trace, flatForecast(500, 3)); err != nil {
+		t.Fatalf("out-of-range controller indices must be clamped: %v", err)
+	}
+}
+
+type badIdx struct{}
+
+func (badIdx) Name() string             { return "bad" }
+func (badIdx) Choose(Config, State) int { return 99 }

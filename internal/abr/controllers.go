@@ -1,0 +1,151 @@
+package abr
+
+import "math"
+
+// RateBased is the classical throughput-rule controller (the paper's
+// "conventional in-situ" approach, §2.2): the highest rung at or below
+// safety × the next-second forecast.
+type RateBased struct {
+	// Safety is the headroom factor. <=0 means 0.8.
+	Safety float64
+}
+
+func (r RateBased) Name() string { return "rate-based" }
+
+func (r RateBased) Choose(cfg Config, s State) int {
+	safety := r.Safety
+	if safety <= 0 {
+		safety = 0.8
+	}
+	target := safety * s.Forecast[0]
+	idx := 0
+	for i, b := range cfg.Ladder {
+		if b <= target {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// BufferBased is a BBA-style controller: the rung is a linear function of
+// the buffer level between a reservoir and a cushion, independent of any
+// throughput estimate.
+type BufferBased struct {
+	// ReservoirSec below which the lowest rung is used. <=0 means 5.
+	ReservoirSec float64
+	// CushionSec above which the highest rung is used. <=0 means 20.
+	CushionSec float64
+}
+
+func (b BufferBased) Name() string { return "buffer-based" }
+
+func (b BufferBased) Choose(cfg Config, s State) int {
+	res := b.ReservoirSec
+	if res <= 0 {
+		res = 5
+	}
+	cush := b.CushionSec
+	if cush <= res {
+		cush = res + 15
+	}
+	switch {
+	case s.BufferSec <= res:
+		return 0
+	case s.BufferSec >= cush:
+		return len(cfg.Ladder) - 1
+	default:
+		frac := (s.BufferSec - res) / (cush - res)
+		return int(frac * float64(len(cfg.Ladder)-1))
+	}
+}
+
+// Predictive is a horizon-lookahead controller (MPC-lite, after [64])
+// driven by multi-step throughput forecasts — the controller Lumos5G
+// enables. It evaluates every rung against the forecast horizon,
+// simulating the buffer forward, and picks the one maximising the
+// QoE objective. With Burst enabled it additionally implements the
+// paper's §8.2 "content bursting": when the forecast predicts a
+// high-throughput patch followed by a slump, it deliberately steps the
+// bitrate down one rung to bank buffer before the dead zone.
+type Predictive struct {
+	// HorizonSec caps how much of the forecast is used. <=0 means all.
+	HorizonSec int
+	// Burst enables content bursting before predicted slumps.
+	Burst bool
+}
+
+func (p Predictive) Name() string {
+	if p.Burst {
+		return "predictive+burst"
+	}
+	return "predictive"
+}
+
+func (p Predictive) Choose(cfg Config, s State) int {
+	fc := s.Forecast
+	if p.HorizonSec > 0 && len(fc) > p.HorizonSec {
+		fc = fc[:p.HorizonSec]
+	}
+	bestIdx, bestScore := 0, math.Inf(-1)
+	for i, b := range cfg.Ladder {
+		score := p.score(cfg, s, b, fc)
+		if score > bestScore {
+			bestScore = score
+			bestIdx = i
+		}
+	}
+	if p.Burst && bestIdx > 0 {
+		// Content bursting: if the tail of the horizon collapses below
+		// the chosen bitrate, trade one rung of quality now for buffer.
+		slump := false
+		for _, r := range fc[len(fc)/2:] {
+			if r < cfg.Ladder[bestIdx]*0.5 {
+				slump = true
+				break
+			}
+		}
+		if slump && s.BufferSec < cfg.MaxBufferSec*0.8 {
+			bestIdx--
+		}
+	}
+	return bestIdx
+}
+
+// score simulates the buffer over the horizon assuming the candidate
+// bitrate is held, returning the [64]-style objective.
+func (p Predictive) score(cfg Config, s State, bitrate float64, fc []float64) float64 {
+	buffer := s.BufferSec
+	var qoe float64
+	for _, r := range fc {
+		if r < 0.1 {
+			r = 0.1
+		}
+		dt := bitrate / r // seconds to fetch one 1 s chunk
+		if buffer >= dt {
+			buffer -= dt
+		} else {
+			qoe -= cfg.RebufferPenalty * (dt - buffer)
+			buffer = 0
+		}
+		buffer = math.Min(buffer+1, cfg.MaxBufferSec)
+		qoe += bitrate
+	}
+	if s.PrevBitrate > 0 {
+		qoe -= cfg.SwitchPenalty * math.Abs(bitrate-s.PrevBitrate)
+	}
+	return qoe
+}
+
+// Oracle is the upper-bound reference: the model-predictive controller
+// fed the true future throughput (used to normalise QoE comparisons in
+// the experiments).
+type Oracle struct {
+	// HorizonSec caps the lookahead. <=0 means all of the forecast.
+	HorizonSec int
+}
+
+func (Oracle) Name() string { return "oracle" }
+
+func (o Oracle) Choose(cfg Config, s State) int {
+	return Predictive{HorizonSec: o.HorizonSec}.Choose(cfg, s)
+}

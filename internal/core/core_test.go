@@ -1,0 +1,267 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"lumos5g/internal/dataset"
+	"lumos5g/internal/env"
+	"lumos5g/internal/features"
+	"lumos5g/internal/ml/gbdt"
+	"lumos5g/internal/ml/nn"
+	"lumos5g/internal/sim"
+)
+
+// testScale keeps unit tests fast while preserving model behaviour.
+func testScale() Scale {
+	return Scale{
+		GBDT:        gbdt.Config{Estimators: 40, MaxDepth: 5},
+		Seq2Seq:     nn.Seq2SeqConfig{Hidden: 16, Layers: 1, Epochs: 25, Batch: 32, LR: 0.01},
+		SeqLen:      10,
+		SeqTrainCap: 1500,
+		Seed:        1,
+	}
+}
+
+var cachedAirport *dataset.Dataset
+
+func airportData(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	if cachedAirport == nil {
+		cfg := sim.Config{Seed: 1, WalkPasses: 4, StationarySessions: 2, BackgroundUEProb: 0.1}
+		d := sim.RunArea(env.Airport(), cfg)
+		cachedAirport, _ = d.QualityFilter()
+	}
+	return cachedAirport
+}
+
+func TestEvaluateGDBTBeatsLocationOnly(t *testing.T) {
+	d := airportData(t)
+	sc := testScale()
+	l := Evaluate(d, features.GroupL, ModelGDBT, sc)
+	if l.Err != nil {
+		t.Fatal(l.Err)
+	}
+	lmc := Evaluate(d, features.GroupLMC, ModelGDBT, sc)
+	if lmc.Err != nil {
+		t.Fatal(lmc.Err)
+	}
+	if lmc.MAE >= l.MAE {
+		t.Fatalf("L+M+C (MAE %v) should beat L alone (MAE %v) — the paper's core finding", lmc.MAE, l.MAE)
+	}
+	if lmc.WeightedF1 <= l.WeightedF1 {
+		t.Fatalf("L+M+C F1 %v should beat L F1 %v", lmc.WeightedF1, l.WeightedF1)
+	}
+}
+
+func TestEvaluateGDBTBeatsKNNBaseline(t *testing.T) {
+	d := airportData(t)
+	sc := testScale()
+	g := Evaluate(d, features.GroupLM, ModelGDBT, sc)
+	k := Evaluate(d, features.GroupLM, ModelKNN, sc)
+	if g.Err != nil || k.Err != nil {
+		t.Fatal(g.Err, k.Err)
+	}
+	if g.MAE >= k.MAE {
+		t.Fatalf("GDBT MAE %v should beat KNN MAE %v (Table 9)", g.MAE, k.MAE)
+	}
+}
+
+func TestEvaluateOKOnlyOnL(t *testing.T) {
+	d := airportData(t)
+	sc := testScale()
+	ok := Evaluate(d, features.GroupL, ModelOK, sc)
+	if ok.Err != nil {
+		t.Fatalf("OK on L should work: %v", ok.Err)
+	}
+	na := Evaluate(d, features.GroupLM, ModelOK, sc)
+	if na.Err == nil {
+		t.Fatal("OK on L+M must be NA, as in Table 9")
+	}
+}
+
+func TestEvaluateHM(t *testing.T) {
+	d := airportData(t)
+	res := Evaluate(d, features.GroupC, ModelHM, testScale())
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.NTest == 0 || math.IsNaN(res.MAE) {
+		t.Fatalf("HM result: %+v", res)
+	}
+	// HM must be worse than GDBT L+M+C (the paper's Table 9 finding).
+	g := Evaluate(d, features.GroupLMC, ModelGDBT, testScale())
+	if res.MAE <= g.MAE {
+		t.Fatalf("HM MAE %v should exceed GDBT L+M+C MAE %v", res.MAE, g.MAE)
+	}
+}
+
+func TestEvaluateSeq2SeqRuns(t *testing.T) {
+	d := airportData(t)
+	res := Evaluate(d, features.GroupLM, ModelSeq2Seq, testScale())
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.NTest == 0 || math.IsNaN(res.MAE) || res.MAE <= 0 {
+		t.Fatalf("Seq2Seq result: %+v", res)
+	}
+	// Even a tiny Seq2Seq should beat the location-only KNN baseline.
+	k := Evaluate(d, features.GroupL, ModelKNN, testScale())
+	if res.MAE >= k.MAE {
+		t.Fatalf("Seq2Seq L+M MAE %v should beat KNN L MAE %v", res.MAE, k.MAE)
+	}
+}
+
+func TestEvaluateTMSkipsUnsurveyedArea(t *testing.T) {
+	cfg := sim.Config{Seed: 3, WalkPasses: 1, BackgroundUEProb: 0}
+	loop := sim.RunArea(env.Loop(), cfg)
+	res := Evaluate(loop, features.GroupTM, ModelGDBT, testScale())
+	if res.Err == nil {
+		t.Fatal("T+M on the Loop must be NA (panels unsurveyed) — the '-' cells of Tables 7–8")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	d := airportData(t)
+	res := Evaluate(d, features.GroupL, ModelKNN, testScale())
+	if len(res.String()) == 0 {
+		t.Fatal("empty result string")
+	}
+	na := Evaluate(d, features.GroupLM, ModelOK, testScale())
+	if len(na.String()) == 0 {
+		t.Fatal("empty NA string")
+	}
+}
+
+func TestModelKindString(t *testing.T) {
+	kinds := []ModelKind{ModelKNN, ModelRF, ModelOK, ModelHM, ModelGDBT, ModelSeq2Seq}
+	want := []string{"KNN", "RF", "OK", "HM", "GDBT", "Seq2Seq"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Fatalf("%v != %s", k, want[i])
+		}
+	}
+	if ModelKind(99).String() != "?" {
+		t.Fatal("unknown kind")
+	}
+}
+
+func TestGlobalDataset(t *testing.T) {
+	byArea := map[string]*dataset.Dataset{
+		"Airport":      {Records: make([]dataset.Record, 3)},
+		"Intersection": {Records: make([]dataset.Record, 2)},
+		"Loop":         {Records: make([]dataset.Record, 7)},
+	}
+	g := GlobalDataset(byArea)
+	// Global = areas with surveyed panels only (not Loop).
+	if g.Len() != 5 {
+		t.Fatalf("global len = %d, want 5", g.Len())
+	}
+}
+
+func TestFeatureImportance(t *testing.T) {
+	d := airportData(t)
+	names, imp, err := FeatureImportance(d, features.GroupTMC, testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != len(imp) {
+		t.Fatal("name/importance length mismatch")
+	}
+	// sin/cos merged: theta_p appears once.
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate logical feature %s", n)
+		}
+		seen[n] = true
+	}
+	if !seen["theta_p"] || !seen["theta_m"] || !seen["panel_dist"] {
+		t.Fatalf("missing logical T features: %v", names)
+	}
+	var sum float64
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatal("negative importance")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("importance sum = %v", sum)
+	}
+	// Fig 22's key observation: no single feature dominates entirely.
+	for i, v := range imp {
+		if v > 0.9 {
+			t.Fatalf("feature %s dominates with %v", names[i], v)
+		}
+	}
+}
+
+func TestTransferability(t *testing.T) {
+	d := airportData(t)
+	res, err := Transferability(d, env.AirportNorthPanelID, env.AirportSouthPanelID, 25, testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NTest == 0 {
+		t.Fatal("no test samples")
+	}
+	if res.OverallF1 <= 0.3 {
+		t.Fatalf("transfer F1 = %v, should be decent (paper: 0.71)", res.OverallF1)
+	}
+	if res.NNear > 0 && res.NearF1 < res.OverallF1-0.25 {
+		t.Fatalf("near-panel F1 (%v) should not collapse vs overall (%v)", res.NearF1, res.OverallF1)
+	}
+}
+
+func TestTransferabilityErrors(t *testing.T) {
+	d := airportData(t)
+	if _, err := Transferability(d, 9999, env.AirportSouthPanelID, 25, testScale()); err == nil {
+		t.Fatal("unknown train panel should error")
+	}
+}
+
+func TestBuildThroughputMap(t *testing.T) {
+	d := airportData(t)
+	tm := BuildThroughputMap(d, 3)
+	if len(tm.Cells) == 0 {
+		t.Fatal("empty map")
+	}
+	for _, c := range tm.Cells {
+		if c.N < 3 {
+			t.Fatal("minSamples violated")
+		}
+		if c.MeanMbps < 0 {
+			t.Fatal("negative mean")
+		}
+		if c.NRFraction < 0 || c.NRFraction > 1 {
+			t.Fatal("NR fraction out of range")
+		}
+	}
+	// Lookup consistency.
+	first := tm.SortedCells()[0]
+	if got := tm.Lookup(first.Key.Col*2, first.Key.Row*2); got != first {
+		t.Fatal("Lookup should find the cell by pixel")
+	}
+	// CV fraction: the paper reports ~53% of grids with CV >= 50% —
+	// ours should at least show substantial variability.
+	frac := tm.CVExceedingFraction(0.5)
+	if math.IsNaN(frac) || frac <= 0.05 {
+		t.Fatalf("CV>=50%% fraction = %v, want substantial variability (§4.1)", frac)
+	}
+	if cov := tm.CoverageFraction(); math.IsNaN(cov) || cov <= 0 {
+		t.Fatalf("coverage fraction = %v", cov)
+	}
+}
+
+func TestRenderMap(t *testing.T) {
+	d := airportData(t)
+	tm := BuildThroughputMap(d, 2)
+	out := tm.Render()
+	if len(out) == 0 {
+		t.Fatal("empty render")
+	}
+	if (&ThroughputMap{Cells: nil}).Render() != "(empty map)\n" {
+		t.Fatal("empty map render")
+	}
+}

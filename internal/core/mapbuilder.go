@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"lumos5g/internal/dataset"
+	"lumos5g/internal/geo"
+	"lumos5g/internal/stats"
+)
+
+// MapCell is one aggregated grid cell of a 5G throughput map.
+type MapCell struct {
+	Key        geo.GridKey
+	MeanMbps   float64
+	MedianMbps float64
+	CV         float64
+	N          int
+	NRFraction float64
+}
+
+// ThroughputMap is the paper's envisioned artifact (Fig 3c): per-grid
+// throughput statistics over an area, built from crowdsourced samples.
+type ThroughputMap struct {
+	Cells map[geo.GridKey]*MapCell
+	// MinSamples was the inclusion threshold used.
+	MinSamples int
+}
+
+// BuildThroughputMap aggregates d into 2 m × 2 m grid cells (Fig 6).
+// Cells with fewer than minSamples samples are omitted.
+func BuildThroughputMap(d *dataset.Dataset, minSamples int) *ThroughputMap {
+	if minSamples < 1 {
+		minSamples = 1
+	}
+	tm := &ThroughputMap{Cells: map[geo.GridKey]*MapCell{}, MinSamples: minSamples}
+	groups := d.GroupByGrid()
+	for key, idxs := range groups {
+		if len(idxs) < minSamples {
+			continue
+		}
+		vals := make([]float64, len(idxs))
+		nr := 0
+		for j, i := range idxs {
+			vals[j] = d.Records[i].ThroughputMbps
+			if d.Records[i].CellID >= 0 {
+				nr++
+			}
+		}
+		s := stats.Summarize(vals)
+		tm.Cells[key] = &MapCell{
+			Key:        key,
+			MeanMbps:   s.Mean,
+			MedianMbps: s.Median,
+			CV:         s.CV,
+			N:          s.N,
+			NRFraction: float64(nr) / float64(len(idxs)),
+		}
+	}
+	return tm
+}
+
+// Lookup returns the cell containing the given pixel coordinates, or nil.
+func (tm *ThroughputMap) Lookup(pixelX, pixelY int) *MapCell {
+	return tm.Cells[geo.GridKey{Col: pixelX / 2, Row: pixelY / 2}]
+}
+
+// CVExceedingFraction returns the fraction of cells whose CV exceeds the
+// threshold — the §4.1 statistic ("~53% of geolocations have CV ≥ 50%").
+func (tm *ThroughputMap) CVExceedingFraction(threshold float64) float64 {
+	if len(tm.Cells) == 0 {
+		return math.NaN()
+	}
+	n := 0
+	for _, c := range tm.Cells {
+		if !math.IsNaN(c.CV) && c.CV >= threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(tm.Cells))
+}
+
+// throughputGlyph maps a mean throughput to a heat glyph (the ASCII
+// rendition of Fig 6's color scale: dark red <60 Mbps ... lime >1 Gbps).
+func throughputGlyph(mbps float64) byte {
+	switch {
+	case mbps < 60:
+		return '.'
+	case mbps < 300:
+		return ':'
+	case mbps < 700:
+		return 'o'
+	case mbps < 1000:
+		return 'O'
+	default:
+		return '#'
+	}
+}
+
+// Render draws the map as ASCII art, one glyph per 2 m cell, rows north
+// to south. Legend: '.' <60 Mbps, ':' <300, 'o' <700, 'O' <1000, '#' ≥1 Gbps.
+func (tm *ThroughputMap) Render() string {
+	if len(tm.Cells) == 0 {
+		return "(empty map)\n"
+	}
+	minC, maxC := math.MaxInt32, math.MinInt32
+	minR, maxR := math.MaxInt32, math.MinInt32
+	for k := range tm.Cells {
+		if k.Col < minC {
+			minC = k.Col
+		}
+		if k.Col > maxC {
+			maxC = k.Col
+		}
+		if k.Row < minR {
+			minR = k.Row
+		}
+		if k.Row > maxR {
+			maxR = k.Row
+		}
+	}
+	var b strings.Builder
+	for r := minR; r <= maxR; r++ {
+		line := make([]byte, maxC-minC+1)
+		for c := range line {
+			line[c] = ' '
+		}
+		for c := minC; c <= maxC; c++ {
+			if cell, ok := tm.Cells[geo.GridKey{Col: c, Row: r}]; ok {
+				line[c-minC] = throughputGlyph(cell.MeanMbps)
+			}
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SortedCells returns cells ordered by (row, col) for deterministic
+// iteration (CSV export, tests).
+func (tm *ThroughputMap) SortedCells() []*MapCell {
+	out := make([]*MapCell, 0, len(tm.Cells))
+	for _, c := range tm.Cells {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Key.Row != out[b].Key.Row {
+			return out[a].Key.Row < out[b].Key.Row
+		}
+		return out[a].Key.Col < out[b].Key.Col
+	})
+	return out
+}
+
+// CoverageFraction returns the fraction of cells whose NR attachment rate
+// exceeds half — the "5G coverage map" of Fig 3b, which the paper shows
+// is insufficient to infer throughput.
+func (tm *ThroughputMap) CoverageFraction() float64 {
+	if len(tm.Cells) == 0 {
+		return math.NaN()
+	}
+	n := 0
+	for _, c := range tm.Cells {
+		if c.NRFraction > 0.5 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(tm.Cells))
+}
+
+// String summarises the map.
+func (tm *ThroughputMap) String() string {
+	return fmt.Sprintf("throughput map: %d cells (min %d samples/cell)", len(tm.Cells), tm.MinSamples)
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Throughput color scale mirroring the paper's heatmaps (Fig 6): dark red
+// below 60 Mbps through orange and yellow to lime green above 1 Gbps.
+var svgScale = []struct {
+	maxMbps float64
+	color   string
+}{
+	{60, "#8b0000"},          // dark red: dead
+	{150, "#c62828"},         // red
+	{300, "#ef6c00"},         // orange
+	{500, "#f9a825"},         // amber
+	{700, "#d4c422"},         // yellow
+	{1000, "#9ccc2e"},        // yellow-green
+	{math.Inf(1), "#32cd32"}, // lime green: ultra-high
+}
+
+func svgColor(mbps float64) string {
+	for _, s := range svgScale {
+		if mbps < s.maxMbps {
+			return s.color
+		}
+	}
+	return svgScale[len(svgScale)-1].color
+}
+
+// RenderSVG draws the throughput map as an SVG document, one square per
+// 2 m grid cell (cellPx pixels on screen), with a legend — a standalone
+// artifact a web frontend could serve as the paper's envisioned
+// "5G throughput map" (Fig 3c).
+func (tm *ThroughputMap) RenderSVG(cellPx int) string {
+	if cellPx <= 0 {
+		cellPx = 6
+	}
+	if len(tm.Cells) == 0 {
+		return `<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10"></svg>`
+	}
+	minC, maxC := math.MaxInt32, math.MinInt32
+	minR, maxR := math.MaxInt32, math.MinInt32
+	for k := range tm.Cells {
+		if k.Col < minC {
+			minC = k.Col
+		}
+		if k.Col > maxC {
+			maxC = k.Col
+		}
+		if k.Row < minR {
+			minR = k.Row
+		}
+		if k.Row > maxR {
+			maxR = k.Row
+		}
+	}
+	const legendH = 40
+	w := (maxC - minC + 1) * cellPx
+	h := (maxR-minR+1)*cellPx + legendH
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="#1b1b1b"/>`)
+	for _, cell := range tm.SortedCells() {
+		x := (cell.Key.Col - minC) * cellPx
+		y := (cell.Key.Row - minR) * cellPx
+		fmt.Fprintf(&b,
+			`<rect x="%d" y="%d" width="%d" height="%d" fill="%s"><title>%.0f Mbps (median %.0f, CV %.0f%%, n=%d)</title></rect>`,
+			x, y, cellPx, cellPx, svgColor(cell.MeanMbps),
+			cell.MeanMbps, cell.MedianMbps, 100*cell.CV, cell.N)
+	}
+	// Legend swatches.
+	labels := []string{"<60", "<150", "<300", "<500", "<700", "<1000", ">=1000"}
+	ly := h - legendH + 8
+	for i, s := range svgScale {
+		lx := 4 + i*(w-8)/len(svgScale)
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`, lx, ly, s.color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="9" fill="#eeeeee">%s</text>`, lx+12, ly+9, labels[i])
+	}
+	fmt.Fprintf(&b, `<text x="4" y="%d" font-size="9" fill="#bbbbbb">mean throughput per 2 m cell (Mbps)</text>`, h-6)
+	b.WriteString(`</svg>`)
+	return b.String()
+}

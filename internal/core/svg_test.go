@@ -1,0 +1,60 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderSVG(t *testing.T) {
+	d := airportData(t)
+	tm := BuildThroughputMap(d, 3)
+	svg := tm.RenderSVG(6)
+	if !strings.HasPrefix(svg, `<svg xmlns="http://www.w3.org/2000/svg"`) {
+		t.Fatal("not an SVG document")
+	}
+	if !strings.HasSuffix(svg, "</svg>") {
+		t.Fatal("unterminated SVG")
+	}
+	// One rect per cell plus background and legend swatches.
+	rects := strings.Count(svg, "<rect")
+	if rects < len(tm.Cells)+1 {
+		t.Fatalf("%d rects for %d cells", rects, len(tm.Cells))
+	}
+	if strings.Count(svg, "<title>") != len(tm.Cells) {
+		t.Fatalf("%d tooltips for %d cells", strings.Count(svg, "<title>"), len(tm.Cells))
+	}
+	// Legend present.
+	if !strings.Contains(svg, ">=1000") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestRenderSVGEmpty(t *testing.T) {
+	tm := &ThroughputMap{}
+	svg := tm.RenderSVG(0)
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatalf("empty-map SVG malformed: %s", svg)
+	}
+}
+
+func TestSVGColorScale(t *testing.T) {
+	if svgColor(10) != "#8b0000" {
+		t.Fatal("dead zones should be dark red")
+	}
+	if svgColor(2000) != "#32cd32" {
+		t.Fatal("ultra-high should be lime green")
+	}
+	// Monotone scale: colors change as throughput crosses boundaries.
+	prev := svgColor(0)
+	changes := 0
+	for _, v := range []float64{100, 200, 400, 600, 800, 1200} {
+		c := svgColor(v)
+		if c != prev {
+			changes++
+		}
+		prev = c
+	}
+	if changes < 5 {
+		t.Fatalf("color scale too coarse: %d changes", changes)
+	}
+}

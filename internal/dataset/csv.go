@@ -1,0 +1,201 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"lumos5g/internal/radio"
+)
+
+// csvHeader lists the serialised columns in order.
+var csvHeader = []string{
+	"area", "trajectory", "pass", "second",
+	"latitude", "longitude", "gps_accuracy",
+	"activity", "speed_kmh", "compass_deg", "compass_acc",
+	"throughput_mbps", "radio", "cell_id",
+	"lte_rsrp", "lte_rsrq", "lte_rssi",
+	"ss_rsrp", "ss_rsrq", "ss_sinr",
+	"horizontal_ho", "vertical_ho",
+	"panel_dist", "theta_p", "theta_m",
+	"pixel_x", "pixel_y", "mode",
+	"sharing_ues",
+}
+
+func fmtF(v float64) string {
+	if math.IsNaN(v) {
+		return ""
+	}
+	return strconv.FormatFloat(v, 'f', 4, 64)
+}
+
+func parseF(s string) (float64, error) {
+	if s == "" {
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func fmtB(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// WriteCSV serialises the dataset with a header row.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	row := make([]string, len(csvHeader))
+	for i := range d.Records {
+		r := &d.Records[i]
+		row[0] = r.Area
+		row[1] = r.Trajectory
+		row[2] = strconv.Itoa(r.Pass)
+		row[3] = strconv.Itoa(r.Second)
+		row[4] = strconv.FormatFloat(r.Latitude, 'f', 7, 64)
+		row[5] = strconv.FormatFloat(r.Longitude, 'f', 7, 64)
+		row[6] = fmtF(r.GPSAccuracy)
+		row[7] = r.Activity
+		row[8] = fmtF(r.SpeedKmh)
+		row[9] = fmtF(r.CompassDeg)
+		row[10] = fmtF(r.CompassAcc)
+		row[11] = fmtF(r.ThroughputMbps)
+		row[12] = r.Radio.String()
+		row[13] = strconv.Itoa(r.CellID)
+		row[14] = fmtF(r.LteRsrp)
+		row[15] = fmtF(r.LteRsrq)
+		row[16] = fmtF(r.LteRssi)
+		row[17] = fmtF(r.SSRsrp)
+		row[18] = fmtF(r.SSRsrq)
+		row[19] = fmtF(r.SSSinr)
+		row[20] = fmtB(r.HorizontalHO)
+		row[21] = fmtB(r.VerticalHO)
+		row[22] = fmtF(r.PanelDist)
+		row[23] = fmtF(r.ThetaP)
+		row[24] = fmtF(r.ThetaM)
+		row[25] = strconv.Itoa(r.PixelX)
+		row[26] = strconv.Itoa(r.PixelY)
+		row[27] = r.Mode.String()
+		row[28] = strconv.Itoa(r.SharingUEs)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset previously written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	for i, col := range csvHeader {
+		if header[i] != col {
+			return nil, fmt.Errorf("dataset: header column %d = %q, want %q", i, header[i], col)
+		}
+	}
+	d := &Dataset{}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		rec, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		d.Records = append(d.Records, rec)
+	}
+	return d, nil
+}
+
+func parseRow(row []string) (Record, error) {
+	var r Record
+	var err error
+	r.Area = row[0]
+	r.Trajectory = row[1]
+	if r.Pass, err = strconv.Atoi(row[2]); err != nil {
+		return r, fmt.Errorf("pass: %w", err)
+	}
+	if r.Second, err = strconv.Atoi(row[3]); err != nil {
+		return r, fmt.Errorf("second: %w", err)
+	}
+	if r.Latitude, err = strconv.ParseFloat(row[4], 64); err != nil {
+		return r, fmt.Errorf("latitude: %w", err)
+	}
+	if r.Longitude, err = strconv.ParseFloat(row[5], 64); err != nil {
+		return r, fmt.Errorf("longitude: %w", err)
+	}
+	floats := []struct {
+		dst *float64
+		col int
+		tag string
+	}{
+		{&r.GPSAccuracy, 6, "gps_accuracy"},
+		{&r.SpeedKmh, 8, "speed_kmh"},
+		{&r.CompassDeg, 9, "compass_deg"},
+		{&r.CompassAcc, 10, "compass_acc"},
+		{&r.ThroughputMbps, 11, "throughput_mbps"},
+		{&r.LteRsrp, 14, "lte_rsrp"},
+		{&r.LteRsrq, 15, "lte_rsrq"},
+		{&r.LteRssi, 16, "lte_rssi"},
+		{&r.SSRsrp, 17, "ss_rsrp"},
+		{&r.SSRsrq, 18, "ss_rsrq"},
+		{&r.SSSinr, 19, "ss_sinr"},
+		{&r.PanelDist, 22, "panel_dist"},
+		{&r.ThetaP, 23, "theta_p"},
+		{&r.ThetaM, 24, "theta_m"},
+	}
+	for _, f := range floats {
+		if *f.dst, err = parseF(row[f.col]); err != nil {
+			return r, fmt.Errorf("%s: %w", f.tag, err)
+		}
+	}
+	r.Activity = row[7]
+	switch row[12] {
+	case "NR":
+		r.Radio = radio.RadioNR
+	case "LTE":
+		r.Radio = radio.RadioLTE
+	default:
+		return r, fmt.Errorf("radio: unknown %q", row[12])
+	}
+	if r.CellID, err = strconv.Atoi(row[13]); err != nil {
+		return r, fmt.Errorf("cell_id: %w", err)
+	}
+	r.HorizontalHO = row[20] == "1"
+	r.VerticalHO = row[21] == "1"
+	if r.PixelX, err = strconv.Atoi(row[25]); err != nil {
+		return r, fmt.Errorf("pixel_x: %w", err)
+	}
+	if r.PixelY, err = strconv.Atoi(row[26]); err != nil {
+		return r, fmt.Errorf("pixel_y: %w", err)
+	}
+	switch row[27] {
+	case "stationary":
+		r.Mode = radio.Stationary
+	case "walking":
+		r.Mode = radio.Walking
+	case "driving":
+		r.Mode = radio.Driving
+	default:
+		return r, fmt.Errorf("mode: unknown %q", row[27])
+	}
+	if r.SharingUEs, err = strconv.Atoi(row[28]); err != nil {
+		return r, fmt.Errorf("sharing_ues: %w", err)
+	}
+	return r, nil
+}

@@ -1,0 +1,55 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hardens the dataset parser against malformed input: it must
+// return an error or a valid dataset, never panic, and round-trip
+// anything it accepts.
+func FuzzReadCSV(f *testing.F) {
+	// Seed with a valid document.
+	var buf bytes.Buffer
+	d := &Dataset{}
+	d.Append(Record{
+		Area: "Airport", Trajectory: "NB", Pass: 1, Second: 2,
+		Latitude: 44.88, Longitude: -93.21, GPSAccuracy: 2,
+		Activity: "walking", SpeedKmh: 4, CompassDeg: 10, CompassAcc: 3,
+		ThroughputMbps: 800, CellID: 310,
+		LteRsrp: -90, LteRsrq: -10, LteRssi: -60,
+		SSRsrp: -85, SSRsrq: -11, SSSinr: 12,
+		PanelDist: 40, ThetaP: 10, ThetaM: 170,
+		PixelX: 100, PixelY: 200, SharingUEs: 1,
+	})
+	if err := d.WriteCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.String()
+	f.Add(valid)
+	f.Add("")
+	f.Add("garbage")
+	f.Add(strings.Replace(valid, "NR", "??", 1))
+	f.Add(strings.Replace(valid, "800.0000", "not-a-number", 1))
+	f.Add(valid + "short,row\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		got, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine
+		}
+		// Accepted input must round-trip.
+		var out bytes.Buffer
+		if err := got.WriteCSV(&out); err != nil {
+			t.Fatalf("accepted dataset failed to serialise: %v", err)
+		}
+		back, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("round-trip re-parse failed: %v", err)
+		}
+		if back.Len() != got.Len() {
+			t.Fatalf("round trip changed record count: %d -> %d", got.Len(), back.Len())
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package env
+
+import (
+	"lumos5g/internal/geo"
+	"lumos5g/internal/radio"
+)
+
+// Airport models the indoor mall-area inside MSP International Airport
+// (Table 2): a ~370 m corridor with two head-on single-panel 5G towers
+// ~200 m apart and open-space restaurants / information booths midway that
+// break the south panel's line of sight between 50 and 100 m (Fig 11b).
+//
+// Geometry (local frame, +Y north along the corridor, +X east):
+//
+//	south panel at (0,  85) facing north (0°)
+//	north panel at (0, 285) facing south (180°)
+//	trajectories NB/SB run the corridor from y=10 to y=350 (~340 m,
+//	matching the paper's "each of the ~340-meter long walking sessions")
+func Airport() *Area {
+	south := radio.Panel{ID: 310, Pos: geo.Point{X: 0, Y: 85}, Facing: 0, Name: "south"}
+	north := radio.Panel{ID: 311, Pos: geo.Point{X: 0, Y: 285}, Facing: 180, Name: "north"}
+
+	obstacles := []radio.Obstacle{
+		// Mid-corridor information booths and open-space restaurant
+		// counters. They are low structures: rays longer than ~100 m from
+		// a panel clear over them (ClearBeyond), which is precisely the
+		// mechanism behind the paper's observation that the south panel's
+		// throughput dips between 50–100 m and then *recovers*.
+		{A: geo.Point{X: -9, Y: 140}, B: geo.Point{X: 4, Y: 140}, LossDB: 14, ClearBeyond: 100, Name: "booth-1"},
+		{A: geo.Point{X: -3, Y: 158}, B: geo.Point{X: 9, Y: 158}, LossDB: 13, ClearBeyond: 100, Name: "booth-2"},
+		{A: geo.Point{X: -8, Y: 172}, B: geo.Point{X: 5, Y: 172}, LossDB: 12, ClearBeyond: 100, Name: "restaurant"},
+		// A structural pillar near the north end creating a small stable
+		// NLoS patch (one of the paper's "consistently poor" patches).
+		{A: geo.Point{X: 2, Y: 252}, B: geo.Point{X: 10, Y: 252}, LossDB: 22, Name: "pillar"},
+		// Storefront glass along a short stretch of the corridor edge.
+		{A: geo.Point{X: -12, Y: 40}, B: geo.Point{X: -12, Y: 120}, LossDB: 18, Name: "storefront"},
+	}
+
+	nb := Trajectory{
+		Name: "NB",
+		Waypoints: []geo.Point{
+			{X: 3, Y: 10}, {X: 2, Y: 120}, {X: 4, Y: 230}, {X: 3, Y: 350},
+		},
+	}
+	sb := nb.Reversed("SB")
+
+	return &Area{
+		Name:   "Airport",
+		Indoor: true,
+		Radio: radio.Environment{
+			Panels:    []radio.Panel{south, north},
+			Obstacles: obstacles,
+			// Indoors the UE's local clutter dominates shadowing, so the
+			// two head-on panels see strongly correlated shadow patches —
+			// the environmental similarity behind §6.2's transfer result.
+			ShadowShare: 0.75,
+		},
+		LTEAnchor:        geo.Point{X: -30, Y: 185},
+		Frame:            geo.Frame{Origin: geo.LatLon{Lat: 44.8820, Lon: -93.2100}},
+		Trajectories:     []Trajectory{nb, sb},
+		DrivingSupported: false,
+		PanelInfoKnown:   true,
+	}
+}
+
+// AirportSouthPanelID and AirportNorthPanelID expose the Airport cell IDs
+// for the transferability experiment (§6.2: train on North, test on South).
+const (
+	AirportSouthPanelID = 310
+	AirportNorthPanelID = 311
+)

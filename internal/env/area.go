@@ -1,0 +1,168 @@
+// Package env defines the three measurement areas of the paper's campaign
+// (Table 2): the outdoor 4-way Intersection in downtown Minneapolis, the
+// indoor Airport mall corridor at MSP, and the 1300 m Loop near U.S. Bank
+// Stadium. Each area bundles a radio environment (panels + obstacles), an
+// LTE anchor, a set of walking/driving trajectories, and metadata such as
+// whether panel locations are known (they are not for the Loop, which is
+// why the paper reports no T-feature results there).
+package env
+
+import (
+	"fmt"
+
+	"lumos5g/internal/geo"
+	"lumos5g/internal/radio"
+)
+
+// Trajectory is a named polyline a UE traverses during a measurement pass.
+type Trajectory struct {
+	// Name identifies the trajectory ("NB", "SB", "W-E", ...).
+	Name string
+	// Waypoints is the ordered polyline in the area's local frame.
+	Waypoints []geo.Point
+	// Loop indicates the trajectory closes back on its start (the Loop
+	// area's 1300 m circuit).
+	Loop bool
+}
+
+// Length returns the polyline length in meters (including the closing
+// segment for loops).
+func (t Trajectory) Length() float64 {
+	var l float64
+	for i := 1; i < len(t.Waypoints); i++ {
+		l += t.Waypoints[i].Dist(t.Waypoints[i-1])
+	}
+	if t.Loop && len(t.Waypoints) > 1 {
+		l += t.Waypoints[0].Dist(t.Waypoints[len(t.Waypoints)-1])
+	}
+	return l
+}
+
+// At returns the position at arclength s along the trajectory (clamped to
+// the ends; loops wrap around).
+func (t Trajectory) At(s float64) geo.Point {
+	pts := t.Waypoints
+	if len(pts) == 0 {
+		return geo.Point{}
+	}
+	if len(pts) == 1 {
+		return pts[0]
+	}
+	total := t.Length()
+	if t.Loop {
+		for s < 0 {
+			s += total
+		}
+		for s >= total {
+			s -= total
+		}
+	} else {
+		if s <= 0 {
+			return pts[0]
+		}
+		if s >= total {
+			return pts[len(pts)-1]
+		}
+	}
+	segs := len(pts) - 1
+	if t.Loop {
+		segs = len(pts)
+	}
+	for i := 0; i < segs; i++ {
+		a := pts[i]
+		b := pts[(i+1)%len(pts)]
+		d := a.Dist(b)
+		if s <= d {
+			if d == 0 {
+				return a
+			}
+			return a.Lerp(b, s/d)
+		}
+		s -= d
+	}
+	return pts[len(pts)-1]
+}
+
+// HeadingAt returns the travel bearing at arclength s.
+func (t Trajectory) HeadingAt(s float64) float64 {
+	const ds = 0.5
+	a := t.At(s)
+	b := t.At(s + ds)
+	if a == b {
+		// End of a non-loop trajectory: look backwards.
+		a = t.At(s - ds)
+		b = t.At(s)
+		if a == b {
+			return 0
+		}
+	}
+	return geo.BearingPlanar(a, b)
+}
+
+// Reversed returns the trajectory walked in the opposite direction.
+func (t Trajectory) Reversed(name string) Trajectory {
+	w := make([]geo.Point, len(t.Waypoints))
+	for i, p := range t.Waypoints {
+		w[len(w)-1-i] = p
+	}
+	return Trajectory{Name: name, Waypoints: w, Loop: t.Loop}
+}
+
+// Area is one measurement area of the campaign.
+type Area struct {
+	// Name is the paper's area name: "Intersection", "Airport", "Loop".
+	Name string
+	// Indoor marks the Airport mall corridor.
+	Indoor bool
+	// Radio is the panel/obstacle environment; its Shadow field must be
+	// populated (see Realize).
+	Radio radio.Environment
+	// LTEAnchor is the co-located 4G anchor position.
+	LTEAnchor geo.Point
+	// Frame maps local points to WGS-84 for this area.
+	Frame geo.Frame
+	// Trajectories are the walking (and for Loop, driving) routes.
+	Trajectories []Trajectory
+	// DrivingSupported marks areas where driving passes were collected.
+	DrivingSupported bool
+	// PanelInfoKnown is false for the Loop: the paper could not reliably
+	// survey its panels, so tower (T) features are unavailable there.
+	PanelInfoKnown bool
+	// StopPoints are arclength fractions (0..1) along trajectories where
+	// driving may halt (traffic lights, rail crossings).
+	StopPoints []float64
+}
+
+func (a *Area) String() string {
+	return fmt.Sprintf("%s (%d panels, %d obstacles, %d trajectories)",
+		a.Name, len(a.Radio.Panels), len(a.Radio.Obstacles), len(a.Trajectories))
+}
+
+// Realize attaches the deterministic shadow field and LTE model for one
+// environment realisation.
+func (a *Area) Realize(seed uint64) (*radio.Environment, *radio.LTEModel) {
+	sf := radio.NewShadowField(seed)
+	env := a.Radio
+	env.Shadow = sf
+	lte := &radio.LTEModel{AnchorPos: a.LTEAnchor, Shadow: sf}
+	return &env, lte
+}
+
+// AreaByName returns a built-in area. Valid names are "Airport",
+// "Intersection" and "Loop" (case-sensitive, as in the paper).
+func AreaByName(name string) (*Area, error) {
+	switch name {
+	case "Airport":
+		return Airport(), nil
+	case "Intersection":
+		return Intersection(), nil
+	case "Loop":
+		return Loop(), nil
+	}
+	return nil, fmt.Errorf("env: unknown area %q (want Airport, Intersection or Loop)", name)
+}
+
+// AllAreas returns the three built-in areas in the paper's order.
+func AllAreas() []*Area {
+	return []*Area{Intersection(), Airport(), Loop()}
+}

@@ -1,0 +1,245 @@
+package env
+
+import (
+	"math"
+	"testing"
+
+	"lumos5g/internal/geo"
+	"lumos5g/internal/radio"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTrajectoryLength(t *testing.T) {
+	tr := Trajectory{Waypoints: []geo.Point{{X: 0, Y: 0}, {X: 3, Y: 4}, {X: 3, Y: 14}}}
+	if l := tr.Length(); !approx(l, 15, 1e-12) {
+		t.Fatalf("length = %v", l)
+	}
+	loop := Trajectory{Loop: true, Waypoints: []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 10}, {X: 0, Y: 10}}}
+	if l := loop.Length(); !approx(l, 40, 1e-12) {
+		t.Fatalf("loop length = %v", l)
+	}
+}
+
+func TestTrajectoryAt(t *testing.T) {
+	tr := Trajectory{Waypoints: []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 10}}}
+	if p := tr.At(5); p != (geo.Point{X: 5, Y: 0}) {
+		t.Fatalf("At(5) = %v", p)
+	}
+	if p := tr.At(15); p != (geo.Point{X: 10, Y: 5}) {
+		t.Fatalf("At(15) = %v", p)
+	}
+	// Clamping.
+	if p := tr.At(-3); p != (geo.Point{X: 0, Y: 0}) {
+		t.Fatalf("At(-3) = %v", p)
+	}
+	if p := tr.At(100); p != (geo.Point{X: 10, Y: 10}) {
+		t.Fatalf("At(100) = %v", p)
+	}
+}
+
+func TestTrajectoryAtLoopWraps(t *testing.T) {
+	loop := Trajectory{Loop: true, Waypoints: []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 10}, {X: 0, Y: 10}}}
+	if p := loop.At(40); p != (geo.Point{X: 0, Y: 0}) {
+		t.Fatalf("wrap At(40) = %v", p)
+	}
+	if p := loop.At(35); p != (geo.Point{X: 0, Y: 5}) {
+		t.Fatalf("closing segment At(35) = %v", p)
+	}
+	if p := loop.At(-5); p != (geo.Point{X: 0, Y: 5}) {
+		t.Fatalf("negative wrap At(-5) = %v", p)
+	}
+}
+
+func TestTrajectoryHeading(t *testing.T) {
+	tr := Trajectory{Waypoints: []geo.Point{{X: 0, Y: 0}, {X: 0, Y: 100}}}
+	if h := tr.HeadingAt(50); !approx(h, 0, 1e-9) {
+		t.Fatalf("northbound heading = %v", h)
+	}
+	rev := tr.Reversed("rev")
+	if h := rev.HeadingAt(50); !approx(h, 180, 1e-9) {
+		t.Fatalf("southbound heading = %v", h)
+	}
+	// At the very end of a non-loop trajectory, heading looks backwards.
+	if h := tr.HeadingAt(100); !approx(h, 0, 1e-9) {
+		t.Fatalf("end heading = %v", h)
+	}
+}
+
+func TestTrajectoryDegenerate(t *testing.T) {
+	empty := Trajectory{}
+	if empty.At(5) != (geo.Point{}) || empty.Length() != 0 {
+		t.Fatal("empty trajectory")
+	}
+	single := Trajectory{Waypoints: []geo.Point{{X: 3, Y: 4}}}
+	if single.At(10) != (geo.Point{X: 3, Y: 4}) {
+		t.Fatal("single-point trajectory")
+	}
+}
+
+func TestReversedPreservesLength(t *testing.T) {
+	for _, a := range AllAreas() {
+		for _, tr := range a.Trajectories {
+			r := tr.Reversed(tr.Name + "-r")
+			if !approx(tr.Length(), r.Length(), 1e-9) {
+				t.Fatalf("%s/%s: reversed length mismatch", a.Name, tr.Name)
+			}
+		}
+	}
+}
+
+func TestAirportMatchesPaperGeometry(t *testing.T) {
+	a := Airport()
+	if !a.Indoor || a.DrivingSupported || !a.PanelInfoKnown {
+		t.Fatal("airport flags wrong")
+	}
+	if len(a.Radio.Panels) != 2 {
+		t.Fatal("airport has two head-on single panels")
+	}
+	d := a.Radio.Panels[0].Pos.Dist(a.Radio.Panels[1].Pos)
+	if !approx(d, 200, 1) {
+		t.Fatalf("panels %v m apart, paper says ~200 m", d)
+	}
+	// Head-on: facing directions differ by 180°.
+	if geo.AngularDiff(a.Radio.Panels[0].Facing, a.Radio.Panels[1].Facing) != 180 {
+		t.Fatal("panels should face each other")
+	}
+	// Trajectories: NB and SB, 324–369 m per Table 2.
+	if len(a.Trajectories) != 2 {
+		t.Fatal("airport has NB and SB")
+	}
+	for _, tr := range a.Trajectories {
+		if l := tr.Length(); l < 324 || l > 369 {
+			t.Fatalf("%s length %v outside Table 2 range", tr.Name, l)
+		}
+	}
+}
+
+func TestIntersectionMatchesPaperGeometry(t *testing.T) {
+	a := Intersection()
+	if a.Indoor || a.DrivingSupported || !a.PanelInfoKnown {
+		t.Fatal("intersection flags wrong")
+	}
+	// 3 dual-panel towers = 6 panels at 3 distinct positions.
+	if len(a.Radio.Panels) != 6 {
+		t.Fatalf("want 6 panels, got %d", len(a.Radio.Panels))
+	}
+	pos := map[geo.Point]int{}
+	for _, p := range a.Radio.Panels {
+		pos[p.Pos]++
+	}
+	if len(pos) != 3 {
+		t.Fatalf("want 3 tower positions, got %d", len(pos))
+	}
+	for p, n := range pos {
+		if n != 2 {
+			t.Fatalf("tower at %v has %d panels, want 2", p, n)
+		}
+	}
+	// 12 trajectories of 232–274 m (we use 260 m everywhere).
+	if len(a.Trajectories) != 12 {
+		t.Fatalf("want 12 trajectories, got %d", len(a.Trajectories))
+	}
+	for _, tr := range a.Trajectories {
+		if l := tr.Length(); l < 232 || l > 274 {
+			t.Fatalf("%s length %v outside Table 2 range", tr.Name, l)
+		}
+	}
+}
+
+func TestLoopMatchesPaperGeometry(t *testing.T) {
+	a := Loop()
+	if a.Indoor || !a.DrivingSupported || a.PanelInfoKnown {
+		t.Fatal("loop flags wrong")
+	}
+	for _, tr := range a.Trajectories {
+		if !tr.Loop {
+			t.Fatal("loop trajectories must close")
+		}
+		if l := tr.Length(); !approx(l, 1300, 1) {
+			t.Fatalf("loop length = %v, paper says 1300 m", l)
+		}
+	}
+	if len(a.StopPoints) == 0 {
+		t.Fatal("loop needs stop points (lights, rail crossing)")
+	}
+	for _, s := range a.StopPoints {
+		if s < 0 || s >= 1 {
+			t.Fatalf("stop point %v out of [0,1)", s)
+		}
+	}
+}
+
+func TestAreaByName(t *testing.T) {
+	for _, name := range []string{"Airport", "Intersection", "Loop"} {
+		a, err := AreaByName(name)
+		if err != nil || a.Name != name {
+			t.Fatalf("AreaByName(%s) = %v, %v", name, a, err)
+		}
+	}
+	if _, err := AreaByName("Mars"); err == nil {
+		t.Fatal("unknown area should error")
+	}
+}
+
+func TestRealize(t *testing.T) {
+	a := Airport()
+	env1, lte1 := a.Realize(7)
+	env2, lte2 := a.Realize(7)
+	if env1.Shadow == nil || lte1.Shadow == nil {
+		t.Fatal("Realize must attach shadow fields")
+	}
+	p := geo.Point{X: 1, Y: 100}
+	if env1.Shadow.At(310, p, 4) != env2.Shadow.At(310, p, 4) {
+		t.Fatal("same seed must realize identical shadowing")
+	}
+	env3, _ := a.Realize(8)
+	if env1.Shadow.At(310, p, 4) == env3.Shadow.At(310, p, 4) {
+		t.Fatal("different seeds should differ")
+	}
+	_ = lte2
+}
+
+func TestPanelIDsUnique(t *testing.T) {
+	seen := map[int]string{}
+	for _, a := range AllAreas() {
+		for _, p := range a.Radio.Panels {
+			if prev, dup := seen[p.ID]; dup {
+				t.Fatalf("panel ID %d reused in %s and %s", p.ID, prev, a.Name)
+			}
+			seen[p.ID] = a.Name
+		}
+	}
+}
+
+func TestAirportSouthPanelNLoSDip(t *testing.T) {
+	// The booths must block the south panel's ray at 50–100 m but clear
+	// beyond 100 m (Fig 11b).
+	a := Airport()
+	south := a.Radio.Panels[0]
+	if south.Name != "south" {
+		t.Fatal("panel order changed")
+	}
+	blockedAt := func(dist float64) bool {
+		ue := geo.Point{X: 1, Y: south.Pos.Y + dist}
+		_, nlos := radio.BlockageLossDB(a.Radio.Obstacles, south.Pos, ue, 38)
+		return nlos
+	}
+	if blockedAt(30) {
+		t.Fatal("30 m from south panel should be LoS")
+	}
+	if !blockedAt(75) {
+		t.Fatal("75 m from south panel should be NLoS (booths)")
+	}
+	if blockedAt(150) {
+		t.Fatal("150 m from south panel should regain LoS")
+	}
+}
+
+func TestAreaString(t *testing.T) {
+	for _, a := range AllAreas() {
+		if len(a.String()) == 0 {
+			t.Fatal("empty area string")
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package env
+
+import (
+	"lumos5g/internal/geo"
+	"lumos5g/internal/radio"
+)
+
+// rect returns the four wall segments of an axis-aligned building with the
+// given penetration loss.
+func rect(x0, y0, x1, y1, lossDB float64, name string) []radio.Obstacle {
+	a := geo.Point{X: x0, Y: y0}
+	b := geo.Point{X: x1, Y: y0}
+	c := geo.Point{X: x1, Y: y1}
+	d := geo.Point{X: x0, Y: y1}
+	return []radio.Obstacle{
+		{A: a, B: b, LossDB: lossDB, Name: name + "-s"},
+		{A: b, B: c, LossDB: lossDB, Name: name + "-e"},
+		{A: c, B: d, LossDB: lossDB, Name: name + "-n"},
+		{A: d, B: a, LossDB: lossDB, Name: name + "-w"},
+	}
+}
+
+// Intersection models the outdoor 4-way traffic intersection in downtown
+// Minneapolis (Table 2): two perpendicular streets, concrete high-rises on
+// all four corners, and three dual-panel 5G towers. The 12 trajectories
+// are the 4 straight crossings plus the 8 turning paths, each 230–270 m —
+// matching the paper's 12 walking trajectories of 232–274 m.
+func Intersection() *Area {
+	panels := []radio.Panel{
+		// Tower 1 on the EW street west of the crossing, dual-faced E/W.
+		{ID: 201, Pos: geo.Point{X: -18, Y: 8}, Facing: 90, Name: "T1-east"},
+		{ID: 202, Pos: geo.Point{X: -18, Y: 8}, Facing: 270, Name: "T1-west"},
+		// Tower 2 on the NS street south of the crossing, dual-faced N/S.
+		{ID: 203, Pos: geo.Point{X: 8, Y: -18}, Facing: 0, Name: "T2-north"},
+		{ID: 204, Pos: geo.Point{X: 8, Y: -18}, Facing: 180, Name: "T2-south"},
+		// Tower 3 on the NE corner pole, facing into and out of the
+		// intersection.
+		{ID: 205, Pos: geo.Point{X: 14, Y: 14}, Facing: 225, Name: "T3-sw"},
+		{ID: 206, Pos: geo.Point{X: 14, Y: 14}, Facing: 45, Name: "T3-ne"},
+	}
+
+	var obstacles []radio.Obstacle
+	obstacles = append(obstacles, rect(12, 12, 95, 95, 30, "bldg-ne")...)
+	obstacles = append(obstacles, rect(-95, 12, -12, 95, 32, "bldg-nw")...)
+	obstacles = append(obstacles, rect(-95, -95, -12, -12, 31, "bldg-sw")...)
+	obstacles = append(obstacles, rect(12, -95, 95, -12, 29, "bldg-se")...)
+	// Street furniture / transit shelter creating a small stable shadow.
+	obstacles = append(obstacles, radio.Obstacle{
+		A: geo.Point{X: -40, Y: -7}, B: geo.Point{X: -28, Y: -7}, LossDB: 15, Name: "shelter",
+	})
+
+	const arm = 130.0
+	const walk = 6.0 // sidewalk offset from street centerline
+	straight := []Trajectory{
+		{Name: "W-E", Waypoints: []geo.Point{{X: -arm, Y: -walk}, {X: arm, Y: -walk}}},
+		{Name: "E-W", Waypoints: []geo.Point{{X: arm, Y: walk}, {X: -arm, Y: walk}}},
+		{Name: "S-N", Waypoints: []geo.Point{{X: walk, Y: -arm}, {X: walk, Y: arm}}},
+		{Name: "N-S", Waypoints: []geo.Point{{X: -walk, Y: arm}, {X: -walk, Y: -arm}}},
+	}
+	turns := []Trajectory{
+		{Name: "W-N", Waypoints: []geo.Point{{X: -arm, Y: -walk}, {X: -walk, Y: -walk}, {X: -walk, Y: arm}}},
+		{Name: "W-S", Waypoints: []geo.Point{{X: -arm, Y: -walk}, {X: walk, Y: -walk}, {X: walk, Y: -arm}}},
+		{Name: "E-N", Waypoints: []geo.Point{{X: arm, Y: walk}, {X: -walk, Y: walk}, {X: -walk, Y: arm}}},
+		{Name: "E-S", Waypoints: []geo.Point{{X: arm, Y: walk}, {X: walk, Y: walk}, {X: walk, Y: -arm}}},
+		{Name: "S-E", Waypoints: []geo.Point{{X: walk, Y: -arm}, {X: walk, Y: -walk}, {X: arm, Y: -walk}}},
+		{Name: "S-W", Waypoints: []geo.Point{{X: walk, Y: -arm}, {X: walk, Y: walk}, {X: -arm, Y: walk}}},
+		{Name: "N-E", Waypoints: []geo.Point{{X: -walk, Y: arm}, {X: -walk, Y: walk}, {X: arm, Y: walk}}},
+		{Name: "N-W", Waypoints: []geo.Point{{X: -walk, Y: arm}, {X: -walk, Y: -walk}, {X: -arm, Y: -walk}}},
+	}
+
+	return &Area{
+		Name: "Intersection",
+		Radio: radio.Environment{
+			Panels:    panels,
+			Obstacles: obstacles,
+			// Outdoors each panel's propagation path is distinct; only a
+			// modest shared component (street furniture, crowds).
+			ShadowShare: 0.3,
+		},
+		LTEAnchor:        geo.Point{X: -18, Y: 8},
+		Frame:            geo.Frame{Origin: geo.LatLon{Lat: 44.9762, Lon: -93.2710}},
+		Trajectories:     append(straight, turns...),
+		DrivingSupported: false,
+		PanelInfoKnown:   true,
+	}
+}

@@ -1,0 +1,75 @@
+package env
+
+import (
+	"lumos5g/internal/geo"
+	"lumos5g/internal/radio"
+)
+
+// Loop models the 1300 m loop near U.S. Bank Stadium (Table 2): a
+// 400 m × 250 m circuit covering roads, railroad crossings, traffic
+// signals, restaurants and a public park. Both walking and driving passes
+// are collected here (§4.6), with driving speeds 0–45 km/h and stops at
+// the lights/rail crossing.
+//
+// The paper could not reliably survey this area's panel locations, so
+// PanelInfoKnown is false and tower-based (T) features are never emitted
+// for Loop records — reproducing the "-" cells of Tables 7–8.
+func Loop() *Area {
+	// Each tower carries two opposite-facing panels (the paper observed
+	// one to three panels per tower), so pedestrians walking either
+	// direction along a covered street face some panel. The west edge
+	// borders the public park: no panel serves it well, creating the
+	// paper's dead-zone where UEs fall back to LTE.
+	panels := []radio.Panel{
+		{ID: 401, Pos: geo.Point{X: 70, Y: -8}, Facing: 90, Name: "south-st-e"},
+		{ID: 402, Pos: geo.Point{X: 70, Y: -8}, Facing: 270, Name: "south-st-w"},
+		{ID: 403, Pos: geo.Point{X: 300, Y: -8}, Facing: 90, Name: "south-st2-e"},
+		{ID: 404, Pos: geo.Point{X: 300, Y: -8}, Facing: 270, Name: "south-st2-w"},
+		{ID: 405, Pos: geo.Point{X: 408, Y: 70}, Facing: 0, Name: "east-st-n"},
+		{ID: 406, Pos: geo.Point{X: 408, Y: 70}, Facing: 180, Name: "east-st-s"},
+		{ID: 407, Pos: geo.Point{X: 330, Y: 258}, Facing: 270, Name: "north-st-w"},
+		{ID: 408, Pos: geo.Point{X: 330, Y: 258}, Facing: 90, Name: "north-st-e"},
+		{ID: 409, Pos: geo.Point{X: 120, Y: 258}, Facing: 90, Name: "north-st2-e"},
+		{ID: 410, Pos: geo.Point{X: 120, Y: 258}, Facing: 270, Name: "north-st2-w"},
+	}
+
+	var obstacles []radio.Obstacle
+	// High-rise block inside the loop: blocks cross-loop rays so each
+	// panel effectively covers only its own street.
+	obstacles = append(obstacles, rect(140, 70, 280, 180, 33, "tower-block")...)
+	// Stadium-side structures along the north edge.
+	obstacles = append(obstacles, rect(60, 190, 130, 240, 28, "stadium-annex")...)
+	// Restaurant row near the SE corner (lighter structures).
+	obstacles = append(obstacles, radio.Obstacle{
+		A: geo.Point{X: 300, Y: 12}, B: geo.Point{X: 360, Y: 12}, LossDB: 16, Name: "restaurants",
+	})
+	// Tree line along the park (west edge): foliage loss.
+	obstacles = append(obstacles, radio.Obstacle{
+		A: geo.Point{X: 12, Y: 40}, B: geo.Point{X: 12, Y: 210}, LossDB: 17, Name: "park-trees",
+	})
+
+	circuit := Trajectory{
+		Name: "LOOP",
+		Loop: true,
+		Waypoints: []geo.Point{
+			{X: 0, Y: 0}, {X: 400, Y: 0}, {X: 400, Y: 250}, {X: 0, Y: 250},
+		},
+	}
+
+	return &Area{
+		Name: "Loop",
+		Radio: radio.Environment{
+			Panels:      panels,
+			Obstacles:   obstacles,
+			ShadowShare: 0.3,
+		},
+		LTEAnchor:        geo.Point{X: 200, Y: 125},
+		Frame:            geo.Frame{Origin: geo.LatLon{Lat: 44.9735, Lon: -93.2575}},
+		Trajectories:     []Trajectory{circuit, circuit.Reversed("LOOP-R")},
+		DrivingSupported: true,
+		PanelInfoKnown:   false,
+		// Traffic lights at three corners plus the rail crossing on the
+		// east edge, as fractions of the 1300 m circuit.
+		StopPoints: []float64{0.305, 0.385, 0.5, 0.81},
+	}
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"sync"
+
+	"lumos5g/internal/core"
+	"lumos5g/internal/dataset"
+	"lumos5g/internal/env"
+	"lumos5g/internal/features"
+	"lumos5g/internal/ml/forest"
+	"lumos5g/internal/ml/gbdt"
+	"lumos5g/internal/ml/knn"
+	"lumos5g/internal/ml/nn"
+	"lumos5g/internal/sim"
+)
+
+// Profile selects the fidelity/runtime trade-off of the harness.
+type Profile string
+
+const (
+	// ProfileQuick is the default for `go test -bench`: a reduced
+	// campaign and scaled-down models that still reproduce every
+	// qualitative result (who wins, rough factors, crossovers).
+	ProfileQuick Profile = "quick"
+	// ProfilePaper is closer to the paper's campaign size and
+	// hyper-parameters; expect long runtimes.
+	ProfilePaper Profile = "paper"
+)
+
+// Options configures a Lab.
+type Options struct {
+	Profile Profile
+	Seed    uint64
+}
+
+// Campaign returns the campaign configuration for the profile.
+func (o Options) Campaign() sim.Config {
+	switch o.Profile {
+	case ProfilePaper:
+		cfg := sim.DefaultConfig()
+		cfg.Seed = o.seed()
+		return cfg
+	default:
+		return sim.Config{
+			Seed:               o.seed(),
+			WalkPasses:         8,
+			DrivePasses:        8,
+			StationarySessions: 4,
+			BackgroundUEProb:   0.12,
+		}
+	}
+}
+
+// ModelScale returns the model hyper-parameters for the profile.
+func (o Options) ModelScale() core.Scale {
+	switch o.Profile {
+	case ProfilePaper:
+		return core.Scale{
+			// The paper's 8000×depth-8×lr-0.01 GDBT, scaled ~10×: the
+			// product estimators×lr is preserved (80 vs 80).
+			GBDT: gbdt.Config{Estimators: 800, LearningRate: 0.1, MaxDepth: 8, MinLeaf: 8},
+			RF:   forest.Config{Trees: 60, MaxDepth: 12, FeatureFrac: 0.5},
+			KNN:  knn.Config{K: 10},
+			Seq2Seq: nn.Seq2SeqConfig{
+				Hidden: 48, Layers: 2, Epochs: 40, Batch: 64, LR: 5e-3,
+			},
+			SeqLen:      20,
+			SeqTrainCap: 8000,
+			Seed:        o.seed(),
+		}
+	default:
+		return core.Scale{
+			GBDT: gbdt.Config{Estimators: 300, LearningRate: 0.1, MaxDepth: 8, MinLeaf: 2},
+			RF:   forest.Config{Trees: 30, MaxDepth: 10, FeatureFrac: 0.5},
+			KNN:  knn.Config{K: 10},
+			Seq2Seq: nn.Seq2SeqConfig{
+				Hidden: 20, Layers: 2, Epochs: 22, Batch: 32, LR: 8e-3,
+			},
+			SeqLen:      20,
+			SeqTrainCap: 2500,
+			Seed:        o.seed(),
+		}
+	}
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Lab generates and caches the campaign datasets that the experiments
+// share, so the full table/figure suite simulates each area only once.
+type Lab struct {
+	opt Options
+
+	mu      sync.Mutex
+	cleaned map[string]*dataset.Dataset
+	raw     map[string]*dataset.Dataset
+	evals   map[evalKey]core.Result
+}
+
+// evalKey identifies one memoised model evaluation.
+type evalKey struct {
+	dataset string
+	group   features.Group
+	model   core.ModelKind
+}
+
+// NewLab creates a lab for the given options.
+func NewLab(opt Options) *Lab {
+	return &Lab{
+		opt:     opt,
+		cleaned: map[string]*dataset.Dataset{},
+		raw:     map[string]*dataset.Dataset{},
+		evals:   map[evalKey]core.Result{},
+	}
+}
+
+// Options returns the lab's options.
+func (l *Lab) Options() Options { return l.opt }
+
+// Scale returns the model scale for this lab.
+func (l *Lab) Scale() core.Scale { return l.opt.ModelScale() }
+
+// Area returns the cleaned dataset for one area, simulating on first use.
+func (l *Lab) Area(name string) *dataset.Dataset {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if d, ok := l.cleaned[name]; ok {
+		return d
+	}
+	l.simulateLocked(name)
+	return l.cleaned[name]
+}
+
+// RawArea returns the pre-filtering dataset for one area.
+func (l *Lab) RawArea(name string) *dataset.Dataset {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if d, ok := l.raw[name]; ok {
+		return d
+	}
+	l.simulateLocked(name)
+	return l.raw[name]
+}
+
+func (l *Lab) simulateLocked(name string) {
+	a, err := env.AreaByName(name)
+	if err != nil {
+		panic(err) // programmer error: fixed area names
+	}
+	raw := sim.RunArea(a, l.opt.Campaign())
+	clean, _ := raw.QualityFilter()
+	l.raw[name] = raw
+	l.cleaned[name] = clean
+}
+
+// Eval evaluates (and memoises) one model × feature group on a named
+// dataset ("Airport", "Intersection", "Loop" or "Global"). Tables 7, 8
+// and 9 share fits through this cache.
+func (l *Lab) Eval(dsName string, g features.Group, kind core.ModelKind) core.Result {
+	key := evalKey{dsName, g, kind}
+	l.mu.Lock()
+	if res, ok := l.evals[key]; ok {
+		l.mu.Unlock()
+		return res
+	}
+	l.mu.Unlock()
+
+	var d *dataset.Dataset
+	if dsName == "Global" {
+		d = l.Global()
+	} else {
+		d = l.Area(dsName)
+	}
+	res := core.Evaluate(d, g, kind, l.Scale())
+
+	l.mu.Lock()
+	l.evals[key] = res
+	l.mu.Unlock()
+	return res
+}
+
+// Global returns the paper's Global dataset (areas with surveyed panels).
+func (l *Lab) Global() *dataset.Dataset {
+	return core.GlobalDataset(map[string]*dataset.Dataset{
+		"Intersection": l.Area("Intersection"),
+		"Airport":      l.Area("Airport"),
+	})
+}
+
+// All returns the merged dataset of all three areas.
+func (l *Lab) All() *dataset.Dataset {
+	return dataset.Merge(l.Area("Intersection"), l.Area("Airport"), l.Area("Loop"))
+}

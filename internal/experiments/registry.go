@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is one reproducible artifact of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(*Lab) *Report
+}
+
+// Registry lists every experiment in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"fig1", "Sample throughput traces (Figs 1-2)", Fig1},
+		{"tab2", "Area inventory (Table 2)", Tab2},
+		{"tab3", "Dataset statistics (Table 3)", Tab3},
+		{"fig6", "Throughput maps (Fig 6)", Fig6},
+		{"tab5", "Pairwise grid tests (Table 5, Fig 7)", Tab5},
+		{"tab4", "Factor analysis, indoor (Table 4)", Tab4},
+		{"tab10", "Factor analysis, outdoor (Table 10)", Tab10},
+		{"fig8", "Mobility angle impact (Figs 8, 18)", Fig8},
+		{"fig9", "Direction maps + Spearman (Figs 9-10)", Fig9},
+		{"fig11", "Distance impact (Fig 11)", Fig11},
+		{"fig13", "Positional angle impact (Fig 13)", Fig13},
+		{"fig14", "Speed impact (Fig 14)", Fig14},
+		{"tab7", "Classification grid (Table 7)", Tab7},
+		{"tab8", "Regression grid (Table 8)", Tab8},
+		{"fig16", "Prediction plots (Fig 16)", Fig16},
+		{"tab9", "Baseline comparison (Table 9)", Tab9},
+		{"transfer", "Transferability (§6.2)", Transfer},
+		{"fig22", "Feature importance (Fig 22)", Fig22},
+		{"fig23", "Per-area comparison (Fig 23)", Fig23},
+		{"fig21", "Congestion experiment (Fig 21)", Fig21},
+		{"a4", "4G vs 5G predictability (§A.4)", A4},
+		// Extensions: the research opportunities the paper names in §5.2,
+		// §8.1 and §A.1.4.
+		{"horizon", "Multi-step prediction horizon (§5.2 ext)", Horizon},
+		{"temporal", "Temporal/environmental generalizability (§8.1 ext)", Temporal},
+		{"sensitivity", "Feature-inaccuracy sensitivity (§8.1 ext)", Sensitivity},
+		{"carrier", "Carrier-assisted panel load (§A.1.4 ext)", Carrier},
+		{"crossarea", "Cross-area T+M transfer (§6.2/§7 ext)", CrossArea},
+		{"classifier", "Native vs threshold classification", NativeClassifier},
+		{"abr", "5G-aware ABR streaming (§8.2 ext)", ABR},
+		{"crowd", "Crowdsourced participation curve (§8.2 ext)", Crowd},
+		{"lstm", "Seq2Seq vs single-shot LSTM ([45] baseline)", LSTMBaseline},
+	}
+}
+
+// ByID returns one experiment by key.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0)
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}

@@ -1,0 +1,74 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the simulated campaign: the trace figures (Figs 1–2),
+// dataset statistics (Tables 2–3), throughput maps (Figs 6, 9), the
+// statistical factor analysis (Tables 4, 5, 10; Figs 7–14), the model
+// grids (Tables 7–9; Figs 16, 22, 23), the transferability analysis
+// (§6.2), the congestion experiment (Fig 21) and the 4G-vs-5G comparison
+// (§A.4). Each experiment emits a Report with printable rows and a map of
+// named values that tests and EXPERIMENTS.md assert against.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is the outcome of one experiment.
+type Report struct {
+	// ID is the experiment key ("tab7", "fig14", ...).
+	ID string
+	// Title echoes the paper artifact.
+	Title string
+	// Lines is the printable body (paper-style rows).
+	Lines []string
+	// Values holds named numeric results for programmatic assertions,
+	// e.g. "GDBT/L+M/MAE" or "walking/median".
+	Values map[string]float64
+}
+
+// NewReport creates an empty report.
+func NewReport(id, title string) *Report {
+	return &Report{ID: id, Title: title, Values: map[string]float64{}}
+}
+
+// Printf appends a formatted line.
+func (r *Report) Printf(format string, args ...interface{}) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// Set records a named value.
+func (r *Report) Set(key string, v float64) { r.Values[key] = v }
+
+// Get returns a named value (NaN-safe zero default keeps assertions
+// explicit: tests must check ok).
+func (r *Report) Get(key string) (float64, bool) {
+	v, ok := r.Values[key]
+	return v, ok
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ValuesString renders the named values sorted by key (for EXPERIMENTS.md
+// appendices and debugging).
+func (r *Report) ValuesString() string {
+	keys := make([]string, 0, len(r.Values))
+	for k := range r.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s = %.4f\n", k, r.Values[k])
+	}
+	return b.String()
+}

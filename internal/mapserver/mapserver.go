@@ -1,0 +1,168 @@
+// Package mapserver exposes a 5G throughput map and its companion ML
+// model over HTTP — the service side of the paper's Fig 4 scenario, where
+// "UEs automatically download 5G throughput maps with ML models based on
+// their geographic locations" (§2.3), and of the user-carrier
+// collaborative platform of §8.2.
+//
+// Routes:
+//
+//	GET /healthz          liveness probe
+//	GET /map.svg          the Fig 3c heatmap as SVG
+//	GET /cells.json       per-cell statistics as JSON
+//	GET /model            the downloadable predictor (gob payload)
+//	GET /predict?lat=..&lon=..&speed=..&bearing=..
+//	                      server-side throughput prediction as JSON
+package mapserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"lumos5g"
+	"lumos5g/internal/geo"
+)
+
+// Server bundles the published artifacts.
+type Server struct {
+	tm   *lumos5g.ThroughputMap
+	pred *lumos5g.Predictor
+	mux  *http.ServeMux
+}
+
+// New creates a handler for the given map and (optionally nil) predictor.
+// The predictor must use the L or L+M feature group: those are the only
+// groups whose features a bare /predict query can supply.
+func New(tm *lumos5g.ThroughputMap, pred *lumos5g.Predictor) (*Server, error) {
+	if tm == nil {
+		return nil, fmt.Errorf("mapserver: nil throughput map")
+	}
+	if pred != nil {
+		if g := pred.Group(); g != lumos5g.GroupL && g != lumos5g.GroupLM {
+			return nil, fmt.Errorf("mapserver: /predict supports L or L+M predictors, not %s", g)
+		}
+	}
+	s := &Server{tm: tm, pred: pred, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/map.svg", s.handleSVG)
+	s.mux.HandleFunc("/cells.json", s.handleCells)
+	s.mux.HandleFunc("/model", s.handleModel)
+	s.mux.HandleFunc("/predict", s.handlePredict)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"ok":true,"cells":%d}`, len(s.tm.Cells))
+}
+
+func (s *Server) handleSVG(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "image/svg+xml")
+	_, _ = w.Write([]byte(s.tm.RenderSVG(6)))
+}
+
+// cellJSON is the wire form of one map cell.
+type cellJSON struct {
+	Col        int     `json:"col"`
+	Row        int     `json:"row"`
+	MeanMbps   float64 `json:"mean_mbps"`
+	MedianMbps float64 `json:"median_mbps"`
+	CV         float64 `json:"cv"`
+	N          int     `json:"n"`
+	NRFraction float64 `json:"nr_fraction"`
+}
+
+func (s *Server) handleCells(w http.ResponseWriter, _ *http.Request) {
+	cells := s.tm.SortedCells()
+	out := make([]cellJSON, len(cells))
+	for i, c := range cells {
+		out[i] = cellJSON{
+			Col: c.Key.Col, Row: c.Key.Row,
+			MeanMbps: c.MeanMbps, MedianMbps: c.MedianMbps,
+			CV: c.CV, N: c.N, NRFraction: c.NRFraction,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
+	if s.pred == nil {
+		http.Error(w, "no model published", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="lumos5g-model.gob"`)
+	if err := s.pred.Save(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// predictResponse is the /predict wire form.
+type predictResponse struct {
+	Mbps  float64 `json:"mbps"`
+	Class string  `json:"class"`
+	Group string  `json:"group"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if s.pred == nil {
+		http.Error(w, "no model published", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	lat, err1 := strconv.ParseFloat(q.Get("lat"), 64)
+	lon, err2 := strconv.ParseFloat(q.Get("lon"), 64)
+	if err1 != nil || err2 != nil {
+		http.Error(w, "lat and lon are required floats", http.StatusBadRequest)
+		return
+	}
+	px := geo.Pixelize(geo.LatLon{Lat: lat, Lon: lon}, geo.DefaultZoom)
+
+	// Assemble the feature vector by name so the handler stays correct
+	// if the group's column layout evolves.
+	vals := map[string]float64{
+		"pixel_x": float64(px.X),
+		"pixel_y": float64(px.Y),
+	}
+	if s.pred.Group() == lumos5g.GroupLM {
+		speed, err := strconv.ParseFloat(q.Get("speed"), 64)
+		if err != nil {
+			http.Error(w, "speed (km/h) is required for L+M models", http.StatusBadRequest)
+			return
+		}
+		bearing, err := strconv.ParseFloat(q.Get("bearing"), 64)
+		if err != nil {
+			http.Error(w, "bearing (degrees) is required for L+M models", http.StatusBadRequest)
+			return
+		}
+		rad := math.Pi / 180
+		vals["moving_speed"] = speed
+		vals["compass_sin"] = math.Sin(bearing * rad)
+		vals["compass_cos"] = math.Cos(bearing * rad)
+	}
+	names := s.pred.FeatureNames()
+	x := make([]float64, len(names))
+	for i, n := range names {
+		v, ok := vals[n]
+		if !ok {
+			http.Error(w, "model requires unsupported feature "+n, http.StatusInternalServerError)
+			return
+		}
+		x[i] = v
+	}
+	mbps := s.pred.Predict(x)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(predictResponse{
+		Mbps:  mbps,
+		Class: lumos5g.ClassOf(mbps).String(),
+		Group: s.pred.Group().String(),
+	})
+}

@@ -1,0 +1,102 @@
+// Package forest implements a random-forest regressor, one of the
+// 3G/4G-era baselines the paper compares against (Alimpertis et al. [20]
+// used random forests for city-wide LTE signal-strength maps).
+package forest
+
+import (
+	"lumos5g/internal/ml"
+	"lumos5g/internal/ml/tree"
+	"lumos5g/internal/rng"
+)
+
+// Config holds forest hyper-parameters.
+type Config struct {
+	// Trees is the ensemble size. <=0 means 50.
+	Trees int
+	// MaxDepth bounds each tree. <=0 means 12.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf. <=0 means 3.
+	MinLeaf int
+	// FeatureFrac is the per-split feature fraction. <=0 means 0.6.
+	FeatureFrac float64
+	// Seed drives bootstrap and feature sampling.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Trees <= 0 {
+		c.Trees = 50
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 3
+	}
+	if c.FeatureFrac <= 0 || c.FeatureFrac > 1 {
+		c.FeatureFrac = 0.6
+	}
+	return c
+}
+
+// Model is a fitted random forest.
+type Model struct {
+	cfg   Config
+	trees []*tree.Tree
+}
+
+// New creates an unfitted forest.
+func New(cfg Config) *Model {
+	return &Model{cfg: cfg.withDefaults()}
+}
+
+// Fit trains the ensemble on bootstrap resamples.
+func (m *Model) Fit(X [][]float64, y []float64) error {
+	if err := ml.ValidateXY(X, y); err != nil {
+		return err
+	}
+	cfg := m.cfg
+	m.trees = m.trees[:0]
+	binner := tree.NewBinner(X, tree.MaxBins)
+	binned := binner.BinMatrix(X)
+	src := rng.New(cfg.Seed).SplitLabeled("forest")
+	n := len(y)
+	for k := 0; k < cfg.Trees; k++ {
+		// Bootstrap sample with replacement.
+		rows := make([]int, n)
+		for i := range rows {
+			rows[i] = src.Intn(n)
+		}
+		t, err := tree.Grow(binned, binner, y, rows, tree.Options{
+			MaxDepth:    cfg.MaxDepth,
+			MinLeaf:     cfg.MinLeaf,
+			FeatureFrac: cfg.FeatureFrac,
+			Rng:         src.Split(),
+		})
+		if err != nil {
+			return err
+		}
+		m.trees = append(m.trees, t)
+	}
+	return nil
+}
+
+// Predict averages the trees' estimates.
+func (m *Model) Predict(x []float64) float64 {
+	if len(m.trees) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, t := range m.trees {
+		sum += t.Predict(x)
+	}
+	return sum / float64(len(m.trees))
+}
+
+// PredictClass maps the regression output to a throughput class.
+func (m *Model) PredictClass(x []float64) ml.Class {
+	return ml.ClassOf(m.Predict(x))
+}
+
+// NumTrees returns the fitted ensemble size.
+func (m *Model) NumTrees() int { return len(m.trees) }

@@ -1,0 +1,112 @@
+package gbdt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lumos5g/internal/ml/tree"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	X, y := synthData(1, 1500)
+	m := New(Config{Estimators: 40, MaxDepth: 4, Seed: 2})
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical predictions on fresh inputs.
+	Xt, _ := synthData(3, 200)
+	for _, x := range Xt {
+		if m.Predict(x) != back.Predict(x) {
+			t.Fatal("loaded model predicts differently")
+		}
+	}
+	// Feature importance survives.
+	a, err := m.FeatureImportance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.FeatureImportance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("importance changed across save/load")
+		}
+	}
+	if back.NumFeatures() != 3 {
+		t.Fatalf("NumFeatures = %d", back.NumFeatures())
+	}
+}
+
+func TestSaveUnfitted(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(Config{}).Save(&buf); err == nil {
+		t.Fatal("saving an unfitted model should error")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a gob payload")); err == nil {
+		t.Fatal("garbage should error")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty payload should error")
+	}
+}
+
+func TestTreeImportValidation(t *testing.T) {
+	// Out-of-range child.
+	if _, err := tree.Import(tree.TreeDTO{Nodes: []tree.NodeDTO{
+		{Feature: 0, Threshold: 1, Left: 5, Right: 1},
+		{Feature: -1, Value: 2},
+	}}); err == nil {
+		t.Fatal("out-of-range child should error")
+	}
+	// Self-link / non-preorder.
+	if _, err := tree.Import(tree.TreeDTO{Nodes: []tree.NodeDTO{
+		{Feature: 0, Threshold: 1, Left: 0, Right: 1},
+		{Feature: -1, Value: 2},
+	}}); err == nil {
+		t.Fatal("self-link should error")
+	}
+	if _, err := tree.Import(tree.TreeDTO{Nodes: nil}); err == nil {
+		t.Fatal("empty tree should error")
+	}
+	// Valid single leaf.
+	leaf, err := tree.Import(tree.TreeDTO{Nodes: []tree.NodeDTO{{Feature: -1, Value: 7}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaf.Predict([]float64{0}) != 7 {
+		t.Fatal("leaf prediction")
+	}
+}
+
+func TestTreeExportImportRoundTrip(t *testing.T) {
+	X, y := synthData(5, 400)
+	m := New(Config{Estimators: 3, MaxDepth: 4, Seed: 6})
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range m.trees {
+		back, err := tree.Import(tr.Export())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range X[:50] {
+			if tr.Predict(x) != back.Predict(x) {
+				t.Fatal("tree round trip changed predictions")
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package hm implements the history-based Harmonic Mean predictor used by
+// adaptive video streaming systems (FESTIVE [38], the control-theoretic
+// ABR of Yin et al. [64]) and evaluated by the paper as the in-situ
+// baseline: the predicted next-slot throughput is the harmonic mean of the
+// last w observed throughputs. It needs no training and no features beyond
+// past throughput.
+package hm
+
+import "errors"
+
+// DefaultWindow is the history length (FESTIVE uses the last 5–20
+// samples; 5 is the common ABR choice).
+const DefaultWindow = 5
+
+// Predictor computes harmonic-mean forecasts.
+type Predictor struct {
+	// Window is the number of past samples used. <=0 means DefaultWindow.
+	Window int
+}
+
+// New creates a predictor with the given window.
+func New(window int) *Predictor {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Predictor{Window: window}
+}
+
+// Predict returns the harmonic mean of the last Window values of history.
+// Zero samples (outages) are floored at a small epsilon so a single
+// stalled second does not pin the forecast to zero forever — matching how
+// ABR implementations guard the harmonic mean.
+func (p *Predictor) Predict(history []float64) (float64, error) {
+	if len(history) == 0 {
+		return 0, errors.New("hm: empty history")
+	}
+	w := p.Window
+	if w <= 0 {
+		w = DefaultWindow
+	}
+	if len(history) < w {
+		w = len(history)
+	}
+	const eps = 0.1 // Mbps floor
+	var invSum float64
+	for _, v := range history[len(history)-w:] {
+		if v < eps {
+			v = eps
+		}
+		invSum += 1 / v
+	}
+	return float64(w) / invSum, nil
+}
+
+// PredictSeries walks a throughput trace and emits the one-step-ahead
+// harmonic-mean forecast for every position from index `warm` onward
+// (forecast[i] predicts trace[i] from trace[:i]). It returns the aligned
+// (predictions, truths) pair used to score HM in Table 9.
+func (p *Predictor) PredictSeries(trace []float64, warm int) (pred, truth []float64) {
+	if warm < 1 {
+		warm = 1
+	}
+	for i := warm; i < len(trace); i++ {
+		f, err := p.Predict(trace[:i])
+		if err != nil {
+			continue
+		}
+		pred = append(pred, f)
+		truth = append(truth, trace[i])
+	}
+	return pred, truth
+}

@@ -1,0 +1,94 @@
+package hm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHarmonicMeanKnown(t *testing.T) {
+	p := New(3)
+	// HM of {2, 4, 4} = 3 / (1/2 + 1/4 + 1/4) = 3.
+	got, err := p.Predict([]float64{999, 2, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-3) > 1e-12 {
+		t.Fatalf("HM = %v, want 3", got)
+	}
+}
+
+func TestHMUsesOnlyWindow(t *testing.T) {
+	p := New(2)
+	got, _ := p.Predict([]float64{1000, 1000, 10, 10})
+	if math.Abs(got-10) > 1e-12 {
+		t.Fatalf("window ignored: %v", got)
+	}
+}
+
+func TestHMShortHistory(t *testing.T) {
+	p := New(5)
+	got, err := p.Predict([]float64{8})
+	if err != nil || got != 8 {
+		t.Fatalf("single sample HM = %v, %v", got, err)
+	}
+}
+
+func TestHMEmptyHistory(t *testing.T) {
+	if _, err := New(5).Predict(nil); err == nil {
+		t.Fatal("empty history should error")
+	}
+}
+
+func TestHMPenalizesDips(t *testing.T) {
+	// The harmonic mean is dominated by small values — that conservatism
+	// is why ABR systems use it, and why wild 5G fluctuation hurts it.
+	p := New(4)
+	steady, _ := p.Predict([]float64{500, 500, 500, 500})
+	dipped, _ := p.Predict([]float64{500, 500, 500, 10})
+	if dipped >= steady/3 {
+		t.Fatalf("a dip should crush the HM: steady=%v dipped=%v", steady, dipped)
+	}
+}
+
+func TestHMZeroGuard(t *testing.T) {
+	p := New(3)
+	got, err := p.Predict([]float64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 || math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("zero history should floor, got %v", got)
+	}
+}
+
+func TestHMDefaultWindow(t *testing.T) {
+	p := New(0)
+	if p.Window != DefaultWindow {
+		t.Fatalf("default window = %d", p.Window)
+	}
+}
+
+func TestPredictSeriesAlignment(t *testing.T) {
+	trace := []float64{100, 200, 300, 400, 500}
+	p := New(2)
+	pred, truth := p.PredictSeries(trace, 2)
+	if len(pred) != 3 || len(truth) != 3 {
+		t.Fatalf("series lengths: %d, %d", len(pred), len(truth))
+	}
+	// First forecast predicts trace[2]=300 from {100,200}: HM = 133.3.
+	if math.Abs(truth[0]-300) > 1e-12 {
+		t.Fatalf("truth[0] = %v", truth[0])
+	}
+	wantHM := 2 / (1.0/100 + 1.0/200)
+	if math.Abs(pred[0]-wantHM) > 1e-9 {
+		t.Fatalf("pred[0] = %v, want %v", pred[0], wantHM)
+	}
+}
+
+func TestPredictSeriesShortTrace(t *testing.T) {
+	p := New(5)
+	pred, truth := p.PredictSeries([]float64{42}, 1)
+	if len(pred) != 0 || len(truth) != 0 {
+		t.Fatal("one-sample trace yields no forecasts")
+	}
+}

@@ -1,0 +1,185 @@
+// Package knn implements a k-nearest-neighbour regressor over a KD-tree,
+// one of the classical baselines the paper evaluates (§6.3). Features are
+// rank-gaussian scaled internally (ml.QuantileScaler) so distance is
+// meaningful across heterogeneous units (pixels, degrees, dB) and across
+// multi-modal feature distributions such as Global-dataset pixel
+// coordinates.
+package knn
+
+import (
+	"container/heap"
+	"sort"
+
+	"lumos5g/internal/ml"
+)
+
+// Config holds KNN hyper-parameters.
+type Config struct {
+	// K is the neighbour count. <=0 means 10.
+	K int
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = 10
+	}
+	return c
+}
+
+// Model is a fitted KNN regressor.
+type Model struct {
+	cfg    Config
+	scaler *ml.QuantileScaler
+	pts    [][]float64 // rank-gaussian-scaled training points
+	y      []float64
+	root   *kdNode
+}
+
+// New creates an unfitted model.
+func New(cfg Config) *Model {
+	return &Model{cfg: cfg.withDefaults()}
+}
+
+type kdNode struct {
+	idx   int
+	dim   int
+	left  *kdNode
+	right *kdNode
+}
+
+// Fit stores the standardised training set and builds the KD-tree.
+func (m *Model) Fit(X [][]float64, y []float64) error {
+	if err := ml.ValidateXY(X, y); err != nil {
+		return err
+	}
+	m.scaler = ml.FitQuantileScaler(X)
+	m.pts = make([][]float64, len(X))
+	for i, row := range X {
+		m.pts[i] = m.scaler.Transform(row)
+	}
+	m.y = append([]float64(nil), y...)
+
+	idxs := make([]int, len(X))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	m.root = m.build(idxs, 0)
+	return nil
+}
+
+func (m *Model) build(idxs []int, depth int) *kdNode {
+	if len(idxs) == 0 {
+		return nil
+	}
+	dim := depth % m.scaler.NumFeatures()
+	sort.Slice(idxs, func(a, b int) bool {
+		return m.pts[idxs[a]][dim] < m.pts[idxs[b]][dim]
+	})
+	mid := len(idxs) / 2
+	return &kdNode{
+		idx:   idxs[mid],
+		dim:   dim,
+		left:  m.build(idxs[:mid], depth+1),
+		right: m.build(idxs[mid+1:], depth+1),
+	}
+}
+
+// neighborHeap is a max-heap on distance so the worst of the current k
+// neighbours is evicted first.
+type neighborHeap []neighbor
+
+type neighbor struct {
+	idx  int
+	dist float64
+}
+
+func (h neighborHeap) Len() int            { return len(h) }
+func (h neighborHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
+func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *neighborHeap) Push(x interface{}) { *h = append(*h, x.(neighbor)) }
+func (h *neighborHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Neighbors returns the indices of the k nearest training points.
+func (m *Model) Neighbors(x []float64) []int {
+	if m.root == nil {
+		return nil
+	}
+	q := m.scaler.Transform(x)
+	h := &neighborHeap{}
+	m.search(m.root, q, h)
+	out := make([]int, h.Len())
+	for i := range out {
+		out[i] = (*h)[i].idx
+	}
+	return out
+}
+
+func (m *Model) search(nd *kdNode, q []float64, h *neighborHeap) {
+	if nd == nil {
+		return
+	}
+	d := sqDist(q, m.pts[nd.idx])
+	if h.Len() < m.cfg.K {
+		heap.Push(h, neighbor{nd.idx, d})
+	} else if d < (*h)[0].dist {
+		heap.Pop(h)
+		heap.Push(h, neighbor{nd.idx, d})
+	}
+	diff := q[nd.dim] - m.pts[nd.idx][nd.dim]
+	near, far := nd.left, nd.right
+	if diff > 0 {
+		near, far = nd.right, nd.left
+	}
+	m.search(near, q, h)
+	if h.Len() < m.cfg.K || diff*diff < (*h)[0].dist {
+		m.search(far, q, h)
+	}
+}
+
+// Predict returns the mean target of the k nearest neighbours.
+func (m *Model) Predict(x []float64) float64 {
+	ns := m.Neighbors(x)
+	if len(ns) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, i := range ns {
+		sum += m.y[i]
+	}
+	return sum / float64(len(ns))
+}
+
+// PredictClass votes among the neighbours' throughput classes (the native
+// KNN classifier used as a baseline).
+func (m *Model) PredictClass(x []float64) ml.Class {
+	ns := m.Neighbors(x)
+	if len(ns) == 0 {
+		return ml.ClassLow
+	}
+	var votes [ml.NumClasses]int
+	for _, i := range ns {
+		votes[ml.ClassOf(m.y[i])]++
+	}
+	best := 0
+	for c := 1; c < ml.NumClasses; c++ {
+		if votes[c] > votes[best] {
+			best = c
+		}
+	}
+	return ml.Class(best)
+}

@@ -1,0 +1,168 @@
+package knn
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"lumos5g/internal/ml"
+	"lumos5g/internal/rng"
+	"lumos5g/internal/stats"
+)
+
+func TestKNNExactNeighborRecovery(t *testing.T) {
+	// Compare KD-tree neighbours against brute force.
+	src := rng.New(1)
+	n := 500
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{src.Range(0, 100), src.Range(0, 100), src.Range(0, 100)}
+		y[i] = float64(i)
+	}
+	m := New(Config{K: 7})
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := []float64{src.Range(0, 100), src.Range(0, 100), src.Range(0, 100)}
+		got := m.Neighbors(q)
+		// Brute force in standardized space.
+		qs := m.scaler.Transform(q)
+		type pair struct {
+			idx int
+			d   float64
+		}
+		all := make([]pair, n)
+		for i := range X {
+			all[i] = pair{i, sqDist(qs, m.pts[i])}
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+		want := map[int]bool{}
+		for _, p := range all[:7] {
+			want[p.idx] = true
+		}
+		for _, g := range got {
+			if !want[g] {
+				t.Fatalf("trial %d: KD-tree neighbour %d not in brute-force top-7", trial, g)
+			}
+		}
+		if len(got) != 7 {
+			t.Fatalf("got %d neighbours", len(got))
+		}
+	}
+}
+
+func TestKNNPredictInterpolates(t *testing.T) {
+	// y = x on a grid: prediction at 5.5 should be ~5.5.
+	var X [][]float64
+	var y []float64
+	for i := 0; i <= 10; i++ {
+		X = append(X, []float64{float64(i)})
+		y = append(y, float64(i))
+	}
+	m := New(Config{K: 2})
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Predict([]float64{5.5}); math.Abs(v-5.5) > 0.51 {
+		t.Fatalf("Predict(5.5) = %v", v)
+	}
+}
+
+func TestKNNStandardizationMatters(t *testing.T) {
+	// Feature 0 in [0,1] carries the signal; feature 1 in [0,10000] is
+	// noise. Without standardisation the noise would dominate distance.
+	src := rng.New(2)
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 2000; i++ {
+		a := src.Float64()
+		X = append(X, []float64{a, src.Range(0, 10000)})
+		y = append(y, 1000*a)
+	}
+	m := New(Config{K: 15})
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	var pred, truth []float64
+	for i := 0; i < 200; i++ {
+		a := src.Float64()
+		pred = append(pred, m.Predict([]float64{a, src.Range(0, 10000)}))
+		truth = append(truth, 1000*a)
+	}
+	// Standardisation keeps both features comparable; the noise feature
+	// costs accuracy but the signal must still clearly come through
+	// (target std is ~290).
+	if mae := stats.MAE(pred, truth); mae > 150 {
+		t.Fatalf("KNN MAE = %v — standardisation broken?", mae)
+	}
+}
+
+func TestKNNConstantFeatureIgnored(t *testing.T) {
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 50; i++ {
+		X = append(X, []float64{float64(i), 7}) // second feature constant
+		y = append(y, float64(i))
+	}
+	m := New(Config{K: 3})
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Predict([]float64{25, 7}); math.Abs(v-25) > 1.1 {
+		t.Fatalf("Predict = %v", v)
+	}
+}
+
+func TestKNNPredictClassVotes(t *testing.T) {
+	var X [][]float64
+	var y []float64
+	src := rng.New(42)
+	for i := 0; i < 30; i++ {
+		X = append(X, []float64{src.NormMeanStd(0, 0.5)})
+		y = append(y, 100) // low cluster around x=0
+		X = append(X, []float64{src.NormMeanStd(10, 0.5)})
+		y = append(y, 1500) // high cluster around x=10
+	}
+	m := New(Config{K: 5})
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if c := m.PredictClass([]float64{0.5}); c != ml.ClassLow {
+		t.Fatalf("class near low cluster = %v", c)
+	}
+	if c := m.PredictClass([]float64{9.5}); c != ml.ClassHigh {
+		t.Fatalf("class near high cluster = %v", c)
+	}
+}
+
+func TestKNNRejectsBadInput(t *testing.T) {
+	m := New(Config{})
+	if err := m.Fit(nil, nil); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if err := m.Fit([][]float64{{1}, {2}}, []float64{1}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestKNNUnfitted(t *testing.T) {
+	m := New(Config{})
+	if m.Neighbors([]float64{1}) != nil {
+		t.Fatal("unfitted Neighbors should be nil")
+	}
+	if m.Predict([]float64{1}) != 0 {
+		t.Fatal("unfitted Predict should be 0")
+	}
+}
+
+func TestKNNFewerPointsThanK(t *testing.T) {
+	m := New(Config{K: 10})
+	if err := m.Fit([][]float64{{1}, {2}, {3}}, []float64{10, 20, 30}); err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Predict([]float64{2}); math.Abs(v-20) > 1e-9 {
+		t.Fatalf("mean of all points = %v, want 20", v)
+	}
+}

@@ -1,0 +1,276 @@
+// Package kriging implements Ordinary Kriging, the geospatial
+// interpolation baseline of Chakraborty et al. [26] that the paper
+// evaluates on the L (location-only) feature group. A spherical
+// semivariogram is fitted to the empirical variogram, and predictions
+// solve a local kriging system over the nearest neighbours (global
+// kriging is O(n³) and unnecessary at these densities).
+package kriging
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"lumos5g/internal/ml"
+	"lumos5g/internal/ml/knn"
+)
+
+// Config holds kriging hyper-parameters.
+type Config struct {
+	// Neighbors is the local kriging neighbourhood size. <=0 means 16.
+	Neighbors int
+	// VariogramBins is the number of distance bins for the empirical
+	// variogram. <=0 means 20.
+	VariogramBins int
+	// MaxPairs caps the random pair sample used for the empirical
+	// variogram (it is quadratic otherwise). <=0 means 200000.
+	MaxPairs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Neighbors <= 0 {
+		c.Neighbors = 16
+	}
+	if c.VariogramBins <= 0 {
+		c.VariogramBins = 20
+	}
+	if c.MaxPairs <= 0 {
+		c.MaxPairs = 200000
+	}
+	return c
+}
+
+// Model is a fitted ordinary-kriging predictor. Inputs must be
+// 2-dimensional locations (pixel X, pixel Y); Fit rejects other shapes,
+// which is exactly why the paper marks OK "NA" for every feature group
+// beyond L.
+type Model struct {
+	cfg    Config
+	pts    [][]float64
+	y      []float64
+	index  *knn.Model
+	nugget float64
+	sill   float64
+	rng    float64 // variogram range (distance at which sill is reached)
+}
+
+// New creates an unfitted model.
+func New(cfg Config) *Model {
+	return &Model{cfg: cfg.withDefaults()}
+}
+
+// ErrNotLocation is returned when the feature dimension is not 2.
+var ErrNotLocation = errors.New("kriging: ordinary kriging requires exactly 2 location features")
+
+// Fit stores the training data, fits the spherical variogram and builds
+// the neighbour index.
+func (m *Model) Fit(X [][]float64, y []float64) error {
+	if err := ml.ValidateXY(X, y); err != nil {
+		return err
+	}
+	if len(X[0]) != 2 {
+		return ErrNotLocation
+	}
+	m.pts = X
+	m.y = y
+	m.fitVariogram()
+	m.index = knn.New(knn.Config{K: m.cfg.Neighbors})
+	return m.index.Fit(X, y)
+}
+
+// fitVariogram estimates nugget, sill and range from binned squared
+// differences.
+func (m *Model) fitVariogram() {
+	n := len(m.pts)
+	// Max distance for binning.
+	var maxD float64
+	step := 1
+	if n > 2000 {
+		step = n / 2000
+	}
+	for i := 0; i < n; i += step {
+		for j := i + step; j < n; j += step {
+			d := dist(m.pts[i], m.pts[j])
+			if d > maxD {
+				maxD = d
+			}
+		}
+	}
+	if maxD == 0 {
+		m.nugget, m.sill, m.rng = 0, variance(m.y), 1
+		return
+	}
+	bins := m.cfg.VariogramBins
+	binW := maxD / float64(bins)
+	sums := make([]float64, bins)
+	counts := make([]int, bins)
+	// Deterministic pair subsample.
+	pairStep := 1
+	totalPairs := n * (n - 1) / 2
+	if totalPairs > m.cfg.MaxPairs {
+		pairStep = totalPairs/m.cfg.MaxPairs + 1
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			k++
+			if k%pairStep != 0 {
+				continue
+			}
+			d := dist(m.pts[i], m.pts[j])
+			b := int(d / binW)
+			if b >= bins {
+				b = bins - 1
+			}
+			diff := m.y[i] - m.y[j]
+			sums[b] += diff * diff / 2
+			counts[b]++
+		}
+	}
+	// Empirical semivariances.
+	var gamma []float64
+	var hs []float64
+	for b := 0; b < bins; b++ {
+		if counts[b] < 5 {
+			continue
+		}
+		gamma = append(gamma, sums[b]/float64(counts[b]))
+		hs = append(hs, (float64(b)+0.5)*binW)
+	}
+	if len(gamma) < 3 {
+		m.nugget, m.sill, m.rng = 0, variance(m.y), maxD/2
+		return
+	}
+	// Moment-style fit: sill = mean of the top-quartile semivariances,
+	// nugget = first bin, range = first h where gamma reaches 95% sill.
+	sorted := append([]float64(nil), gamma...)
+	sort.Float64s(sorted)
+	q := sorted[len(sorted)*3/4:]
+	var sill float64
+	for _, v := range q {
+		sill += v
+	}
+	sill /= float64(len(q))
+	nugget := math.Min(gamma[0], sill*0.9)
+	rangeH := hs[len(hs)-1]
+	for i, g := range gamma {
+		if g >= 0.95*sill {
+			rangeH = hs[i]
+			break
+		}
+	}
+	if rangeH <= 0 {
+		rangeH = maxD / 2
+	}
+	m.nugget, m.sill, m.rng = nugget, sill, rangeH
+}
+
+// Semivariance evaluates the fitted spherical model at lag h.
+func (m *Model) Semivariance(h float64) float64 {
+	if h <= 0 {
+		return 0
+	}
+	if h >= m.rng {
+		return m.sill
+	}
+	r := h / m.rng
+	return m.nugget + (m.sill-m.nugget)*(1.5*r-0.5*r*r*r)
+}
+
+func dist(a, b []float64) float64 {
+	return math.Hypot(a[0]-b[0], a[1]-b[1])
+}
+
+func variance(y []float64) float64 {
+	var sum, sumsq float64
+	for _, v := range y {
+		sum += v
+		sumsq += v * v
+	}
+	n := float64(len(y))
+	return sumsq/n - (sum/n)*(sum/n)
+}
+
+// Predict solves the local ordinary-kriging system over the nearest
+// neighbours of x.
+func (m *Model) Predict(x []float64) float64 {
+	ns := m.index.Neighbors(x)
+	k := len(ns)
+	if k == 0 {
+		return 0
+	}
+	if k == 1 {
+		return m.y[ns[0]]
+	}
+	// Build the (k+1)x(k+1) kriging system with the Lagrange multiplier.
+	dim := k + 1
+	a := make([][]float64, dim)
+	for i := range a {
+		a[i] = make([]float64, dim+1) // augmented with RHS
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			a[i][j] = m.Semivariance(dist(m.pts[ns[i]], m.pts[ns[j]]))
+		}
+		a[i][k] = 1
+		a[i][dim] = m.Semivariance(dist(m.pts[ns[i]], x))
+	}
+	for j := 0; j < k; j++ {
+		a[k][j] = 1
+	}
+	a[k][k] = 0
+	a[k][dim] = 1
+
+	w := solve(a)
+	if w == nil {
+		// Singular system (e.g. duplicate points): fall back to the
+		// neighbour mean.
+		var sum float64
+		for _, i := range ns {
+			sum += m.y[i]
+		}
+		return sum / float64(k)
+	}
+	var pred float64
+	for i := 0; i < k; i++ {
+		pred += w[i] * m.y[ns[i]]
+	}
+	return pred
+}
+
+// solve performs Gaussian elimination with partial pivoting on the
+// augmented matrix, returning the solution or nil when singular.
+func solve(a [][]float64) []float64 {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			return nil
+		}
+		a[col], a[piv] = a[piv], a[col]
+		// Eliminate.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = a[i][n] / a[i][i]
+	}
+	return x
+}

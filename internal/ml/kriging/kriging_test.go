@@ -1,0 +1,144 @@
+package kriging
+
+import (
+	"math"
+	"testing"
+
+	"lumos5g/internal/rng"
+	"lumos5g/internal/stats"
+)
+
+// smoothField is a spatially correlated function for kriging to learn.
+func smoothField(x, y float64) float64 {
+	return 500 + 400*math.Sin(x/30) + 300*math.Cos(y/40)
+}
+
+func fieldData(seed uint64, n int) ([][]float64, []float64) {
+	src := rng.New(seed)
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := src.Range(0, 200)
+		b := src.Range(0, 200)
+		X[i] = []float64{a, b}
+		y[i] = smoothField(a, b) + src.NormMeanStd(0, 10)
+	}
+	return X, y
+}
+
+func TestKrigingInterpolatesSmoothField(t *testing.T) {
+	X, y := fieldData(1, 1500)
+	m := New(Config{})
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(2)
+	var pred, truth []float64
+	for i := 0; i < 200; i++ {
+		a := src.Range(10, 190)
+		b := src.Range(10, 190)
+		pred = append(pred, m.Predict([]float64{a, b}))
+		truth = append(truth, smoothField(a, b))
+	}
+	// Field std is ~350; interpolation over a dense sample should be
+	// dramatically better.
+	if mae := stats.MAE(pred, truth); mae > 60 {
+		t.Fatalf("kriging MAE = %v on smooth field", mae)
+	}
+}
+
+func TestKrigingExactAtTrainingPoint(t *testing.T) {
+	X, y := fieldData(3, 800)
+	m := New(Config{})
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// At (very near) a training location, OK should return ~that value.
+	for i := 0; i < 10; i++ {
+		p := m.Predict(X[i])
+		if math.Abs(p-y[i]) > 50 {
+			t.Fatalf("prediction at training point %d = %v, want ~%v", i, p, y[i])
+		}
+	}
+}
+
+func TestKrigingRejectsNonLocation(t *testing.T) {
+	m := New(Config{})
+	err := m.Fit([][]float64{{1, 2, 3}, {4, 5, 6}}, []float64{1, 2})
+	if err != ErrNotLocation {
+		t.Fatalf("3-feature fit err = %v, want ErrNotLocation (the paper's NA cells)", err)
+	}
+	if err := m.Fit([][]float64{{1}}, []float64{1}); err != ErrNotLocation {
+		t.Fatal("1-feature fit should also be rejected")
+	}
+}
+
+func TestKrigingRejectsBadInput(t *testing.T) {
+	if err := New(Config{}).Fit(nil, nil); err == nil {
+		t.Fatal("empty input should error")
+	}
+}
+
+func TestSemivarianceShape(t *testing.T) {
+	X, y := fieldData(4, 600)
+	m := New(Config{})
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.Semivariance(0) != 0 {
+		t.Fatal("semivariance at lag 0 must be 0")
+	}
+	// Non-decreasing up to the range, then flat at the sill.
+	prev := -1.0
+	for h := 1.0; h <= m.rng; h += m.rng / 20 {
+		v := m.Semivariance(h)
+		if v < prev-1e-9 {
+			t.Fatalf("semivariance decreasing at h=%v", h)
+		}
+		prev = v
+	}
+	if m.Semivariance(m.rng*2) != m.sill {
+		t.Fatal("beyond range, semivariance should equal the sill")
+	}
+	if m.sill <= 0 || m.rng <= 0 {
+		t.Fatalf("degenerate variogram: sill=%v range=%v", m.sill, m.rng)
+	}
+}
+
+func TestKrigingDuplicatePointsFallback(t *testing.T) {
+	// All training points identical: the kriging system is singular; the
+	// model must fall back to the neighbour mean instead of exploding.
+	X := [][]float64{{5, 5}, {5, 5}, {5, 5}, {5, 5}}
+	y := []float64{10, 20, 30, 40}
+	m := New(Config{Neighbors: 4})
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	v := m.Predict([]float64{5, 5})
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("singular system produced %v", v)
+	}
+	if math.Abs(v-25) > 1e-6 {
+		t.Fatalf("fallback should be the mean 25, got %v", v)
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x - y = 1 → x=2, y=1.
+	a := [][]float64{
+		{2, 1, 5},
+		{1, -1, 1},
+	}
+	x := solve(a)
+	if x == nil || math.Abs(x[0]-2) > 1e-9 || math.Abs(x[1]-1) > 1e-9 {
+		t.Fatalf("solve = %v", x)
+	}
+	// Singular.
+	s := [][]float64{
+		{1, 1, 2},
+		{2, 2, 4},
+	}
+	if solve(s) != nil {
+		t.Fatal("singular system should return nil")
+	}
+}

@@ -1,0 +1,76 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want Class
+	}{
+		{0, ClassLow}, {299.9, ClassLow}, {300, ClassMedium},
+		{500, ClassMedium}, {700, ClassMedium}, {700.1, ClassHigh},
+		{2000, ClassHigh},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.v); got != c.want {
+			t.Errorf("ClassOf(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassLow.String() != "low" || ClassMedium.String() != "medium" ||
+		ClassHigh.String() != "high" || Class(9).String() != "?" {
+		t.Fatal("class strings")
+	}
+}
+
+func TestClassesOf(t *testing.T) {
+	got := ClassesOf([]float64{100, 400, 900})
+	want := []int{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ClassesOf = %v", got)
+		}
+	}
+}
+
+func TestValidateXY(t *testing.T) {
+	ok := [][]float64{{1, 2}, {3, 4}}
+	if err := ValidateXY(ok, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateXY(nil, nil); err == nil {
+		t.Fatal("empty should error")
+	}
+	if err := ValidateXY(ok, []float64{1}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if err := ValidateXY([][]float64{{1}, {2, 3}}, []float64{1, 2}); err == nil {
+		t.Fatal("ragged should error")
+	}
+	if err := ValidateXY([][]float64{{math.NaN()}}, []float64{1}); err == nil {
+		t.Fatal("NaN feature should error")
+	}
+	if err := ValidateXY([][]float64{{1}}, []float64{math.Inf(1)}); err == nil {
+		t.Fatal("Inf target should error")
+	}
+	if err := ValidateXY([][]float64{{}}, []float64{1}); err == nil {
+		t.Fatal("zero-dim should error")
+	}
+}
+
+type constReg struct{ v float64 }
+
+func (c constReg) Fit(X [][]float64, y []float64) error { return nil }
+func (c constReg) Predict(x []float64) float64          { return c.v }
+
+func TestPredictAll(t *testing.T) {
+	got := PredictAll(constReg{7}, [][]float64{{1}, {2}, {3}})
+	if len(got) != 3 || got[0] != 7 || got[2] != 7 {
+		t.Fatalf("PredictAll = %v", got)
+	}
+}

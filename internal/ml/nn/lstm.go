@@ -1,0 +1,139 @@
+package nn
+
+import (
+	"math"
+
+	"lumos5g/internal/rng"
+)
+
+// LSTMCell is one LSTM layer's parameters. Gates are packed in the order
+// input (i), forget (f), candidate (g), output (o): the combined weight
+// matrix Wx is [4H × I], Wh is [4H × H], b is [4H].
+type LSTMCell struct {
+	In     int
+	Hidden int
+	Wx     *Param
+	Wh     *Param
+	B      *Param
+}
+
+// NewLSTMCell allocates and initialises one LSTM layer.
+func NewLSTMCell(in, hidden int, src *rng.Source) *LSTMCell {
+	c := &LSTMCell{
+		In:     in,
+		Hidden: hidden,
+		Wx:     NewParam(4 * hidden * in),
+		Wh:     NewParam(4 * hidden * hidden),
+		B:      NewParam(4 * hidden),
+	}
+	// Glorot-style init scaled by fan-in.
+	c.Wx.InitUniform(src, 1.0/float64(in+hidden))
+	c.Wh.InitUniform(src, 1.0/float64(in+hidden))
+	// Forget-gate bias starts at 1 (standard trick for gradient flow).
+	for h := 0; h < hidden; h++ {
+		c.B.W[hidden+h] = 1
+	}
+	return c
+}
+
+// Params returns the cell's learnable tensors.
+func (c *LSTMCell) Params() []*Param { return []*Param{c.Wx, c.Wh, c.B} }
+
+// stepCache holds the intermediates of one timestep for backprop.
+type stepCache struct {
+	x     []float64 // input
+	hPrev []float64
+	cPrev []float64
+	gates []float64 // post-activation [4H]: i, f, g, o
+	c     []float64
+	h     []float64
+	tanhC []float64
+}
+
+// Step computes one forward timestep and returns (h, c) plus the cache.
+func (c *LSTMCell) Step(x, hPrev, cPrev []float64) *stepCache {
+	H := c.Hidden
+	gates := make([]float64, 4*H)
+	// Pre-activations: Wx·x + Wh·hPrev + b.
+	for r := 0; r < 4*H; r++ {
+		sum := c.B.W[r]
+		wxRow := c.Wx.W[r*c.In : (r+1)*c.In]
+		for j, xv := range x {
+			sum += wxRow[j] * xv
+		}
+		whRow := c.Wh.W[r*H : (r+1)*H]
+		for j, hv := range hPrev {
+			sum += whRow[j] * hv
+		}
+		gates[r] = sum
+	}
+	// Activations.
+	for h := 0; h < H; h++ {
+		gates[h] = sigmoid(gates[h])         // i
+		gates[H+h] = sigmoid(gates[H+h])     // f
+		gates[2*H+h] = tanh(gates[2*H+h])    // g
+		gates[3*H+h] = sigmoid(gates[3*H+h]) // o
+	}
+	cNew := make([]float64, H)
+	hNew := make([]float64, H)
+	tanhC := make([]float64, H)
+	for h := 0; h < H; h++ {
+		cNew[h] = gates[H+h]*cPrev[h] + gates[h]*gates[2*H+h]
+		tanhC[h] = tanh(cNew[h])
+		hNew[h] = gates[3*H+h] * tanhC[h]
+	}
+	return &stepCache{
+		x: x, hPrev: hPrev, cPrev: cPrev,
+		gates: gates, c: cNew, h: hNew, tanhC: tanhC,
+	}
+}
+
+// StepBackward backpropagates one timestep. dh and dc are the gradients
+// flowing into this step's h and c outputs; it accumulates parameter
+// gradients and returns (dx, dhPrev, dcPrev).
+func (c *LSTMCell) StepBackward(cache *stepCache, dh, dc []float64) (dx, dhPrev, dcPrev []float64) {
+	H := c.Hidden
+	g := cache.gates
+	dGates := make([]float64, 4*H)
+	dcTotal := make([]float64, H)
+	for h := 0; h < H; h++ {
+		o := g[3*H+h]
+		// dL/do (through h = o * tanh(c)).
+		dGates[3*H+h] = dh[h] * cache.tanhC[h] * o * (1 - o)
+		// dL/dc: from h path plus direct dc.
+		dcTotal[h] = dh[h]*o*(1-cache.tanhC[h]*cache.tanhC[h]) + dc[h]
+	}
+	dcPrev = make([]float64, H)
+	for h := 0; h < H; h++ {
+		i, f, gg := g[h], g[H+h], g[2*H+h]
+		dGates[h] = dcTotal[h] * gg * i * (1 - i) // di (sigmoid')
+		dGates[H+h] = dcTotal[h] * cache.cPrev[h] * f * (1 - f)
+		dGates[2*H+h] = dcTotal[h] * i * (1 - gg*gg) // dg (tanh')
+		dcPrev[h] = dcTotal[h] * f
+	}
+	// Parameter and input gradients.
+	dx = make([]float64, c.In)
+	dhPrev = make([]float64, H)
+	for r := 0; r < 4*H; r++ {
+		dgr := dGates[r]
+		if dgr == 0 {
+			continue
+		}
+		wxRow := c.Wx.W[r*c.In : (r+1)*c.In]
+		gxRow := c.Wx.G[r*c.In : (r+1)*c.In]
+		for j := 0; j < c.In; j++ {
+			gxRow[j] += dgr * cache.x[j]
+			dx[j] += dgr * wxRow[j]
+		}
+		whRow := c.Wh.W[r*H : (r+1)*H]
+		ghRow := c.Wh.G[r*H : (r+1)*H]
+		for j := 0; j < H; j++ {
+			ghRow[j] += dgr * cache.hPrev[j]
+			dhPrev[j] += dgr * whRow[j]
+		}
+		c.B.G[r] += dgr
+	}
+	return dx, dhPrev, dcPrev
+}
+
+func tanh(x float64) float64 { return math.Tanh(x) }

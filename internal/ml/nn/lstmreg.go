@@ -1,0 +1,219 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lumos5g/internal/ml"
+	"lumos5g/internal/rng"
+)
+
+// LSTMRegressor is the "standard LSTM" baseline the paper contrasts its
+// Seq2Seq against (§5.2, citing Mei et al. [45]): a stacked LSTM reads
+// the input window and a dense head on the final hidden state predicts
+// the immediate next time slot only — no decoder, no multi-step horizon.
+type LSTMRegressor struct {
+	cfg     Seq2SeqConfig // shares the hyper-parameter surface
+	layers  []*LSTMCell
+	wOut    *Param
+	bOut    *Param
+	scaler  *ml.QuantileScaler
+	yMean   float64
+	yStd    float64
+	adamT   int
+	trained bool
+}
+
+// NewLSTMRegressor builds an initialised single-shot LSTM predictor.
+// OutLen is forced to 1 (the [45] formulation).
+func NewLSTMRegressor(cfg Seq2SeqConfig) (*LSTMRegressor, error) {
+	cfg = cfg.withDefaults()
+	cfg.OutLen = 1
+	if cfg.InputDim <= 0 {
+		return nil, errors.New("nn: InputDim must be set")
+	}
+	src := rng.New(cfg.Seed).SplitLabeled("lstm-init")
+	m := &LSTMRegressor{cfg: cfg}
+	for l := 0; l < cfg.Layers; l++ {
+		in := cfg.InputDim
+		if l > 0 {
+			in = cfg.Hidden
+		}
+		m.layers = append(m.layers, NewLSTMCell(in, cfg.Hidden, src.Split()))
+	}
+	m.wOut = NewParam(cfg.Hidden)
+	m.wOut.InitUniform(src, 1.0/float64(cfg.Hidden))
+	m.bOut = NewParam(1)
+	return m, nil
+}
+
+func (m *LSTMRegressor) params() []*Param {
+	var ps []*Param
+	for _, c := range m.layers {
+		ps = append(ps, c.Params()...)
+	}
+	return append(ps, m.wOut, m.bOut)
+}
+
+// Fit trains on input windows X (each [T][InputDim]) against scalar
+// targets y (the next slot's throughput).
+func (m *LSTMRegressor) Fit(X [][][]float64, y []float64) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return fmt.Errorf("nn: %d sequences but %d targets", len(X), len(y))
+	}
+	for i := range X {
+		if len(X[i]) == 0 {
+			return fmt.Errorf("nn: empty sequence %d", i)
+		}
+		for _, step := range X[i] {
+			if len(step) != m.cfg.InputDim {
+				return fmt.Errorf("nn: sequence %d has dim %d, want %d", i, len(step), m.cfg.InputDim)
+			}
+		}
+	}
+	m.fitNormalization(X, y)
+
+	src := rng.New(m.cfg.Seed).SplitLabeled("lstm-train")
+	order := make([]int, len(X))
+	for i := range order {
+		order[i] = i
+	}
+	ps := m.params()
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		src.Shuffle(order)
+		for start := 0; start < len(X); start += m.cfg.Batch {
+			end := start + m.cfg.Batch
+			if end > len(X) {
+				end = len(X)
+			}
+			for _, p := range ps {
+				p.ZeroGrad()
+			}
+			for _, idx := range order[start:end] {
+				m.backwardOne(X[idx], y[idx])
+			}
+			inv := 1.0 / float64(end-start)
+			for _, p := range ps {
+				for i := range p.G {
+					p.G[i] *= inv
+				}
+			}
+			ClipGrads(ps, m.cfg.Clip)
+			m.adamT++
+			for _, p := range ps {
+				p.Adam(m.cfg.LR, m.adamT)
+			}
+		}
+	}
+	m.trained = true
+	return nil
+}
+
+func (m *LSTMRegressor) fitNormalization(X [][][]float64, y []float64) {
+	var rows [][]float64
+	total := 0
+	for _, seq := range X {
+		total += len(seq)
+	}
+	stride := total/1024 + 1
+	i := 0
+	for _, seq := range X {
+		for _, step := range seq {
+			if i%stride == 0 {
+				rows = append(rows, step)
+			}
+			i++
+		}
+	}
+	m.scaler = ml.FitQuantileScaler(rows)
+	var sum float64
+	for _, v := range y {
+		sum += v
+	}
+	m.yMean = sum / float64(len(y))
+	var variance float64
+	for _, v := range y {
+		variance += (v - m.yMean) * (v - m.yMean)
+	}
+	m.yStd = math.Sqrt(variance / float64(len(y)))
+	if m.yStd < 1e-9 {
+		m.yStd = 1
+	}
+}
+
+// forward returns the normalised prediction, the per-layer caches, and
+// the final top-layer hidden state.
+func (m *LSTMRegressor) forward(seq [][]float64) (float64, [][]*stepCache, []float64) {
+	L := m.cfg.Layers
+	H := m.cfg.Hidden
+	caches := make([][]*stepCache, L)
+	hs := make([][]float64, L)
+	cs := make([][]float64, L)
+	for l := 0; l < L; l++ {
+		hs[l] = make([]float64, H)
+		cs[l] = make([]float64, H)
+	}
+	for _, raw := range seq {
+		x := m.scaler.Transform(raw)
+		for l := 0; l < L; l++ {
+			cache := m.layers[l].Step(x, hs[l], cs[l])
+			caches[l] = append(caches[l], cache)
+			hs[l], cs[l] = cache.h, cache.c
+			x = cache.h
+		}
+	}
+	pred := m.bOut.W[0]
+	top := hs[L-1]
+	for j := 0; j < H; j++ {
+		pred += m.wOut.W[j] * top[j]
+	}
+	return pred, caches, top
+}
+
+func (m *LSTMRegressor) backwardOne(seq [][]float64, yRaw float64) {
+	L := m.cfg.Layers
+	H := m.cfg.Hidden
+	yNorm := (yRaw - m.yMean) / m.yStd
+	pred, caches, top := m.forward(seq)
+
+	dPred := 2 * (pred - yNorm)
+	dh := make([][]float64, L)
+	dc := make([][]float64, L)
+	for l := 0; l < L; l++ {
+		dh[l] = make([]float64, H)
+		dc[l] = make([]float64, H)
+	}
+	for j := 0; j < H; j++ {
+		m.wOut.G[j] += dPred * top[j]
+		dh[L-1][j] += dPred * m.wOut.W[j]
+	}
+	m.bOut.G[0] += dPred
+
+	T := len(caches[0])
+	for t := T - 1; t >= 0; t-- {
+		var dx []float64
+		for l := L - 1; l >= 0; l-- {
+			var dhp, dcp []float64
+			dx, dhp, dcp = m.layers[l].StepBackward(caches[l][t], dh[l], dc[l])
+			dh[l], dc[l] = dhp, dcp
+			if l > 0 {
+				for j := 0; j < H; j++ {
+					dh[l-1][j] += dx[j]
+				}
+			}
+		}
+	}
+}
+
+// Predict returns the next-slot throughput estimate in raw units.
+func (m *LSTMRegressor) Predict(seq [][]float64) (float64, error) {
+	if !m.trained {
+		return 0, errors.New("nn: model not trained")
+	}
+	if len(seq) == 0 {
+		return 0, errors.New("nn: empty input sequence")
+	}
+	pred, _, _ := m.forward(seq)
+	return pred*m.yStd + m.yMean, nil
+}

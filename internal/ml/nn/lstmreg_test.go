@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"lumos5g/internal/rng"
+)
+
+func TestLSTMRegressorGradientCheck(t *testing.T) {
+	m, err := NewLSTMRegressor(Seq2SeqConfig{InputDim: 2, Hidden: 4, Layers: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(1)
+	seq := make([][]float64, 5)
+	for i := range seq {
+		seq[i] = []float64{src.Norm(), src.Norm()}
+	}
+	y := src.Range(0, 100)
+	m.fitNormalization([][][]float64{seq}, []float64{y})
+
+	ps := m.params()
+	for _, p := range ps {
+		p.ZeroGrad()
+	}
+	m.backwardOne(seq, y)
+
+	loss := func() float64 {
+		pred, _, _ := m.forward(seq)
+		d := pred - (y-m.yMean)/m.yStd
+		return d * d
+	}
+	const eps = 1e-5
+	checked := 0
+	for pi, p := range ps {
+		stride := len(p.W)/3 + 1
+		for wi := 0; wi < len(p.W); wi += stride {
+			orig := p.W[wi]
+			p.W[wi] = orig + eps
+			lp := loss()
+			p.W[wi] = orig - eps
+			lm := loss()
+			p.W[wi] = orig
+			num := (lp - lm) / (2 * eps)
+			ana := p.G[wi]
+			scale := math.Max(math.Abs(num)+math.Abs(ana), 1e-6)
+			if math.Abs(num-ana)/scale > 1e-4 {
+				t.Fatalf("param %d weight %d: numeric %v vs analytic %v", pi, wi, num, ana)
+			}
+			checked++
+		}
+	}
+	if checked < 8 {
+		t.Fatalf("only %d weights checked", checked)
+	}
+}
+
+func TestLSTMRegressorLearns(t *testing.T) {
+	// Target = mean of the window: trivially learnable from the hidden
+	// state summary.
+	src := rng.New(2)
+	var X [][][]float64
+	var y []float64
+	for i := 0; i < 250; i++ {
+		base := src.Range(0, 100)
+		seq := make([][]float64, 6)
+		for tt := range seq {
+			seq[tt] = []float64{base + src.NormMeanStd(0, 1)}
+		}
+		X = append(X, seq)
+		y = append(y, base)
+	}
+	m, err := NewLSTMRegressor(Seq2SeqConfig{
+		InputDim: 1, Hidden: 10, Layers: 1, Epochs: 30, Batch: 16, LR: 8e-3, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	var sse, tss, mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	for i := range X {
+		p, err := m.Predict(X[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sse += (p - y[i]) * (p - y[i])
+		tss += (y[i] - mean) * (y[i] - mean)
+	}
+	if sse > 0.15*tss {
+		t.Fatalf("LSTM explains too little variance: %v", sse/tss)
+	}
+}
+
+func TestLSTMRegressorValidation(t *testing.T) {
+	if _, err := NewLSTMRegressor(Seq2SeqConfig{}); err == nil {
+		t.Fatal("missing InputDim should error")
+	}
+	m, _ := NewLSTMRegressor(Seq2SeqConfig{InputDim: 1, Seed: 1})
+	if err := m.Fit(nil, nil); err == nil {
+		t.Fatal("empty fit should error")
+	}
+	if err := m.Fit([][][]float64{{{1, 2}}}, []float64{1}); err == nil {
+		t.Fatal("wrong dim should error")
+	}
+	if _, err := m.Predict([][]float64{{1}}); err == nil {
+		t.Fatal("predict before fit should error")
+	}
+}

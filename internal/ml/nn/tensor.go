@@ -1,0 +1,92 @@
+// Package nn implements the deep-learning side of Lumos5G from scratch:
+// dense linear algebra on flat slices, an LSTM cell with full
+// backpropagation-through-time, a stacked-LSTM encoder–decoder Seq2Seq
+// model (Fig 15), the Adam optimiser, and gradient clipping. The paper's
+// Seq2Seq uses a two-layer LSTM encoder-decoder with 128 hidden units
+// trained for 2000 epochs; the same architecture is implemented here with
+// scaled-down defaults (see EXPERIMENTS.md).
+package nn
+
+import (
+	"math"
+
+	"lumos5g/internal/rng"
+)
+
+// Param is one learnable tensor with its gradient and Adam state.
+type Param struct {
+	W []float64 // weights
+	G []float64 // gradient accumulator
+	m []float64 // Adam first moment
+	v []float64 // Adam second moment
+}
+
+// NewParam allocates a parameter of n weights.
+func NewParam(n int) *Param {
+	return &Param{
+		W: make([]float64, n),
+		G: make([]float64, n),
+		m: make([]float64, n),
+		v: make([]float64, n),
+	}
+}
+
+// InitUniform fills the weights with U(-scale, scale).
+func (p *Param) InitUniform(src *rng.Source, scale float64) {
+	for i := range p.W {
+		p.W[i] = src.Range(-scale, scale)
+	}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// Adam hyper-parameters.
+const (
+	adamBeta1 = 0.9
+	adamBeta2 = 0.999
+	adamEps   = 1e-8
+)
+
+// Adam performs one Adam update step (t is the 1-based step count).
+func (p *Param) Adam(lr float64, t int) {
+	b1t := 1 - math.Pow(adamBeta1, float64(t))
+	b2t := 1 - math.Pow(adamBeta2, float64(t))
+	for i := range p.W {
+		g := p.G[i]
+		p.m[i] = adamBeta1*p.m[i] + (1-adamBeta1)*g
+		p.v[i] = adamBeta2*p.v[i] + (1-adamBeta2)*g*g
+		mhat := p.m[i] / b1t
+		vhat := p.v[i] / b2t
+		p.W[i] -= lr * mhat / (math.Sqrt(vhat) + adamEps)
+	}
+}
+
+// ClipGrads scales all gradients so their global L2 norm is at most c.
+func ClipGrads(params []*Param, c float64) {
+	var norm2 float64
+	for _, p := range params {
+		for _, g := range p.G {
+			norm2 += g * g
+		}
+	}
+	norm := math.Sqrt(norm2)
+	if norm <= c || norm == 0 {
+		return
+	}
+	scale := c / norm
+	for _, p := range params {
+		for i := range p.G {
+			p.G[i] *= scale
+		}
+	}
+}
+
+// sigmoid is the logistic function.
+func sigmoid(x float64) float64 {
+	return 1 / (1 + math.Exp(-x))
+}

@@ -1,0 +1,143 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// QuantileScaler maps each feature through its empirical CDF followed by
+// the standard normal quantile function ("rank-gaussian" scaling). Unlike
+// a plain z-score it keeps within-cluster variation resolvable when a
+// feature is strongly multi-modal — pixel coordinates over measurement
+// areas that sit kilometres apart being the canonical case in this
+// repository. Distance-based models (KNN) and neural models use it; tree
+// models are scale-invariant and do not need it.
+type QuantileScaler struct {
+	// refs[f] is the sorted reference sample for feature f.
+	refs [][]float64
+}
+
+// maxScalerRefs caps the per-feature reference sample.
+const maxScalerRefs = 512
+
+// FitQuantileScaler builds a scaler from a row-major feature matrix.
+func FitQuantileScaler(X [][]float64) *QuantileScaler {
+	if len(X) == 0 {
+		return &QuantileScaler{}
+	}
+	d := len(X[0])
+	stride := len(X)/maxScalerRefs + 1
+	s := &QuantileScaler{refs: make([][]float64, d)}
+	for f := 0; f < d; f++ {
+		var vals []float64
+		for i := 0; i < len(X); i += stride {
+			vals = append(vals, X[i][f])
+		}
+		sort.Float64s(vals)
+		s.refs[f] = vals
+	}
+	return s
+}
+
+// Transform maps one raw feature vector into rank-gaussian space.
+func (s *QuantileScaler) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for f, v := range x {
+		if f < len(s.refs) {
+			out[f] = RankGauss(s.refs[f], v)
+		}
+	}
+	return out
+}
+
+// NumFeatures returns the fitted dimensionality.
+func (s *QuantileScaler) NumFeatures() int { return len(s.refs) }
+
+// RankGauss maps v through the (linearly interpolated) empirical CDF of
+// the sorted refs and the normal quantile function, clipped to roughly
+// ±3. Constant features map to 0.
+func RankGauss(refs []float64, v float64) float64 {
+	n := len(refs)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 || refs[0] == refs[n-1] {
+		return 0
+	}
+	// Piecewise-linear empirical CDF through the midrank anchor points
+	// (refs[i] ↦ rank i+0.5): exact values take their tie run's midrank,
+	// values between references interpolate linearly, and values outside
+	// the support clamp to the extreme ranks.
+	lo := sort.SearchFloat64s(refs, v)
+	var rank float64
+	switch {
+	case lo >= n:
+		rank = float64(n)
+	case refs[lo] == v:
+		hi := lo
+		for hi < n && refs[hi] == v {
+			hi++
+		}
+		rank = (float64(lo) + float64(hi)) / 2
+	case lo == 0:
+		rank = 0
+	default:
+		frac := (v - refs[lo-1]) / (refs[lo] - refs[lo-1])
+		rank = float64(lo) - 0.5 + frac
+	}
+	p := (rank + 0.5) / float64(n+1)
+	if p < 0.001 {
+		p = 0.001
+	}
+	if p > 0.999 {
+		p = 0.999
+	}
+	return Probit(p)
+}
+
+// Probit is the standard normal quantile function (Acklam's rational
+// approximation, |relative error| < 1.15e-9).
+func Probit(p float64) float64 {
+	const (
+		a1 = -39.69683028665376
+		a2 = 220.9460984245205
+		a3 = -275.9285104469687
+		a4 = 138.3577518672690
+		a5 = -30.66479806614716
+		a6 = 2.506628277459239
+		b1 = -54.47609879822406
+		b2 = 161.5858368580409
+		b3 = -155.6989798598866
+		b4 = 66.80131188771972
+		b5 = -13.28068155288572
+		c1 = -0.007784894002430293
+		c2 = -0.3223964580411365
+		c3 = -2.400758277161838
+		c4 = -2.549732539343734
+		c5 = 4.374664141464968
+		c6 = 2.938163982698783
+		d1 = 0.007784695709041462
+		d2 = 0.3224671290700398
+		d3 = 2.445134137142996
+		d4 = 3.754408661907416
+	)
+	switch {
+	case p <= 0:
+		return math.Inf(-1)
+	case p >= 1:
+		return math.Inf(1)
+	case p < 0.02425:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	case p > 1-0.02425:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a1*r+a2)*r+a3)*r+a4)*r+a5)*r + a6) * q /
+			(((((b1*r+b2)*r+b3)*r+b4)*r+b5)*r + 1)
+	}
+}

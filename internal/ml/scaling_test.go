@@ -1,0 +1,178 @@
+package ml
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"lumos5g/internal/rng"
+)
+
+func TestProbitKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.841344746, 1.0},
+		{0.158655254, -1.0},
+		{0.999, 3.090232},
+		{0.001, -3.090232},
+	}
+	for _, c := range cases {
+		if got := Probit(c.p); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("Probit(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(Probit(0), -1) || !math.IsInf(Probit(1), 1) {
+		t.Fatal("Probit boundaries")
+	}
+}
+
+func TestProbitInvertsNormalCDF(t *testing.T) {
+	// Probit(Phi(z)) ≈ z across the usable range.
+	for z := -3.0; z <= 3.0; z += 0.25 {
+		p := 0.5 * math.Erfc(-z/math.Sqrt2)
+		if got := Probit(p); math.Abs(got-z) > 1e-6 {
+			t.Fatalf("Probit(Phi(%v)) = %v", z, got)
+		}
+	}
+}
+
+func TestRankGaussMonotone(t *testing.T) {
+	src := rng.New(1)
+	refs := make([]float64, 200)
+	for i := range refs {
+		refs[i] = src.Range(-50, 50)
+	}
+	sort.Float64s(refs)
+	prev := math.Inf(-1)
+	for v := -60.0; v <= 60; v += 0.5 {
+		g := RankGauss(refs, v)
+		if g < prev-1e-12 {
+			t.Fatalf("RankGauss not monotone at %v", v)
+		}
+		prev = g
+	}
+}
+
+func TestRankGaussEdgeCases(t *testing.T) {
+	if RankGauss(nil, 5) != 0 {
+		t.Fatal("empty refs should map to 0")
+	}
+	if RankGauss([]float64{7}, 5) != 0 {
+		t.Fatal("single ref should map to 0")
+	}
+	if RankGauss([]float64{3, 3, 3}, 3) != 0 {
+		t.Fatal("constant refs should map to 0")
+	}
+	refs := []float64{1, 2, 3, 4, 5}
+	// Below/above the support: clipped, finite, symmetric-ish.
+	lo := RankGauss(refs, -100)
+	hi := RankGauss(refs, 100)
+	if !(lo < 0 && hi > 0) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+		t.Fatalf("tail mapping: lo=%v hi=%v", lo, hi)
+	}
+	if math.Abs(lo+hi) > 1e-9 {
+		t.Fatalf("tails should be symmetric: %v vs %v", lo, hi)
+	}
+	// Median maps near zero.
+	if mid := RankGauss(refs, 3); math.Abs(mid) > 0.05 {
+		t.Fatalf("median ref maps to %v", mid)
+	}
+}
+
+func TestRankGaussInterpolates(t *testing.T) {
+	refs := []float64{0, 10}
+	a := RankGauss(refs, 2.5)
+	b := RankGauss(refs, 5)
+	c := RankGauss(refs, 7.5)
+	if !(a < b && b < c) {
+		t.Fatalf("interpolation not ordered: %v %v %v", a, b, c)
+	}
+}
+
+func TestQuantileScalerTransform(t *testing.T) {
+	src := rng.New(2)
+	X := make([][]float64, 500)
+	for i := range X {
+		// Feature 0 uniform, feature 1 heavily skewed, feature 2 constant.
+		X[i] = []float64{src.Range(0, 1), math.Exp(src.NormMeanStd(0, 2)), 7}
+	}
+	s := FitQuantileScaler(X)
+	if s.NumFeatures() != 3 {
+		t.Fatalf("features = %d", s.NumFeatures())
+	}
+	// Transformed training features should be ~N(0,1): check mean/std.
+	var sum, sumsq [2]float64
+	for _, row := range X {
+		tr := s.Transform(row)
+		if tr[2] != 0 {
+			t.Fatal("constant feature should map to 0")
+		}
+		for f := 0; f < 2; f++ {
+			sum[f] += tr[f]
+			sumsq[f] += tr[f] * tr[f]
+		}
+	}
+	n := float64(len(X))
+	for f := 0; f < 2; f++ {
+		mean := sum[f] / n
+		std := math.Sqrt(sumsq[f]/n - mean*mean)
+		if math.Abs(mean) > 0.1 {
+			t.Fatalf("feature %d transformed mean = %v", f, mean)
+		}
+		if std < 0.7 || std > 1.2 {
+			t.Fatalf("feature %d transformed std = %v", f, std)
+		}
+	}
+}
+
+func TestQuantileScalerMultiModalResolution(t *testing.T) {
+	// Two clusters 10000 apart with within-cluster spread 1: a z-score
+	// would compress within-cluster variation to ~2e-4 of the scale; the
+	// rank-gaussian transform must keep it resolvable.
+	src := rng.New(3)
+	X := make([][]float64, 1000)
+	for i := range X {
+		base := 0.0
+		if i%2 == 1 {
+			base = 10000
+		}
+		X[i] = []float64{base + src.Norm()}
+	}
+	s := FitQuantileScaler(X)
+	a := s.Transform([]float64{-1})[0]
+	b := s.Transform([]float64{1})[0]
+	if math.Abs(b-a) < 0.2 {
+		t.Fatalf("within-cluster resolution lost: |%v - %v|", b, a)
+	}
+}
+
+func TestQuantileScalerEmpty(t *testing.T) {
+	s := FitQuantileScaler(nil)
+	if s.NumFeatures() != 0 {
+		t.Fatal("empty scaler")
+	}
+	if out := s.Transform([]float64{1, 2}); out[0] != 0 || out[1] != 0 {
+		t.Fatal("unfitted transform should map to zeros")
+	}
+}
+
+func TestRankGaussBoundedProperty(t *testing.T) {
+	check := func(seed uint64, q float64) bool {
+		src := rng.New(seed)
+		refs := make([]float64, 50)
+		for i := range refs {
+			refs[i] = src.Range(-1000, 1000)
+		}
+		sort.Float64s(refs)
+		v := math.Mod(q, 2000) - 1000
+		g := RankGauss(refs, v)
+		// p clipped to [0.001, 0.999] → |g| <= Probit(0.999) ≈ 3.09.
+		return !math.IsNaN(g) && math.Abs(g) <= 3.1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

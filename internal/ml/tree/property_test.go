@@ -1,0 +1,74 @@
+package tree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lumos5g/internal/rng"
+)
+
+// TestTreePredictionsBoundedProperty: a regression tree's predictions are
+// convex combinations of training targets, so every prediction must lie
+// within [min(y), max(y)] for any data and any query.
+func TestTreePredictionsBoundedProperty(t *testing.T) {
+	check := func(seed uint64, nRaw uint8, depthRaw uint8) bool {
+		n := int(nRaw%100) + 10
+		depth := int(depthRaw%8) + 1
+		src := rng.New(seed)
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		lo, hi := 1e18, -1e18
+		for i := 0; i < n; i++ {
+			X[i] = []float64{src.Range(-100, 100), src.Range(-100, 100)}
+			y[i] = src.Range(-1000, 1000)
+			if y[i] < lo {
+				lo = y[i]
+			}
+			if y[i] > hi {
+				hi = y[i]
+			}
+		}
+		tr, _, err := Fit(X, y, Options{MaxDepth: depth})
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			q := []float64{src.Range(-200, 200), src.Range(-200, 200)}
+			v := tr.Predict(q)
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBinValueConsistentProperty: BinValue must agree with the bin
+// structure — a value always falls into a bin whose edge bounds it.
+func TestBinValueConsistentProperty(t *testing.T) {
+	check := func(seed uint64, vRaw int16) bool {
+		src := rng.New(seed)
+		X := make([][]float64, 100)
+		for i := range X {
+			X[i] = []float64{src.Range(-50, 50)}
+		}
+		b := NewBinner(X, 32)
+		v := float64(vRaw) / 100
+		bin := int(b.BinValue(0, v))
+		edges := b.Edges[0]
+		// Bin i covers (edges[i-1], edges[i]]; the last bin is open.
+		if bin > 0 && v <= edges[bin-1] {
+			return false
+		}
+		if bin < len(edges) && v > edges[bin] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

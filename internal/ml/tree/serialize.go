@@ -1,0 +1,78 @@
+package tree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeDTO is the serialisable form of one tree node (gob/JSON-friendly).
+// Leaves have Feature == -1.
+type NodeDTO struct {
+	Feature   int32
+	Threshold float64
+	Left      int32
+	Right     int32
+	Value     float64
+}
+
+// TreeDTO is the serialisable form of a fitted tree.
+type TreeDTO struct {
+	Nodes []NodeDTO
+	Gain  []float64
+}
+
+// Export converts the tree into its transferable form.
+func (t *Tree) Export() TreeDTO {
+	dto := TreeDTO{
+		Nodes: make([]NodeDTO, len(t.nodes)),
+		Gain:  append([]float64(nil), t.Gain...),
+	}
+	for i, n := range t.nodes {
+		dto.Nodes[i] = NodeDTO{
+			Feature:   int32(n.feature),
+			Threshold: n.threshold,
+			Left:      n.left,
+			Right:     n.right,
+			Value:     n.value,
+		}
+	}
+	return dto
+}
+
+// Import reconstructs a tree from its transferable form, validating the
+// node graph so corrupted input cannot cause out-of-range walks.
+func Import(dto TreeDTO) (*Tree, error) {
+	if len(dto.Nodes) == 0 {
+		return nil, errors.New("tree: empty node list")
+	}
+	n := int32(len(dto.Nodes))
+	t := &Tree{
+		nodes: make([]node, n),
+		Gain:  append([]float64(nil), dto.Gain...),
+	}
+	for i, d := range dto.Nodes {
+		if d.Feature >= 0 {
+			if d.Left < 0 || d.Left >= n || d.Right < 0 || d.Right >= n {
+				return nil, fmt.Errorf("tree: node %d child out of range", i)
+			}
+			if d.Left == int32(i) || d.Right == int32(i) {
+				return nil, fmt.Errorf("tree: node %d links to itself", i)
+			}
+		}
+		t.nodes[i] = node{
+			feature:   int(d.Feature),
+			threshold: d.Threshold,
+			left:      d.Left,
+			right:     d.Right,
+			value:     d.Value,
+		}
+	}
+	// Reject cycles: a decision tree serialised by Export is in
+	// preorder, so children always follow their parent.
+	for i, d := range dto.Nodes {
+		if d.Feature >= 0 && (d.Left <= int32(i) || d.Right <= int32(i)) {
+			return nil, fmt.Errorf("tree: node %d children must follow it (preorder)", i)
+		}
+	}
+	return t, nil
+}

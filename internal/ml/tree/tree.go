@@ -1,0 +1,316 @@
+// Package tree implements histogram-based CART regression trees — the
+// weak learners of the GBDT models and the members of the random-forest
+// baseline. Features are quantile-binned once (up to 255 bins) so node
+// splitting is a single linear scan per feature, which keeps boosted
+// ensembles tractable on campaign-sized datasets.
+package tree
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"lumos5g/internal/rng"
+)
+
+// MaxBins is the number of histogram bins per feature.
+const MaxBins = 255
+
+// Options configures tree induction.
+type Options struct {
+	// MaxDepth bounds tree depth (root = depth 0). <=0 means 6.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf. <=0 means 1.
+	MinLeaf int
+	// FeatureFrac is the fraction of features considered per split
+	// (random forests use < 1). <=0 or >1 means all features.
+	FeatureFrac float64
+	// Rng supplies randomness for feature subsampling; may be nil when
+	// FeatureFrac covers all features.
+	Rng *rng.Source
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 6
+	}
+	if o.MinLeaf <= 0 {
+		o.MinLeaf = 1
+	}
+	if o.FeatureFrac <= 0 || o.FeatureFrac > 1 {
+		o.FeatureFrac = 1
+	}
+	return o
+}
+
+// Binner quantile-bins a feature matrix.
+type Binner struct {
+	// Edges[f] holds ascending bin upper edges for feature f; a value v
+	// falls in the first bin whose edge is >= v.
+	Edges [][]float64
+}
+
+// NewBinner computes quantile bin edges from training data (row-major X).
+func NewBinner(X [][]float64, bins int) *Binner {
+	if bins <= 1 || bins > MaxBins {
+		bins = MaxBins
+	}
+	nf := len(X[0])
+	b := &Binner{Edges: make([][]float64, nf)}
+	vals := make([]float64, len(X))
+	for f := 0; f < nf; f++ {
+		for i, row := range X {
+			vals[i] = row[f]
+		}
+		sort.Float64s(vals)
+		var edges []float64
+		for q := 1; q < bins; q++ {
+			idx := q * (len(vals) - 1) / bins
+			e := vals[idx]
+			if len(edges) == 0 || e > edges[len(edges)-1] {
+				edges = append(edges, e)
+			}
+		}
+		b.Edges[f] = edges
+	}
+	return b
+}
+
+// BinValue maps one feature value to its bin index.
+func (b *Binner) BinValue(f int, v float64) uint8 {
+	edges := b.Edges[f]
+	// Binary search: first edge >= v.
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if edges[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint8(lo)
+}
+
+// BinMatrix transforms X into feature-major binned columns.
+func (b *Binner) BinMatrix(X [][]float64) [][]uint8 {
+	nf := len(b.Edges)
+	cols := make([][]uint8, nf)
+	for f := 0; f < nf; f++ {
+		col := make([]uint8, len(X))
+		for i, row := range X {
+			col[i] = b.BinValue(f, row[f])
+		}
+		cols[f] = col
+	}
+	return cols
+}
+
+// node is one tree node; leaves have feature == -1.
+type node struct {
+	feature   int
+	threshold float64 // raw-value threshold: go left when v <= threshold
+	binThresh uint8
+	left      int32
+	right     int32
+	value     float64
+}
+
+// Tree is a fitted regression tree.
+type Tree struct {
+	nodes []node
+	// Gain[f] accumulates the total variance reduction attributed to
+	// feature f — the raw material of GDBT feature importance (Fig 22).
+	Gain []float64
+}
+
+// Grow fits a regression tree on the given rows of a pre-binned dataset.
+// binned is feature-major (binned[f][row]), edges come from the Binner,
+// y are the targets, rows are the sample indices to use.
+func Grow(binned [][]uint8, binner *Binner, y []float64, rows []int, opts Options) (*Tree, error) {
+	if len(binned) == 0 || len(rows) == 0 {
+		return nil, errors.New("tree: empty input")
+	}
+	opts = opts.withDefaults()
+	t := &Tree{Gain: make([]float64, len(binned))}
+	work := append([]int(nil), rows...)
+	t.grow(binned, binner, y, work, 0, opts)
+	return t, nil
+}
+
+// Fit is a convenience for standalone trees: it bins X itself.
+func Fit(X [][]float64, y []float64, opts Options) (*Tree, *Binner, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, nil, errors.New("tree: bad input shape")
+	}
+	binner := NewBinner(X, MaxBins)
+	binned := binner.BinMatrix(X)
+	rows := make([]int, len(X))
+	for i := range rows {
+		rows[i] = i
+	}
+	t, err := Grow(binned, binner, y, rows, opts)
+	return t, binner, err
+}
+
+// grow recursively builds the subtree over rows and returns its node id.
+func (t *Tree) grow(binned [][]uint8, binner *Binner, y []float64, rows []int, depth int, opts Options) int32 {
+	var sum, sumsq float64
+	for _, r := range rows {
+		sum += y[r]
+		sumsq += y[r] * y[r]
+	}
+	n := float64(len(rows))
+	mean := sum / n
+	id := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{feature: -1, value: mean})
+
+	if depth >= opts.MaxDepth || len(rows) < 2*opts.MinLeaf {
+		return id
+	}
+	parentSSE := sumsq - sum*sum/n
+
+	bestFeat, bestBin := -1, 0
+	bestGain := 1e-12
+	var bestLeftCount int
+
+	features := t.pickFeatures(len(binned), opts)
+	// Histogram accumulation per candidate feature.
+	var histSum [MaxBins + 1]float64
+	var histCnt [MaxBins + 1]int
+	for _, f := range features {
+		col := binned[f]
+		nb := len(binner.Edges[f]) + 1
+		if nb < 2 {
+			continue
+		}
+		for b := 0; b < nb; b++ {
+			histSum[b] = 0
+			histCnt[b] = 0
+		}
+		for _, r := range rows {
+			b := col[r]
+			histSum[b] += y[r]
+			histCnt[b]++
+		}
+		var leftSum float64
+		var leftCnt int
+		for b := 0; b < nb-1; b++ {
+			leftSum += histSum[b]
+			leftCnt += histCnt[b]
+			rightCnt := len(rows) - leftCnt
+			if leftCnt < opts.MinLeaf || rightCnt < opts.MinLeaf {
+				continue
+			}
+			rightSum := sum - leftSum
+			// Gain = parent SSE - (left SSE + right SSE); with fixed
+			// sums of squares this reduces to the between-group term.
+			gain := leftSum*leftSum/float64(leftCnt) +
+				rightSum*rightSum/float64(rightCnt) - sum*sum/n
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestBin = b
+				bestLeftCount = leftCnt
+			}
+		}
+	}
+
+	if bestFeat < 0 || bestGain <= 1e-12 || parentSSE <= 0 {
+		return id
+	}
+
+	// Partition rows in place.
+	col := binned[bestFeat]
+	left := make([]int, 0, bestLeftCount)
+	right := make([]int, 0, len(rows)-bestLeftCount)
+	for _, r := range rows {
+		if int(col[r]) <= bestBin {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return id
+	}
+
+	t.Gain[bestFeat] += bestGain
+	t.nodes[id].feature = bestFeat
+	t.nodes[id].binThresh = uint8(bestBin)
+	t.nodes[id].threshold = binner.Edges[bestFeat][bestBin]
+	t.nodes[id].left = t.grow(binned, binner, y, left, depth+1, opts)
+	t.nodes[id].right = t.grow(binned, binner, y, right, depth+1, opts)
+	return id
+}
+
+// pickFeatures returns the candidate feature set for one split.
+func (t *Tree) pickFeatures(nf int, opts Options) []int {
+	k := int(math.Ceil(opts.FeatureFrac * float64(nf)))
+	if k >= nf || opts.Rng == nil {
+		all := make([]int, nf)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	perm := opts.Rng.Perm(nf)
+	return perm[:k]
+}
+
+// Predict returns the tree's estimate for one raw feature vector.
+func (t *Tree) Predict(x []float64) float64 {
+	i := int32(0)
+	for {
+		nd := &t.nodes[i]
+		if nd.feature < 0 {
+			return nd.value
+		}
+		if x[nd.feature] <= nd.threshold {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+}
+
+// PredictBinned returns the estimate for a pre-binned row (training-time
+// fast path used by gradient boosting).
+func (t *Tree) PredictBinned(binned [][]uint8, row int) float64 {
+	i := int32(0)
+	for {
+		nd := &t.nodes[i]
+		if nd.feature < 0 {
+			return nd.value
+		}
+		if binned[nd.feature][row] <= nd.binThresh {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+}
+
+// NumNodes returns the number of nodes (for tests and size accounting).
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// Depth returns the maximum depth of the tree.
+func (t *Tree) Depth() int {
+	var rec func(i int32) int
+	rec = func(i int32) int {
+		nd := &t.nodes[i]
+		if nd.feature < 0 {
+			return 0
+		}
+		l := rec(nd.left)
+		r := rec(nd.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return rec(0)
+}

@@ -1,0 +1,174 @@
+// Package mobility generates the kinematics of measurement passes: walking
+// and driving speed profiles along area trajectories (with stops at
+// traffic lights and rail crossings), plus the Android-style sensor error
+// models — AR(1)-correlated GPS noise with reported accuracy, compass
+// noise, and Google-Activity-Recognition-style detected activity — that
+// the paper's data-quality pipeline must contend with (§3.1).
+package mobility
+
+import (
+	"lumos5g/internal/env"
+	"lumos5g/internal/geo"
+	"lumos5g/internal/radio"
+	"lumos5g/internal/rng"
+)
+
+// Tick is one second of true (noise-free) UE kinematics.
+type Tick struct {
+	// Second is the elapsed time since the pass began.
+	Second int
+	// Arc is the arclength along the trajectory in meters.
+	Arc float64
+	// Pos is the true position in the area's local frame.
+	Pos geo.Point
+	// Heading is the true travel bearing in degrees.
+	Heading float64
+	// SpeedKmh is the true ground speed.
+	SpeedKmh float64
+	// Mode is the transport mode for this pass.
+	Mode radio.MobilityMode
+}
+
+// Walking profile constants: the paper's walking speeds hover 0–7 km/h.
+const (
+	walkMeanKmh = 4.7
+	walkStdKmh  = 0.9
+	walkMinKmh  = 0.4
+	walkMaxKmh  = 7.0
+)
+
+// Driving profile constants: 0–45 km/h in the Loop area with stops.
+const (
+	driveCruiseMeanKmh = 31.0
+	driveCruiseStdKmh  = 7.0
+	driveMaxKmh        = 45.0
+	driveAccelKmhPerS  = 6.5
+	stopTriggerMeters  = 12.0
+	stopProb           = 0.55
+	stopMinSeconds     = 8
+	stopMaxSeconds     = 35
+)
+
+// maxPassSeconds bounds a pass so a pathological profile cannot loop
+// forever.
+const maxPassSeconds = 3600
+
+// GeneratePass produces per-second kinematics for one traversal of the
+// trajectory. Driving passes slow to a stop near the area's StopPoints
+// with probability stopProb (red light / train), mirroring the paper's
+// Loop drives where speeds range 0–45 km/h with frequent halts. Loops are
+// traversed exactly once.
+func GeneratePass(a *env.Area, tr env.Trajectory, mode radio.MobilityMode, src *rng.Source) []Tick {
+	if len(tr.Waypoints) == 0 {
+		return nil
+	}
+	if mode == radio.Stationary {
+		// Stationary sessions hold one spot for 60 s.
+		pos := tr.At(0)
+		heading := tr.HeadingAt(0)
+		ticks := make([]Tick, 60)
+		for sec := range ticks {
+			ticks[sec] = Tick{Second: sec, Pos: pos, Heading: heading, Mode: mode}
+		}
+		return ticks
+	}
+	total := tr.Length()
+	if total <= 0 {
+		return nil
+	}
+
+	// Resolve stop points to arclengths for driving.
+	var stops []float64
+	if mode == radio.Driving {
+		for _, f := range a.StopPoints {
+			stops = append(stops, f*total)
+		}
+	}
+
+	var ticks []Tick
+	arc := 0.0
+	speed := 0.0 // km/h
+	// Per-pass base speeds: a walker keeps a fairly steady personal pace
+	// across one pass (tick-level jitter is small), which is what makes
+	// repeated passes of a trajectory comparable position-by-position.
+	walkBase := clampF(src.NormMeanStd(walkMeanKmh, walkStdKmh), 2.5, walkMaxKmh-0.5)
+	cruise := clampF(src.NormMeanStd(driveCruiseMeanKmh, driveCruiseStdKmh), 10, driveMaxKmh)
+	stopLeft := 0
+	passedStop := make([]bool, len(stops))
+
+	for sec := 0; sec < maxPassSeconds && arc < total; sec++ {
+		switch mode {
+		case radio.Walking:
+			speed = clampF(src.NormMeanStd(walkBase, 0.35), walkMinKmh, walkMaxKmh)
+			// Brief pauses (looking around, waiting at a crossing).
+			if src.Bool(0.01) {
+				speed = 0
+			}
+		case radio.Driving:
+			if stopLeft > 0 {
+				stopLeft--
+				speed = 0
+			} else {
+				// Check whether a stop point is just ahead.
+				trigger := false
+				for i, s := range stops {
+					if !passedStop[i] && arc <= s && s-arc < stopTriggerMeters {
+						passedStop[i] = true
+						if src.Bool(stopProb) {
+							trigger = true
+						}
+					}
+				}
+				if trigger {
+					stopLeft = stopMinSeconds + src.Intn(stopMaxSeconds-stopMinSeconds+1)
+					speed = 0
+				} else {
+					// Accelerate toward cruise with jitter.
+					target := clampF(cruise+src.NormMeanStd(0, 2.5), 0, driveMaxKmh)
+					if speed < target {
+						speed = minF(speed+driveAccelKmhPerS, target)
+					} else {
+						speed = maxF(speed-driveAccelKmhPerS, target)
+					}
+				}
+			}
+		}
+
+		pos := tr.At(arc)
+		heading := tr.HeadingAt(arc)
+		ticks = append(ticks, Tick{
+			Second:   sec,
+			Arc:      arc,
+			Pos:      pos,
+			Heading:  heading,
+			SpeedKmh: speed,
+			Mode:     mode,
+		})
+		arc += speed / 3.6 // km/h → m/s over one second
+	}
+	return ticks
+}
+
+func clampF(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,240 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"lumos5g/internal/env"
+	"lumos5g/internal/geo"
+	"lumos5g/internal/radio"
+	"lumos5g/internal/rng"
+)
+
+func TestWalkingPassCoversTrajectory(t *testing.T) {
+	a := env.Airport()
+	tr := a.Trajectories[0]
+	ticks := GeneratePass(a, tr, radio.Walking, rng.New(1))
+	if len(ticks) == 0 {
+		t.Fatal("no ticks")
+	}
+	// ~340 m at ~4.7 km/h ≈ 260 s; the paper says ~200 s sessions at a
+	// brisker pace — accept a broad window.
+	if len(ticks) < 150 || len(ticks) > 500 {
+		t.Fatalf("walking pass %d s, expected a few hundred", len(ticks))
+	}
+	last := ticks[len(ticks)-1]
+	if last.Arc < tr.Length()-10 {
+		t.Fatalf("pass ended at %v of %v m", last.Arc, tr.Length())
+	}
+	for _, tk := range ticks {
+		if tk.SpeedKmh < 0 || tk.SpeedKmh > 7.01 {
+			t.Fatalf("walking speed out of 0–7 km/h: %v", tk.SpeedKmh)
+		}
+		if tk.Mode != radio.Walking {
+			t.Fatal("mode mislabeled")
+		}
+	}
+}
+
+func TestTicksMonotone(t *testing.T) {
+	a := env.Intersection()
+	ticks := GeneratePass(a, a.Trajectories[3], radio.Walking, rng.New(2))
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i].Arc < ticks[i-1].Arc {
+			t.Fatal("arclength must be non-decreasing")
+		}
+		if ticks[i].Second != ticks[i-1].Second+1 {
+			t.Fatal("seconds must increase by 1")
+		}
+	}
+}
+
+func TestDrivingPassSpeedsAndStops(t *testing.T) {
+	a := env.Loop()
+	ticks := GeneratePass(a, a.Trajectories[0], radio.Driving, rng.New(3))
+	if len(ticks) == 0 {
+		t.Fatal("no ticks")
+	}
+	var maxSpeed float64
+	stopped := 0
+	for _, tk := range ticks {
+		if tk.SpeedKmh < 0 || tk.SpeedKmh > 45.01 {
+			t.Fatalf("driving speed out of 0–45 km/h: %v", tk.SpeedKmh)
+		}
+		if tk.SpeedKmh > maxSpeed {
+			maxSpeed = tk.SpeedKmh
+		}
+		if tk.SpeedKmh == 0 {
+			stopped++
+		}
+	}
+	if maxSpeed < 15 {
+		t.Fatalf("driving never got fast: max %v", maxSpeed)
+	}
+	// Across several seeds, at least one pass must include a stop.
+	totalStops := stopped
+	for seed := uint64(4); seed < 10; seed++ {
+		for _, tk := range GeneratePass(a, a.Trajectories[0], radio.Driving, rng.New(seed)) {
+			if tk.SpeedKmh == 0 {
+				totalStops++
+			}
+		}
+	}
+	if totalStops == 0 {
+		t.Fatal("no stops at lights across 7 driving passes")
+	}
+}
+
+func TestDrivingFasterThanWalking(t *testing.T) {
+	a := env.Loop()
+	walk := GeneratePass(a, a.Trajectories[0], radio.Walking, rng.New(5))
+	drive := GeneratePass(a, a.Trajectories[0], radio.Driving, rng.New(5))
+	if len(drive) >= len(walk) {
+		t.Fatalf("driving (%d s) should finish faster than walking (%d s)", len(drive), len(walk))
+	}
+}
+
+func TestStationaryPass(t *testing.T) {
+	a := env.Airport()
+	ticks := GeneratePass(a, a.Trajectories[0], radio.Stationary, rng.New(6))
+	if len(ticks) != 60 {
+		t.Fatalf("stationary session = %d s, want 60", len(ticks))
+	}
+	for _, tk := range ticks {
+		if tk.SpeedKmh != 0 || tk.Arc != 0 {
+			t.Fatal("stationary UE should not move")
+		}
+	}
+}
+
+func TestGeneratePassDeterministic(t *testing.T) {
+	a := env.Airport()
+	t1 := GeneratePass(a, a.Trajectories[0], radio.Walking, rng.New(42))
+	t2 := GeneratePass(a, a.Trajectories[0], radio.Walking, rng.New(42))
+	if len(t1) != len(t2) {
+		t.Fatal("same seed, different pass lengths")
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("tick %d differs", i)
+		}
+	}
+}
+
+func TestEmptyTrajectory(t *testing.T) {
+	a := env.Airport()
+	if ticks := GeneratePass(a, env.Trajectory{}, radio.Walking, rng.New(1)); ticks != nil {
+		t.Fatal("empty trajectory should produce no ticks")
+	}
+}
+
+func TestGPSModelErrorScale(t *testing.T) {
+	src := rng.New(7)
+	g := NewGPSModel(src)
+	truePos := geo.Point{X: 100, Y: 100}
+	var sumErr float64
+	n := 5000
+	badAcc := 0
+	for i := 0; i < n; i++ {
+		meas, acc := g.Observe(truePos)
+		sumErr += meas.Dist(truePos)
+		if acc > 5 {
+			badAcc++
+		}
+	}
+	meanErr := sumErr / float64(n)
+	if meanErr < 0.5 || meanErr > 5 {
+		t.Fatalf("mean GPS error = %v m, want a couple of meters", meanErr)
+	}
+	// Degraded episodes must occur but stay the minority.
+	if badAcc == 0 {
+		t.Fatal("no degraded GPS episodes in 5000 s")
+	}
+	if badAcc > n/3 {
+		t.Fatalf("too many degraded samples: %d/%d", badAcc, n)
+	}
+}
+
+func TestGPSTemporalCorrelation(t *testing.T) {
+	g := NewGPSModel(rng.New(8))
+	truePos := geo.Point{}
+	var prev geo.Point
+	var jumpSum float64
+	n := 2000
+	for i := 0; i < n; i++ {
+		meas, _ := g.Observe(truePos)
+		if i > 0 {
+			jumpSum += meas.Dist(prev)
+		}
+		prev = meas
+	}
+	meanJump := jumpSum / float64(n-1)
+	// AR(1) with rho=0.85 means successive fixes move much less than the
+	// full error magnitude.
+	if meanJump > 3 {
+		t.Fatalf("GPS fixes jump %v m/s — not temporally correlated", meanJump)
+	}
+}
+
+func TestCompassModel(t *testing.T) {
+	c := NewCompassModel(rng.New(9))
+	var sumAbs float64
+	n := 2000
+	for i := 0; i < n; i++ {
+		meas, acc := c.Observe(90)
+		d := geo.AngularDiff(meas, 90)
+		sumAbs += d
+		if acc <= 0 {
+			t.Fatal("accuracy must be positive")
+		}
+		if meas < 0 || meas >= 360 {
+			t.Fatalf("heading not normalized: %v", meas)
+		}
+	}
+	mean := sumAbs / float64(n)
+	if mean < 1 || mean > 15 {
+		t.Fatalf("mean compass error = %v°, want a few degrees", mean)
+	}
+}
+
+func TestSpeedNoise(t *testing.T) {
+	src := rng.New(10)
+	for i := 0; i < 1000; i++ {
+		v := SpeedNoise(5, src)
+		if v < 0 {
+			t.Fatal("speed cannot be negative")
+		}
+		if math.Abs(v-5) > 3 {
+			t.Fatalf("speed noise too large: %v", v)
+		}
+	}
+	if SpeedNoise(0, src) < 0 {
+		t.Fatal("zero speed should clamp at 0")
+	}
+}
+
+func TestDetectedActivity(t *testing.T) {
+	if a := DetectedActivity(radio.Walking, 4, nil); a != "walking" {
+		t.Fatalf("walking → %s", a)
+	}
+	if a := DetectedActivity(radio.Driving, 30, nil); a != "in_vehicle" {
+		t.Fatalf("driving → %s", a)
+	}
+	if a := DetectedActivity(radio.Stationary, 0, nil); a != "still" {
+		t.Fatalf("stationary → %s", a)
+	}
+	if a := DetectedActivity(radio.Driving, 0.1, nil); a != "still" {
+		t.Fatalf("stopped car → %s", a)
+	}
+	// With a source, mislabels happen occasionally but rarely.
+	src := rng.New(11)
+	mislabels := 0
+	for i := 0; i < 1000; i++ {
+		if DetectedActivity(radio.Walking, 4, src) != "walking" {
+			mislabels++
+		}
+	}
+	if mislabels == 0 || mislabels > 100 {
+		t.Fatalf("mislabel rate %d/1000, want a few percent", mislabels)
+	}
+}

@@ -1,0 +1,127 @@
+package mobility
+
+import (
+	"math"
+
+	"lumos5g/internal/geo"
+	"lumos5g/internal/radio"
+	"lumos5g/internal/rng"
+)
+
+// GPSModel injects temporally correlated positioning error, mimicking the
+// Android Location API. The paper discards samples whose reported GPS
+// accuracy exceeds 5 m along the trajectory (§3.1), so the model both
+// perturbs positions and reports an accuracy estimate, and occasionally
+// enters a degraded episode (urban canyon, indoor drift) whose samples the
+// quality filter must drop.
+type GPSModel struct {
+	src  *rng.Source
+	errX float64
+	errY float64
+	// degradedLeft counts remaining seconds of a bad-GPS episode.
+	degradedLeft int
+}
+
+// GPS noise parameters.
+const (
+	gpsSigmaGood  = 1.6  // steady-state error std dev per axis, meters
+	gpsSigmaBad   = 7.5  // degraded episodes
+	gpsRho        = 0.85 // AR(1) temporal correlation
+	gpsBadProb    = 0.004
+	gpsBadMinSecs = 15
+	gpsBadMaxSecs = 45
+)
+
+// NewGPSModel creates a GPS error model with its own random stream.
+func NewGPSModel(src *rng.Source) *GPSModel {
+	return &GPSModel{src: src}
+}
+
+// Observe perturbs a true position and returns the measured position along
+// with the accuracy the API would report (meters, 68% circle-ish).
+func (g *GPSModel) Observe(truePos geo.Point) (measured geo.Point, accuracy float64) {
+	sigma := gpsSigmaGood
+	if g.degradedLeft > 0 {
+		g.degradedLeft--
+		sigma = gpsSigmaBad
+	} else if g.src.Bool(gpsBadProb) {
+		g.degradedLeft = gpsBadMinSecs + g.src.Intn(gpsBadMaxSecs-gpsBadMinSecs+1)
+		sigma = gpsSigmaBad
+	}
+	innov := sigma * math.Sqrt(1-gpsRho*gpsRho)
+	g.errX = gpsRho*g.errX + g.src.NormMeanStd(0, innov)
+	g.errY = gpsRho*g.errY + g.src.NormMeanStd(0, innov)
+	measured = geo.Point{X: truePos.X + g.errX, Y: truePos.Y + g.errY}
+	// Reported accuracy tracks the real error scale with estimation noise,
+	// as real GNSS chipsets do.
+	accuracy = math.Abs(sigma*1.2 + g.src.NormMeanStd(0, 0.4))
+	return measured, accuracy
+}
+
+// CompassModel injects bearing noise with a slowly wandering bias, as
+// magnetometer-based azimuth readings exhibit.
+type CompassModel struct {
+	src  *rng.Source
+	bias float64
+}
+
+const (
+	compassNoiseDeg    = 4.0
+	compassBiasWalkDeg = 0.3
+	compassBiasMaxDeg  = 8.0
+)
+
+// NewCompassModel creates a compass error model.
+func NewCompassModel(src *rng.Source) *CompassModel {
+	return &CompassModel{src: src}
+}
+
+// Observe perturbs a true heading and returns the measured heading plus an
+// accuracy class (degrees of expected error).
+func (c *CompassModel) Observe(trueHeading float64) (measured, accuracy float64) {
+	c.bias += c.src.NormMeanStd(0, compassBiasWalkDeg)
+	if c.bias > compassBiasMaxDeg {
+		c.bias = compassBiasMaxDeg
+	}
+	if c.bias < -compassBiasMaxDeg {
+		c.bias = -compassBiasMaxDeg
+	}
+	measured = geo.Normalize360(trueHeading + c.bias + c.src.NormMeanStd(0, compassNoiseDeg))
+	accuracy = compassNoiseDeg + math.Abs(c.bias)
+	return measured, accuracy
+}
+
+// SpeedNoise perturbs the reported ground speed the way Location.getSpeed
+// does (small multiplicative + additive error, clamped at zero).
+func SpeedNoise(trueKmh float64, src *rng.Source) float64 {
+	v := trueKmh*(1+src.NormMeanStd(0, 0.05)) + src.NormMeanStd(0, 0.15)
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// DetectedActivity mimics Google's Activity Recognition API labels from
+// the transport mode and instantaneous speed.
+func DetectedActivity(mode radio.MobilityMode, speedKmh float64, src *rng.Source) string {
+	// The recognizer occasionally mislabels (~3%).
+	if src != nil && src.Bool(0.03) {
+		choices := []string{"still", "walking", "in_vehicle", "on_foot", "unknown"}
+		return choices[src.Intn(len(choices))]
+	}
+	switch mode {
+	case radio.Stationary:
+		return "still"
+	case radio.Walking:
+		if speedKmh < 0.3 {
+			return "still"
+		}
+		return "walking"
+	case radio.Driving:
+		if speedKmh < 0.3 {
+			return "still"
+		}
+		return "in_vehicle"
+	}
+	return "unknown"
+}

@@ -1,0 +1,118 @@
+package netem
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultConnections matches the paper's measurement app, which opens 8
+// parallel TCP connections because one cannot saturate the 5G downlink.
+const DefaultConnections = 8
+
+// Client performs bulk-download throughput measurements.
+type Client struct {
+	// Connections is the parallel TCP connection count. <=0 means 8.
+	Connections int
+	// SampleInterval is the reporting granularity. <=0 means 1 s; tests
+	// shorten it so they stay fast.
+	SampleInterval time.Duration
+}
+
+// Measure downloads from addr over the configured number of parallel
+// connections for the given number of samples, returning the per-interval
+// application-layer throughput in Mbps — the exact quantity the paper
+// records as ground truth every second.
+func (c *Client) Measure(ctx context.Context, addr string, samples int) ([]float64, error) {
+	conns := c.Connections
+	if conns <= 0 {
+		conns = DefaultConnections
+	}
+	interval := c.SampleInterval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if samples <= 0 {
+		return nil, fmt.Errorf("netem: samples must be positive")
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var bytesRead int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, conns)
+	opened := make([]net.Conn, 0, conns)
+	for i := 0; i < conns; i++ {
+		conn, err := (&net.Dialer{}).DialContext(ctx, "tcp", addr)
+		if err != nil {
+			for _, cn := range opened {
+				cn.Close()
+			}
+			return nil, fmt.Errorf("netem: dial %s: %w", addr, err)
+		}
+		opened = append(opened, conn)
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			buf := make([]byte, 64*1024)
+			for {
+				n, err := conn.Read(buf)
+				atomic.AddInt64(&bytesRead, int64(n))
+				if err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(conn)
+	}
+	// Ensure readers terminate when the measurement window ends.
+	go func() {
+		<-ctx.Done()
+		for _, cn := range opened {
+			cn.Close()
+		}
+	}()
+
+	out := make([]float64, 0, samples)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for len(out) < samples {
+		select {
+		case <-ctx.Done():
+			cancel()
+			wg.Wait()
+			return out, ctx.Err()
+		case <-ticker.C:
+			n := atomic.SwapInt64(&bytesRead, 0)
+			mbps := float64(n) * 8 / interval.Seconds() / 1e6
+			out = append(out, mbps)
+		}
+	}
+	cancel()
+	wg.Wait()
+	return out, nil
+}
+
+// MeasureOnce is a convenience wrapper returning the mean throughput over
+// the given number of samples.
+func (c *Client) MeasureOnce(ctx context.Context, addr string, samples int) (float64, error) {
+	vals, err := c.Measure(ctx, addr, samples)
+	if err != nil {
+		return 0, err
+	}
+	if len(vals) == 0 {
+		return 0, fmt.Errorf("netem: no samples collected")
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals)), nil
+}

@@ -1,0 +1,205 @@
+package netem
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+// measure runs a shaped server + client and returns per-interval Mbps.
+func measure(t *testing.T, sh *Shaper, conns, samples int, interval time.Duration) []float64 {
+	t.Helper()
+	srv, err := NewServer(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := &Client{Connections: conns, SampleInterval: interval}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	vals, err := c.Measure(ctx, srv.Addr(), samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vals
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestShapedThroughputMatchesRate(t *testing.T) {
+	const rateMbps = 200.0
+	sh := NewShaper(rateMbps * 1e6)
+	vals := measure(t, sh, 8, 4, 250*time.Millisecond)
+	// Skip the first interval (TCP ramp); average the rest.
+	m := mean(vals[1:])
+	if math.Abs(m-rateMbps)/rateMbps > 0.25 {
+		t.Fatalf("measured %v Mbps, want ~%v", m, rateMbps)
+	}
+}
+
+func TestRateChangeMidRun(t *testing.T) {
+	sh := NewShaper(300e6)
+	srv, err := NewServer(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := &Client{Connections: 4, SampleInterval: 200 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	go func() {
+		time.Sleep(600 * time.Millisecond)
+		sh.SetRate(50e6) // mimic walking into a dead zone
+	}()
+	vals, err := c.Measure(ctx, srv.Addr(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early := mean(vals[1:3])
+	late := mean(vals[5:])
+	if late >= early/2 {
+		t.Fatalf("rate drop not visible: early %v, late %v", early, late)
+	}
+}
+
+func TestSharedShaperSplitsAcrossSessions(t *testing.T) {
+	// Two clients on one shaped server — the Fig 21 congestion mechanism
+	// over real TCP: aggregate stays at the cap, each gets about half.
+	sh := NewShaper(160e6)
+	srv, err := NewServer(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	type res struct {
+		mean float64
+		err  error
+	}
+	ch := make(chan res, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			c := &Client{Connections: 4, SampleInterval: 250 * time.Millisecond}
+			vals, err := c.Measure(ctx, srv.Addr(), 5)
+			if err != nil {
+				ch <- res{0, err}
+				return
+			}
+			ch <- res{mean(vals[1:]), nil}
+		}()
+	}
+	r1, r2 := <-ch, <-ch
+	if r1.err != nil || r2.err != nil {
+		t.Fatal(r1.err, r2.err)
+	}
+	total := r1.mean + r2.mean
+	if math.Abs(total-160)/160 > 0.3 {
+		t.Fatalf("aggregate %v Mbps, want ~160", total)
+	}
+	// TCP fairness over loopback is rough; both sessions must at least
+	// make real progress.
+	if r1.mean < 20 || r2.mean < 20 {
+		t.Fatalf("unfair split: %v / %v", r1.mean, r2.mean)
+	}
+}
+
+func TestPerConnCapNeedsParallelism(t *testing.T) {
+	// With a per-connection cap of 1/4 the link, a single connection
+	// cannot saturate — the paper's reason for 8 parallel streams.
+	sh := NewShaper(200e6)
+	sh.SetPerConnRate(50e6)
+	one := measure(t, sh, 1, 4, 250*time.Millisecond)
+	sh2 := NewShaper(200e6)
+	sh2.SetPerConnRate(50e6)
+	eight := measure(t, sh2, 8, 4, 250*time.Millisecond)
+	mOne, mEight := mean(one[1:]), mean(eight[1:])
+	if mOne > 75 {
+		t.Fatalf("single capped connection hit %v Mbps, cap is 50", mOne)
+	}
+	if mEight < mOne*2 {
+		t.Fatalf("8 connections (%v) should far exceed 1 (%v)", mEight, mOne)
+	}
+}
+
+func TestShaperTakeRespectsContext(t *testing.T) {
+	sh := NewShaper(8) // 1 byte/sec
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := sh.Take(ctx, 1<<20)
+	if err == nil {
+		t.Fatal("Take of a huge chunk at 1 B/s must time out")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Take did not honor the context promptly")
+	}
+}
+
+func TestShaperRateAccessors(t *testing.T) {
+	sh := NewShaper(1e6)
+	if sh.Rate() != 1e6 {
+		t.Fatal("Rate")
+	}
+	sh.SetRate(0) // clamps to 1
+	if sh.Rate() != 1 {
+		t.Fatal("SetRate clamp")
+	}
+	sh.SetPerConnRate(5e5)
+	if sh.PerConnRate() != 5e5 {
+		t.Fatal("PerConnRate")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := NewServer(NewShaper(1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal("second close should be nil")
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	c := &Client{}
+	if _, err := c.Measure(context.Background(), "127.0.0.1:1", 1); err == nil {
+		t.Fatal("dialing a closed port should error")
+	}
+	srv, _ := NewServer(NewShaper(1e6))
+	defer srv.Close()
+	if _, err := c.Measure(context.Background(), srv.Addr(), 0); err == nil {
+		t.Fatal("zero samples should error")
+	}
+}
+
+func TestMeasureOnce(t *testing.T) {
+	sh := NewShaper(100e6)
+	srv, err := NewServer(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := &Client{Connections: 4, SampleInterval: 200 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	m, err := c.MeasureOnce(ctx, srv.Addr(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m < 30 || m > 140 {
+		t.Fatalf("MeasureOnce = %v Mbps at a 100 Mbps cap", m)
+	}
+}

@@ -1,0 +1,133 @@
+package netem
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"lumos5g/internal/env"
+	"lumos5g/internal/mobility"
+	"lumos5g/internal/radio"
+	"lumos5g/internal/rng"
+)
+
+// Platform is the end-to-end measurement app analog: a simulated UE walks
+// a trajectory while a real TCP bulk download runs against a local server
+// whose token-bucket rate is driven by the radio model each tick — the
+// full §3.1 pipeline (radio bottleneck → 8 parallel TCP connections →
+// per-interval application-layer throughput samples).
+type Platform struct {
+	// Connections is the parallel TCP count (0 = the paper's 8).
+	Connections int
+	// TickInterval compresses simulated seconds into wall-clock time
+	// (0 = 100 ms per simulated second, so a 200 s pass runs in 20 s).
+	TickInterval time.Duration
+}
+
+// LiveSample pairs the radio model's offered rate with the throughput the
+// TCP stack actually delivered in one tick.
+type LiveSample struct {
+	Second       int
+	OfferedMbps  float64 // radio model's link rate fed to the shaper
+	MeasuredMbps float64 // application-layer TCP goodput
+}
+
+// RunPass walks the trajectory once (mode walking) and measures over real
+// TCP. It returns one LiveSample per simulated second.
+func (p *Platform) RunPass(ctx context.Context, a *env.Area, trajIdx int, seed uint64) ([]LiveSample, error) {
+	if trajIdx < 0 || trajIdx >= len(a.Trajectories) {
+		return nil, fmt.Errorf("netem: trajectory index %d out of range", trajIdx)
+	}
+	conns := p.Connections
+	if conns <= 0 {
+		conns = DefaultConnections
+	}
+	tick := p.TickInterval
+	if tick <= 0 {
+		tick = 100 * time.Millisecond
+	}
+
+	envr, lte := a.Realize(seed)
+	src := rng.New(seed).SplitLabeled("platform")
+	ticks := mobility.GeneratePass(a, a.Trajectories[trajIdx], radio.Walking, src.SplitLabeled("kinematics"))
+	if len(ticks) == 0 {
+		return nil, fmt.Errorf("netem: empty pass")
+	}
+	conn := radio.NewConnection(envr, lte, src.SplitLabeled("radio"))
+
+	shaper := NewShaper(1e6)
+	srv, err := NewServer(shaper)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// The client samples once per tick; we adjust the shaper just before
+	// each sample window opens.
+	client := &Client{Connections: conns, SampleInterval: tick}
+	type measured struct {
+		vals []float64
+		err  error
+	}
+	done := make(chan measured, 1)
+
+	// Pre-compute offered rates by ticking the radio model.
+	offered := make([]float64, len(ticks))
+	for i, tk := range ticks {
+		ue := radio.UEState{Pos: tk.Pos, Heading: tk.Heading, SpeedKmh: tk.SpeedKmh, Mode: tk.Mode}
+		obs := conn.Tick(ue, 0)
+		offered[i] = obs.ThroughputMbps
+	}
+
+	// Drive the shaper in lockstep with the client's sampling clock.
+	go func() {
+		vals, err := client.Measure(ctx, srv.Addr(), len(offered))
+		done <- measured{vals, err}
+	}()
+	shaper.SetRate(maxF(offered[0], 1) * 1e6)
+	driver := time.NewTicker(tick)
+	defer driver.Stop()
+	i := 1
+	for i < len(offered) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case m := <-done:
+			// Client finished early (error): surface it.
+			if m.err != nil {
+				return nil, m.err
+			}
+			return zipSamples(offered, m.vals), nil
+		case <-driver.C:
+			shaper.SetRate(maxF(offered[i], 1) * 1e6)
+			i++
+		}
+	}
+	m := <-done
+	if m.err != nil && len(m.vals) == 0 {
+		return nil, m.err
+	}
+	return zipSamples(offered, m.vals), nil
+}
+
+func zipSamples(offered, vals []float64) []LiveSample {
+	n := len(vals)
+	if len(offered) < n {
+		n = len(offered)
+	}
+	out := make([]LiveSample, n)
+	for i := 0; i < n; i++ {
+		out[i] = LiveSample{Second: i, OfferedMbps: offered[i], MeasuredMbps: vals[i]}
+	}
+	return out
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,48 @@
+package netem
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"lumos5g/internal/env"
+	"lumos5g/internal/stats"
+)
+
+func TestPlatformLivePassTracksRadioModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live TCP pass takes tens of seconds")
+	}
+	p := &Platform{Connections: 4, TickInterval: 60 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	samples, err := p.RunPass(ctx, env.Airport(), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 100 {
+		t.Fatalf("only %d live samples", len(samples))
+	}
+	var offered, measured []float64
+	for _, s := range samples[2:] { // skip TCP ramp-up
+		offered = append(offered, s.OfferedMbps)
+		measured = append(measured, s.MeasuredMbps)
+	}
+	// The TCP-measured series must track the radio model's offered rate:
+	// strong rank correlation and comparable medians.
+	rho := stats.Spearman(offered, measured)
+	if rho < 0.7 {
+		t.Fatalf("TCP goodput decorrelated from offered rate: Spearman %.2f", rho)
+	}
+	mo, mm := stats.Median(offered), stats.Median(measured)
+	if mm < mo*0.5 || mm > mo*1.3 {
+		t.Fatalf("median goodput %v vs offered %v", mm, mo)
+	}
+}
+
+func TestPlatformValidation(t *testing.T) {
+	p := &Platform{}
+	if _, err := p.RunPass(context.Background(), env.Airport(), 99, 1); err == nil {
+		t.Fatal("bad trajectory index should error")
+	}
+}

@@ -1,0 +1,113 @@
+package netem
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// chunkSize is the server's write unit. Small enough that shaping stays
+// responsive at low rates, large enough to avoid syscall overload.
+const chunkSize = 16 * 1024
+
+// Server is a bulk-transfer TCP server: every accepted connection
+// receives an endless stream of bytes, throttled by the shared Shaper —
+// the stand-in for the paper's cloud-hosted iPerf servers whose wired
+// side sustains >3 Gbps so that the radio link is always the bottleneck.
+type Server struct {
+	shaper *Shaper
+	ln     net.Listener
+
+	mu     sync.Mutex
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewServer starts a server on 127.0.0.1 (ephemeral port) shaped by sh.
+func NewServer(sh *Shaper) (*Server, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("netem: listen: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{shaper: sh, ln: ln, cancel: cancel}
+	s.wg.Add(1)
+	go s.acceptLoop(ctx)
+	return s, nil
+}
+
+// Addr returns the server's dial address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop(ctx context.Context) {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(ctx, conn)
+		}()
+	}
+}
+
+// serve streams shaped bytes until the peer disconnects or the server
+// closes.
+func (s *Server) serve(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	// Close the connection promptly when the server shuts down.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-done:
+		}
+	}()
+
+	buf := make([]byte, chunkSize)
+	for i := range buf {
+		buf[i] = byte(i * 31)
+	}
+	var perConn *Shaper
+	for {
+		if err := s.shaper.Take(ctx, len(buf)); err != nil {
+			return
+		}
+		if cap := s.shaper.PerConnRate(); cap > 0 {
+			if perConn == nil {
+				perConn = NewShaper(cap)
+			} else {
+				perConn.SetRate(cap)
+			}
+			if err := perConn.Take(ctx, len(buf)); err != nil {
+				return
+			}
+		}
+		if _, err := conn.Write(buf); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, tears down live connections and waits for the
+// handlers to finish. Safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}

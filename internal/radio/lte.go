@@ -1,0 +1,79 @@
+package radio
+
+import (
+	"math"
+
+	"lumos5g/internal/geo"
+	"lumos5g/internal/rng"
+)
+
+// LTE fallback model. In NSA deployments the UE drops to the co-located
+// 4G anchor whenever the mmWave link is unusable. LTE at these frequencies
+// is nearly omni-directional and far less location-sensitive, so a simple
+// distance-damped log-normal model suffices — the paper's own A.4
+// comparison shows 4G throughput is well predicted by location alone with
+// MAE ≈ 26–69 Mbps, i.e. it has low variance.
+const (
+	// lteMedianMbps is the median LTE throughput near the anchor.
+	lteMedianMbps = 95.0
+	// lteSigma is the log-scale deviation of the LTE rate.
+	lteSigma = 0.35
+	// ltePeakMbps caps LTE-A carrier aggregation bursts.
+	ltePeakMbps = 230.0
+	// lteRangeMeters is the soft radius over which LTE rate halves.
+	lteRangeMeters = 600.0
+)
+
+// LTEModel generates 4G anchor throughput and signal strength.
+type LTEModel struct {
+	// AnchorPos is the 4G tower position (co-located with 5G towers in
+	// NSA mode, §2.1).
+	AnchorPos geo.Point
+	// Shadow provides spatially stable variation, shared with the 5G
+	// environment realisation.
+	Shadow *ShadowField
+}
+
+// lteShadowPanelID is a reserved pseudo-panel ID for the LTE shadow layer
+// so it never collides with real 5G panel IDs.
+const lteShadowPanelID = -1
+
+// ThroughputMbps returns an LTE throughput sample at pos.
+func (m *LTEModel) ThroughputMbps(pos geo.Point, src *rng.Source) float64 {
+	d := m.AnchorPos.Dist(pos)
+	distFactor := 1.0 / (1.0 + d/lteRangeMeters)
+	shadow := 0.0
+	if m.Shadow != nil {
+		// ±3 dB-ish stable spatial texture, converted to a linear factor.
+		shadow = m.Shadow.At(lteShadowPanelID, pos, 1.0) * 0.15
+	}
+	rate := lteMedianMbps * distFactor * src.LogNormal(shadow, lteSigma)
+	if rate > ltePeakMbps {
+		rate = ltePeakMbps
+	}
+	if rate < 1 {
+		rate = 1
+	}
+	return rate
+}
+
+// RSRPdBm returns an LTE reference signal received power estimate at pos.
+func (m *LTEModel) RSRPdBm(pos geo.Point, src *rng.Source) float64 {
+	d := m.AnchorPos.Dist(pos)
+	if d < 1 {
+		d = 1
+	}
+	// Simple 3.5-exponent macro model at 1.9 GHz with small noise.
+	rsrp := -60 - 35*math.Log10(d/10)
+	if m.Shadow != nil {
+		rsrp += m.Shadow.At(lteShadowPanelID, pos, 4)
+	}
+	rsrp += src.NormMeanStd(0, 1.5)
+	if rsrp < -130 {
+		rsrp = -130
+	}
+	if rsrp > -55 {
+		rsrp = -55
+	}
+	return rsrp
+}

@@ -1,0 +1,94 @@
+package radio
+
+import (
+	"math"
+
+	"lumos5g/internal/geo"
+)
+
+// Path-loss model constants (3GPP TR 38.901 UMi-Street-Canyon inspired).
+const (
+	plConstLoS   = 32.4
+	plExpLoS     = 21.0 // 10×path-loss-exponent (2.1) for LoS
+	plExpNLoSAdd = 10.0 // extra exponent term applied on NLoS links
+	// shadowSigmaLoSDB / shadowSigmaNLoSDB are the log-normal shadowing
+	// standard deviations.
+	shadowSigmaLoSDB  = 4.0
+	shadowSigmaNLoSDB = 7.5
+	// shadowCellMeters is the spatial correlation grid for shadowing;
+	// shadowing is a deterministic function of (seed, panel, grid cell),
+	// bilinearly interpolated, so locations have *stable* good and bad
+	// patches across repeated passes — exactly the patch structure the
+	// paper's throughput maps exhibit (Fig 6).
+	shadowCellMeters = 8.0
+	// fastFadeSigmaDB is the per-sample small-scale fading deviation.
+	fastFadeSigmaDB = 2.5
+	// blockageCapDB caps total obstacle penetration loss.
+	blockageCapDB = 38.0
+)
+
+// FreeSpacePathLossDB returns the LoS path loss at distance d meters.
+func FreeSpacePathLossDB(d float64) float64 {
+	if d < 1 {
+		d = 1
+	}
+	return plConstLoS + plExpLoS*math.Log10(d) + 20*math.Log10(CarrierGHz)
+}
+
+// NLoSExtraPathLossDB returns the additional distance-dependent loss on
+// NLoS links (steeper effective path-loss exponent).
+func NLoSExtraPathLossDB(d float64) float64 {
+	if d < 1 {
+		d = 1
+	}
+	return plExpNLoSAdd * math.Log10(d)
+}
+
+// ShadowField produces spatially correlated, deterministic shadowing.
+// Its zero value is unusable; construct with NewShadowField.
+type ShadowField struct {
+	seed uint64
+}
+
+// NewShadowField creates a shadow field for one environment realisation.
+func NewShadowField(seed uint64) *ShadowField {
+	return &ShadowField{seed: seed}
+}
+
+// hashUnit maps (panelID, col, row) deterministically to a standard
+// normal-ish deviate using a SplitMix64-style finalizer over the tuple.
+func (s *ShadowField) hashUnit(panelID, col, row int) float64 {
+	h := s.seed
+	for _, v := range [3]uint64{uint64(panelID), uint64(uint32(col)), uint64(uint32(row))} {
+		h ^= v + 0x9E3779B97F4A7C15 + (h << 6) + (h >> 2)
+	}
+	h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+	h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+	h ^= h >> 31
+	// Sum of 4 uniforms, centered and scaled: approximately N(0,1).
+	var sum float64
+	for i := 0; i < 4; i++ {
+		h = h*6364136223846793005 + 1442695040888963407
+		sum += float64(h>>11) / (1 << 53)
+	}
+	return (sum - 2) * math.Sqrt(3) // variance of sum of 4 U(0,1) is 1/3
+}
+
+// At returns the shadowing value in dB for the given panel at the given
+// position, with standard deviation sigma. Values are bilinearly
+// interpolated between the correlation grid nodes, so nearby positions
+// shadow alike.
+func (s *ShadowField) At(panelID int, pos geo.Point, sigma float64) float64 {
+	fx := pos.X / shadowCellMeters
+	fy := pos.Y / shadowCellMeters
+	x0 := int(math.Floor(fx))
+	y0 := int(math.Floor(fy))
+	tx := fx - float64(x0)
+	ty := fy - float64(y0)
+	v00 := s.hashUnit(panelID, x0, y0)
+	v10 := s.hashUnit(panelID, x0+1, y0)
+	v01 := s.hashUnit(panelID, x0, y0+1)
+	v11 := s.hashUnit(panelID, x0+1, y0+1)
+	v := v00*(1-tx)*(1-ty) + v10*tx*(1-ty) + v01*(1-tx)*ty + v11*tx*ty
+	return v * sigma
+}

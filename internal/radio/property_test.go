@@ -1,0 +1,90 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lumos5g/internal/geo"
+	"lumos5g/internal/rng"
+)
+
+// TestLinkBudgetFiniteProperty: for any UE placement, heading, speed and
+// mode, the link budget must produce finite values, symmetric angles in
+// range, and non-negative throughput.
+func TestLinkBudgetFiniteProperty(t *testing.T) {
+	env := testEnv()
+	check := func(seed uint64) bool {
+		src := rng.New(seed)
+		ue := UEState{
+			Pos:      geo.Point{X: src.Range(-500, 500), Y: src.Range(-500, 500)},
+			Heading:  src.Range(0, 360),
+			SpeedKmh: src.Range(0, 45),
+			Mode:     MobilityMode(src.Intn(3)),
+		}
+		l := env.EvalLink(&env.Panels[0], ue, src)
+		if math.IsNaN(l.RxPowerDB) || math.IsInf(l.RxPowerDB, 0) {
+			return false
+		}
+		if l.ThetaP < 0 || l.ThetaP >= 360 || l.ThetaM < 0 || l.ThetaM >= 360 {
+			return false
+		}
+		if l.Distance < 0 {
+			return false
+		}
+		tp := l.ThroughputMbps(1)
+		return tp >= 0 && tp <= MaxThroughputMbps()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGainPatternBoundedProperty: antenna gain is always within
+// [boresight - maxAttenuation, boresight].
+func TestGainPatternBoundedProperty(t *testing.T) {
+	p := Panel{ID: 1}
+	check := func(thetaRaw int16) bool {
+		g := p.GainDBi(float64(thetaRaw))
+		return g <= maxPanelGainDBi+1e-9 && g >= maxPanelGainDBi-maxAttenuationDB-1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConnectionNeverNegativeThroughputProperty: however the UE moves,
+// every tick's throughput is non-negative and finite, and signal fields
+// stay in their 3GPP reporting ranges while on NR.
+func TestConnectionNeverNegativeThroughputProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		src := rng.New(seed)
+		env := testEnv()
+		c := NewConnection(env, &LTEModel{AnchorPos: geo.Point{X: 0, Y: 0}, Shadow: env.Shadow}, src.Split())
+		pos := geo.Point{X: src.Range(-100, 100), Y: src.Range(-100, 100)}
+		for i := 0; i < 60; i++ {
+			// Random walk.
+			pos.X += src.Range(-3, 3)
+			pos.Y += src.Range(-3, 3)
+			ue := UEState{Pos: pos, Heading: src.Range(0, 360), SpeedKmh: src.Range(0, 7), Mode: Walking}
+			obs := c.Tick(ue, src.Intn(3))
+			if obs.ThroughputMbps < 0 || math.IsNaN(obs.ThroughputMbps) {
+				return false
+			}
+			if obs.Radio == RadioNR {
+				if obs.SSRsrpDBm < -140 || obs.SSRsrpDBm > -44 {
+					return false
+				}
+				if obs.CellID < 0 {
+					return false
+				}
+			} else if obs.CellID != -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"math"
+
+	"lumos5g/internal/dataset"
+	"lumos5g/internal/env"
+	"lumos5g/internal/geo"
+	"lumos5g/internal/mobility"
+	"lumos5g/internal/radio"
+	"lumos5g/internal/rng"
+)
+
+// CongestionResult holds the per-UE throughput time series of the Fig 21
+// experiment (§A.1.4).
+type CongestionResult struct {
+	// Series[u][t] is UE u's throughput at second t; zero before the UE's
+	// iPerf session starts.
+	Series [][]float64
+	// Starts[u] is the second UE u's session began.
+	Starts []int
+}
+
+// RunCongestionExperiment reproduces the paper's 4-UE experiment: UEs are
+// placed side by side ~25 m in front of the Airport south panel with clear
+// LoS; session starts are staggered by one minute and all sessions end
+// together at 4 minutes. Proportional-fair sharing splits the panel
+// capacity among the UEs whose sessions overlap.
+func RunCongestionExperiment(seed uint64, numUEs, staggerSeconds, totalSeconds int) CongestionResult {
+	a := env.Airport()
+	envr, lte := a.Realize(seed)
+	root := rng.New(seed).SplitLabeled("congestion")
+
+	south := envr.Panels[0]
+	// 25 m in front of the south panel, spaced half a meter apart.
+	conns := make([]*radio.Connection, numUEs)
+	states := make([]radio.UEState, numUEs)
+	starts := make([]int, numUEs)
+	for u := 0; u < numUEs; u++ {
+		conns[u] = radio.NewConnection(envr, lte, root.SplitLabeled("ue"+itoa(u)))
+		states[u] = radio.UEState{
+			Pos:     geo.Point{X: south.Pos.X + 0.5*float64(u), Y: south.Pos.Y + 25},
+			Heading: 180, // facing the panel: no body blockage
+			Mode:    radio.Stationary,
+		}
+		starts[u] = u * staggerSeconds
+	}
+
+	res := CongestionResult{
+		Series: make([][]float64, numUEs),
+		Starts: starts,
+	}
+	for u := range res.Series {
+		res.Series[u] = make([]float64, totalSeconds)
+	}
+
+	for t := 0; t < totalSeconds; t++ {
+		active := 0
+		for u := 0; u < numUEs; u++ {
+			if t >= starts[u] {
+				active++
+			}
+		}
+		for u := 0; u < numUEs; u++ {
+			if t < starts[u] {
+				// Keep the connection alive (attached, idle) so the
+				// session starts without acquisition delay, as the
+				// paper's scheduled iPerf sessions did.
+				conns[u].Tick(states[u], active-1)
+				continue
+			}
+			obs := conns[u].Tick(states[u], active-1)
+			res.Series[u][t] = obs.ThroughputMbps
+		}
+	}
+	return res
+}
+
+// SideBySide4G5GResult holds the paired traces of the §A.4 experiment.
+type SideBySide4G5GResult struct {
+	// Fast5G / Locked4G are datasets with identical kinematics; the first
+	// UE uses the normal NSA connection, the second is locked to LTE.
+	Fast5G   *dataset.Dataset
+	Locked4G *dataset.Dataset
+}
+
+// RunSideBySide4G5G walks the Loop with two phones held side by side, one
+// on 5G and one locked to 4G, for the given number of passes — the
+// construction of the paper's Appendix A.4 comparison dataset.
+func RunSideBySide4G5G(seed uint64, passes int) SideBySide4G5GResult {
+	a := env.Loop()
+	envr, lte := a.Realize(seed)
+	root := rng.New(seed).SplitLabeled("a4")
+
+	res := SideBySide4G5GResult{Fast5G: &dataset.Dataset{}, Locked4G: &dataset.Dataset{}}
+	tr := a.Trajectories[0]
+	for pass := 0; pass < passes; pass++ {
+		src := root.SplitLabeled("pass" + itoa(pass))
+		ticks := mobility.GeneratePass(a, tr, radio.Walking, src.SplitLabeled("kinematics"))
+		gps := mobility.NewGPSModel(src.SplitLabeled("gps"))
+		compass := mobility.NewCompassModel(src.SplitLabeled("compass"))
+		conn5g := radio.NewConnection(envr, lte, src.SplitLabeled("radio5g"))
+		lteSrc := src.SplitLabeled("radio4g")
+		sensors := src.SplitLabeled("sensors")
+
+		for _, tk := range ticks {
+			ue := radio.UEState{Pos: tk.Pos, Heading: tk.Heading, SpeedKmh: tk.SpeedKmh, Mode: tk.Mode}
+			obs := conn5g.Tick(ue, 0)
+			measPos, acc := gps.Observe(tk.Pos)
+			measHeading, headAcc := compass.Observe(tk.Heading)
+			latlon := a.Frame.ToLatLon(measPos)
+			px := geo.Pixelize(latlon, geo.DefaultZoom)
+			base := dataset.Record{
+				Area: a.Name, Trajectory: tr.Name, Pass: pass, Second: tk.Second,
+				Latitude: latlon.Lat, Longitude: latlon.Lon, GPSAccuracy: acc,
+				Activity:   mobility.DetectedActivity(tk.Mode, tk.SpeedKmh, sensors),
+				SpeedKmh:   mobility.SpeedNoise(tk.SpeedKmh, sensors),
+				CompassDeg: measHeading, CompassAcc: headAcc,
+				PixelX: px.X, PixelY: px.Y, Mode: tk.Mode,
+			}
+
+			r5 := base
+			r5.ThroughputMbps = obs.ThroughputMbps
+			r5.Radio = obs.Radio
+			r5.CellID = obs.CellID
+			r5.LteRsrp, r5.LteRsrq, r5.LteRssi = obs.LteRsrpDBm, obs.LteRsrqDB, obs.LteRssiDBm
+			r5.SSRsrp, r5.SSRsrq, r5.SSSinr = obs.SSRsrpDBm, obs.SSRsrqDB, obs.SSSinrDB
+			r5.HorizontalHO, r5.VerticalHO = obs.HorizontalHandoff, obs.VerticalHandoff
+			r5.PanelDist, r5.ThetaP, r5.ThetaM = panelFeatures(a, envr, obs, measPos, measHeading)
+			res.Fast5G.Append(r5)
+
+			r4 := base
+			r4.Radio = radio.RadioLTE
+			r4.CellID = -1
+			r4.ThroughputMbps = lte.ThroughputMbps(tk.Pos, lteSrc)
+			r4.LteRsrp = lte.RSRPdBm(tk.Pos, lteSrc)
+			r4.LteRsrq = -10.5 + lteSrc.NormMeanStd(0, 1)
+			r4.LteRssi = r4.LteRsrp + 27 + lteSrc.NormMeanStd(0, 1)
+			r4.SSRsrp, r4.SSRsrq, r4.SSSinr = nan(), nan(), nan()
+			r4.PanelDist, r4.ThetaP, r4.ThetaM = nan(), nan(), nan()
+			res.Locked4G.Append(r4)
+		}
+	}
+	return res
+}
+
+func nan() float64 { return math.NaN() }

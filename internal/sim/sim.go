@@ -1,0 +1,236 @@
+// Package sim runs the measurement campaign: it drives simulated UEs along
+// the areas' trajectories (walking and driving, repeated passes, plus
+// stationary sessions), feeds their kinematics through the radio
+// connection manager, applies the sensor error models, and emits
+// per-second dataset.Records with every Table 1 field — a synthetic
+// equivalent of the paper's 6-month Minneapolis campaign.
+package sim
+
+import (
+	"math"
+
+	"lumos5g/internal/dataset"
+	"lumos5g/internal/env"
+	"lumos5g/internal/geo"
+	"lumos5g/internal/mobility"
+	"lumos5g/internal/radio"
+	"lumos5g/internal/rng"
+)
+
+// Config controls a campaign.
+type Config struct {
+	// Seed makes the whole campaign reproducible.
+	Seed uint64
+	// WalkPasses is the number of repeated walking passes per trajectory
+	// (the paper performs at least 30, §3.2).
+	WalkPasses int
+	// DrivePasses is the number of driving passes per Loop trajectory.
+	DrivePasses int
+	// StationarySessions is the number of 60 s stationary sessions
+	// sampled at random points of each area.
+	StationarySessions int
+	// BackgroundUEProb is the per-second probability that one or two
+	// other UEs share the serving panel — the "time-of-day" contention
+	// the paper observed but could not control (§A.1.4).
+	BackgroundUEProb float64
+}
+
+// DefaultConfig mirrors the paper's campaign shape at full scale.
+func DefaultConfig() Config {
+	return Config{
+		Seed:               1,
+		WalkPasses:         30,
+		DrivePasses:        30,
+		StationarySessions: 10,
+		BackgroundUEProb:   0.12,
+	}
+}
+
+// SmallConfig is a scaled-down campaign for tests and examples.
+func SmallConfig() Config {
+	return Config{
+		Seed:               1,
+		WalkPasses:         6,
+		DrivePasses:        6,
+		StationarySessions: 3,
+		BackgroundUEProb:   0.12,
+	}
+}
+
+// RunArea simulates the campaign for one area and returns its records.
+func RunArea(a *env.Area, cfg Config) *dataset.Dataset {
+	root := rng.New(cfg.Seed).SplitLabeled("area:" + a.Name)
+	envr, lte := a.Realize(cfg.Seed)
+
+	d := &dataset.Dataset{}
+	for _, tr := range a.Trajectories {
+		for pass := 0; pass < cfg.WalkPasses; pass++ {
+			src := root.SplitLabeled(passLabel(tr.Name, "walk", pass))
+			recs := runPass(a, envr, lte, tr, radio.Walking, pass, cfg, src)
+			d.Append(recs...)
+		}
+		if a.DrivingSupported {
+			for pass := 0; pass < cfg.DrivePasses; pass++ {
+				src := root.SplitLabeled(passLabel(tr.Name, "drive", pass))
+				recs := runPass(a, envr, lte, tr, radio.Driving, cfg.WalkPasses+pass, cfg, src)
+				d.Append(recs...)
+			}
+		}
+	}
+	// Stationary sessions at random points along random trajectories.
+	st := root.SplitLabeled("stationary")
+	for s := 0; s < cfg.StationarySessions; s++ {
+		tr := a.Trajectories[st.Intn(len(a.Trajectories))]
+		frac := st.Float64()
+		spot := stationaryTrajectory(tr, frac)
+		src := st.SplitLabeled(passLabel(spot.Name, "still", s))
+		recs := runPass(a, envr, lte, spot, radio.Stationary, 100000+s, cfg, src)
+		d.Append(recs...)
+	}
+	return d
+}
+
+// stationaryTrajectory pins a single-point trajectory at the given
+// fraction of tr, preserving the local heading so θ_m stays meaningful.
+func stationaryTrajectory(tr env.Trajectory, frac float64) env.Trajectory {
+	p := tr.At(frac * tr.Length())
+	return env.Trajectory{Name: tr.Name + "@still", Waypoints: []geo.Point{p}}
+}
+
+func passLabel(traj, mode string, pass int) string {
+	return traj + "/" + mode + "/" + itoa(pass)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// runPass simulates one traversal and converts ticks to records.
+func runPass(a *env.Area, envr *radio.Environment, lte *radio.LTEModel,
+	tr env.Trajectory, mode radio.MobilityMode, pass int, cfg Config, src *rng.Source) []dataset.Record {
+
+	ticks := mobility.GeneratePass(a, tr, mode, src.SplitLabeled("kinematics"))
+	if len(ticks) == 0 {
+		return nil
+	}
+	gps := mobility.NewGPSModel(src.SplitLabeled("gps"))
+	compass := mobility.NewCompassModel(src.SplitLabeled("compass"))
+	conn := radio.NewConnection(envr, lte, src.SplitLabeled("radio"))
+	bg := src.SplitLabeled("background")
+	sensors := src.SplitLabeled("sensors")
+
+	recs := make([]dataset.Record, 0, len(ticks))
+	for _, tk := range ticks {
+		ue := radio.UEState{Pos: tk.Pos, Heading: tk.Heading, SpeedKmh: tk.SpeedKmh, Mode: tk.Mode}
+		sharing := 0
+		if bg.Bool(cfg.BackgroundUEProb) {
+			sharing = 1 + bg.Intn(2)
+		}
+		obs := conn.Tick(ue, sharing)
+
+		measPos, acc := gps.Observe(tk.Pos)
+		measHeading, headAcc := compass.Observe(tk.Heading)
+		measSpeed := mobility.SpeedNoise(tk.SpeedKmh, sensors)
+		latlon := a.Frame.ToLatLon(measPos)
+		px := geo.Pixelize(latlon, geo.DefaultZoom)
+
+		rec := dataset.Record{
+			Area:       a.Name,
+			Trajectory: tr.Name,
+			Pass:       pass,
+			Second:     tk.Second,
+
+			Latitude:    latlon.Lat,
+			Longitude:   latlon.Lon,
+			GPSAccuracy: acc,
+			Activity:    mobility.DetectedActivity(tk.Mode, tk.SpeedKmh, sensors),
+			SpeedKmh:    measSpeed,
+			CompassDeg:  measHeading,
+			CompassAcc:  headAcc,
+
+			ThroughputMbps: obs.ThroughputMbps,
+			Radio:          obs.Radio,
+			CellID:         obs.CellID,
+			LteRsrp:        obs.LteRsrpDBm,
+			LteRsrq:        obs.LteRsrqDB,
+			LteRssi:        obs.LteRssiDBm,
+			SSRsrp:         obs.SSRsrpDBm,
+			SSRsrq:         obs.SSRsrqDB,
+			SSSinr:         obs.SSSinrDB,
+			HorizontalHO:   obs.HorizontalHandoff,
+			VerticalHO:     obs.VerticalHandoff,
+
+			PixelX:     px.X,
+			PixelY:     px.Y,
+			Mode:       tk.Mode,
+			SharingUEs: sharing,
+		}
+		rec.PanelDist, rec.ThetaP, rec.ThetaM = panelFeatures(a, envr, obs, measPos, measHeading)
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// panelFeatures computes the tower-based feature triplet from the
+// *measured* UE position and heading, the way the paper post-processes its
+// logs against the manually surveyed panel locations. When the UE is on
+// LTE the features are computed against the geometrically nearest panel
+// ("the panel it would connect to"); when the area's panels were never
+// surveyed (Loop) they are NaN.
+func panelFeatures(a *env.Area, envr *radio.Environment, obs radio.TickObservation,
+	measPos geo.Point, measHeading float64) (dist, thetaP, thetaM float64) {
+
+	if !a.PanelInfoKnown || len(envr.Panels) == 0 {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	var panel *radio.Panel
+	if obs.Radio == radio.RadioNR {
+		for i := range envr.Panels {
+			if envr.Panels[i].ID == obs.CellID {
+				panel = &envr.Panels[i]
+				break
+			}
+		}
+	}
+	if panel == nil {
+		// Nearest panel fallback.
+		bestD := math.Inf(1)
+		for i := range envr.Panels {
+			if d := envr.Panels[i].Distance(measPos); d < bestD {
+				bestD = d
+				panel = &envr.Panels[i]
+			}
+		}
+	}
+	return panel.Distance(measPos),
+		panel.PositionalAngle(measPos),
+		panel.MobilityAngle(measHeading)
+}
+
+// RunCampaign simulates all areas under cfg and returns the merged raw
+// dataset (before quality filtering).
+func RunCampaign(cfg Config) *dataset.Dataset {
+	var parts []*dataset.Dataset
+	for _, a := range env.AllAreas() {
+		parts = append(parts, RunArea(a, cfg))
+	}
+	return dataset.Merge(parts...)
+}

@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"lumos5g/internal/dataset"
+	"lumos5g/internal/env"
+	"lumos5g/internal/radio"
+	"lumos5g/internal/stats"
+)
+
+// tinyConfig keeps unit tests fast.
+func tinyConfig() Config {
+	return Config{Seed: 1, WalkPasses: 2, DrivePasses: 2, StationarySessions: 1, BackgroundUEProb: 0.1}
+}
+
+func TestRunAreaAirportShape(t *testing.T) {
+	d := RunArea(env.Airport(), tinyConfig())
+	if d.Len() == 0 {
+		t.Fatal("no records")
+	}
+	// 2 trajectories × 2 passes + 1 stationary session.
+	traces := d.GroupByTrace()
+	if len(traces) != 5 {
+		t.Fatalf("traces = %d, want 5", len(traces))
+	}
+	for i := range d.Records {
+		r := &d.Records[i]
+		if r.Area != "Airport" {
+			t.Fatal("area label")
+		}
+		if r.ThroughputMbps < 0 || r.ThroughputMbps > 2200 {
+			t.Fatalf("throughput out of range: %v", r.ThroughputMbps)
+		}
+		if r.Radio == radio.RadioNR && r.CellID != env.AirportSouthPanelID && r.CellID != env.AirportNorthPanelID {
+			t.Fatalf("NR record with foreign cell %d", r.CellID)
+		}
+		if !r.HasPanelInfo() {
+			t.Fatal("airport records must carry panel features")
+		}
+		if r.GPSAccuracy <= 0 {
+			t.Fatal("GPS accuracy must be positive")
+		}
+	}
+}
+
+// recordsEqual compares records treating NaN fields (e.g. SS-RSRP while
+// on LTE) as equal to themselves.
+func recordsEqual(a, b dataset.Record) bool {
+	naneq := func(x, y float64) bool {
+		return x == y || (math.IsNaN(x) && math.IsNaN(y))
+	}
+	return a.Area == b.Area && a.Trajectory == b.Trajectory &&
+		a.Pass == b.Pass && a.Second == b.Second &&
+		a.Latitude == b.Latitude && a.Longitude == b.Longitude &&
+		a.Radio == b.Radio && a.CellID == b.CellID &&
+		a.ThroughputMbps == b.ThroughputMbps &&
+		naneq(a.SSRsrp, b.SSRsrp) && naneq(a.PanelDist, b.PanelDist) &&
+		naneq(a.ThetaP, b.ThetaP) && naneq(a.ThetaM, b.ThetaM) &&
+		a.PixelX == b.PixelX && a.PixelY == b.PixelY
+}
+
+func TestRunAreaDeterministic(t *testing.T) {
+	d1 := RunArea(env.Airport(), tinyConfig())
+	d2 := RunArea(env.Airport(), tinyConfig())
+	if d1.Len() != d2.Len() {
+		t.Fatalf("lengths differ: %d vs %d", d1.Len(), d2.Len())
+	}
+	for i := range d1.Records {
+		if !recordsEqual(d1.Records[i], d2.Records[i]) {
+			t.Fatalf("record %d differs between identical runs", i)
+		}
+	}
+	cfg := tinyConfig()
+	cfg.Seed = 2
+	d3 := RunArea(env.Airport(), cfg)
+	if d3.Len() == d1.Len() {
+		same := true
+		for i := range d1.Records {
+			if d1.Records[i].ThroughputMbps != d3.Records[i].ThroughputMbps {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds should give different campaigns")
+		}
+	}
+}
+
+func TestLoopHasDrivingAndNoPanelInfo(t *testing.T) {
+	d := RunArea(env.Loop(), tinyConfig())
+	var sawDrive, sawWalk bool
+	for i := range d.Records {
+		r := &d.Records[i]
+		if r.Mode == radio.Driving {
+			sawDrive = true
+		}
+		if r.Mode == radio.Walking {
+			sawWalk = true
+		}
+		if r.HasPanelInfo() {
+			t.Fatal("Loop panels are unsurveyed: no panel features allowed")
+		}
+	}
+	if !sawDrive || !sawWalk {
+		t.Fatal("Loop must contain both walking and driving passes")
+	}
+}
+
+func TestLoopDeadZoneProducesLTE(t *testing.T) {
+	d := RunArea(env.Loop(), tinyConfig())
+	lte := 0
+	for i := range d.Records {
+		if d.Records[i].Radio == radio.RadioLTE {
+			lte++
+		}
+	}
+	if lte == 0 {
+		t.Fatal("the park dead zone should force LTE fallbacks")
+	}
+	if lte == d.Len() {
+		t.Fatal("Loop should not be all-LTE")
+	}
+}
+
+func TestThroughputDynamicRange(t *testing.T) {
+	d := RunArea(env.Airport(), tinyConfig())
+	tp := d.Throughputs()
+	mx := stats.Max(tp)
+	if mx < 1200 {
+		t.Fatalf("peak throughput = %v, want well above 1 Gbps", mx)
+	}
+	med := stats.Median(tp)
+	if med < 100 || med > 1500 {
+		t.Fatalf("median throughput = %v, implausible", med)
+	}
+	// Dead spots / handoffs / LTE should produce some low samples.
+	if stats.Min(tp) > 250 {
+		t.Fatalf("min throughput = %v, want low-throughput episodes", stats.Min(tp))
+	}
+}
+
+func TestHandoffsOccur(t *testing.T) {
+	d := RunArea(env.Airport(), tinyConfig())
+	var hho, vho int
+	for i := range d.Records {
+		if d.Records[i].HorizontalHO {
+			hho++
+		}
+		if d.Records[i].VerticalHO {
+			vho++
+		}
+	}
+	if hho == 0 {
+		t.Fatal("walking the corridor between head-on panels must produce horizontal handoffs")
+	}
+	if vho == 0 {
+		t.Fatal("expected some vertical handoffs")
+	}
+}
+
+func TestDirectionMatters(t *testing.T) {
+	// The NB and SB heatmaps must differ (Fig 9): correlate per-grid means.
+	cfg := tinyConfig()
+	cfg.WalkPasses = 6
+	d := RunArea(env.Airport(), cfg)
+	clean, _ := d.QualityFilter()
+	nb := clean.Filter(func(r *dataset.Record) bool { return r.Trajectory == "NB" })
+	sb := clean.Filter(func(r *dataset.Record) bool { return r.Trajectory == "SB" })
+	nbTraces := stats.ResampleAll(traceSlice(nb), 100)
+	sbTraces := stats.ResampleAll(traceSlice(sb), 100)
+	same := (stats.MeanPairwiseSpearman(nbTraces) + stats.MeanPairwiseSpearman(sbTraces)) / 2
+	cross := stats.CrossGroupSpearman(nbTraces, sbTraces)
+	if same < 0.3 {
+		t.Fatalf("same-direction traces should correlate: %v", same)
+	}
+	if cross > same-0.2 {
+		t.Fatalf("opposite directions should decorrelate: same=%v cross=%v", same, cross)
+	}
+}
+
+func traceSlice(d *dataset.Dataset) [][]float64 {
+	var out [][]float64
+	for _, tr := range d.GroupByTrace() {
+		out = append(out, tr)
+	}
+	return out
+}
+
+func TestDrivingSlowerThanWalkingThroughput(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.WalkPasses = 3
+	cfg.DrivePasses = 3
+	d := RunArea(env.Loop(), cfg)
+	var walk, drive []float64
+	for i := range d.Records {
+		r := &d.Records[i]
+		switch {
+		case r.Mode == radio.Walking:
+			walk = append(walk, r.ThroughputMbps)
+		case r.Mode == radio.Driving && r.SpeedKmh > 5:
+			drive = append(drive, r.ThroughputMbps)
+		}
+	}
+	if len(walk) == 0 || len(drive) == 0 {
+		t.Fatal("need both modes")
+	}
+	mw, md := stats.Median(walk), stats.Median(drive)
+	if md >= mw {
+		t.Fatalf("driving >5 km/h median (%v) should be below walking median (%v), Fig 14", md, mw)
+	}
+}
+
+func TestRunCampaignMergesAllAreas(t *testing.T) {
+	d := RunCampaign(tinyConfig())
+	s := d.Summary()
+	if len(s.Areas) != 3 {
+		t.Fatalf("areas in campaign = %v", s.Areas)
+	}
+	if s.WalkedKm <= 0 || s.DrivenKm <= 0 || s.DownloadGB <= 0 {
+		t.Fatalf("summary: %+v", s)
+	}
+}
+
+func TestCongestionExperimentSharing(t *testing.T) {
+	res := RunCongestionExperiment(3, 4, 60, 240)
+	if len(res.Series) != 4 {
+		t.Fatal("want 4 UEs")
+	}
+	// UE1 alone in minute 1 should see roughly double its minute-2 rate
+	// (after UE2 joins), as in Fig 21.
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	m1 := mean(res.Series[0][10:55])  // skip acquisition ramp
+	m2 := mean(res.Series[0][70:115]) // UE2 active
+	m4 := mean(res.Series[0][190:235])
+	if m1 < 1000 {
+		t.Fatalf("solo UE at 25 m LoS should exceed 1 Gbps, got %v", m1)
+	}
+	ratio := m2 / m1
+	if ratio < 0.35 || ratio > 0.65 {
+		t.Fatalf("second UE should halve UE1's rate: ratio = %v", ratio)
+	}
+	if m4 > m2 {
+		t.Fatalf("four-way sharing (%v) should be below two-way (%v)", m4, m2)
+	}
+	// Before its start, a UE reports zero.
+	if res.Series[3][10] != 0 {
+		t.Fatal("UE4 should be idle before its staggered start")
+	}
+}
+
+func TestSideBySide4G5G(t *testing.T) {
+	res := RunSideBySide4G5G(5, 2)
+	if res.Fast5G.Len() == 0 || res.Fast5G.Len() != res.Locked4G.Len() {
+		t.Fatalf("paired lengths: %d vs %d", res.Fast5G.Len(), res.Locked4G.Len())
+	}
+	// Identical kinematics.
+	for i := range res.Fast5G.Records {
+		a, b := res.Fast5G.Records[i], res.Locked4G.Records[i]
+		if a.Latitude != b.Latitude || a.Second != b.Second {
+			t.Fatal("side-by-side phones must share kinematics")
+		}
+		if b.Radio != radio.RadioLTE {
+			t.Fatal("locked phone must stay on LTE")
+		}
+		if !math.IsNaN(b.SSRsrp) {
+			t.Fatal("locked phone has no 5G signal fields")
+		}
+	}
+	// 5G is much faster on average but much more variable.
+	t5 := stats.Summarize(res.Fast5G.Throughputs())
+	t4 := stats.Summarize(res.Locked4G.Throughputs())
+	if t5.Mean < t4.Mean {
+		t.Fatalf("5G mean (%v) should beat 4G mean (%v)", t5.Mean, t4.Mean)
+	}
+	if t5.CV < t4.CV {
+		t.Fatalf("5G CV (%v) should exceed 4G CV (%v) — the A.4 point", t5.CV, t4.CV)
+	}
+}
+
+func TestQualityFilterDropsSome(t *testing.T) {
+	d := RunArea(env.Airport(), tinyConfig())
+	clean, dropped := d.QualityFilter()
+	if dropped == 0 {
+		t.Fatal("warm-up and GPS episodes should drop records")
+	}
+	if clean.Len() == 0 || clean.Len() >= d.Len() {
+		t.Fatalf("filter kept %d of %d", clean.Len(), d.Len())
+	}
+}

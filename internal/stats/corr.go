@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Pearson computes the Pearson product-moment correlation between x and y.
+// Returns NaN if the slices differ in length, are shorter than 2, or have
+// zero variance.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Ranks assigns fractional ranks (average of tied positions, 1-based),
+// the standard treatment for Spearman correlation with ties.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group [i, j].
+		avg := (float64(i) + float64(j)) / 2.0 // 0-based midpoint
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg + 1
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Spearman computes Spearman's rank correlation coefficient, which the
+// paper uses to quantify monotonic trends between repeated throughput
+// traces along a trajectory (§4.2, Fig 10).
+func Spearman(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN()
+	}
+	return Pearson(Ranks(x), Ranks(y))
+}
+
+// Resample linearly interpolates xs onto n equally spaced points over its
+// index range. Repeated measurement passes of the same trajectory differ
+// slightly in duration (walking pace varies pass to pass); resampling
+// aligns them position-by-position before trend comparison, as the paper
+// does when correlating repeated walks (§4.2).
+func Resample(xs []float64, n int) []float64 {
+	if len(xs) == 0 || n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	if len(xs) == 1 {
+		for i := range out {
+			out[i] = xs[0]
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		pos := float64(i) / float64(n-1) * float64(len(xs)-1)
+		lo := int(math.Floor(pos))
+		hi := lo + 1
+		if hi >= len(xs) {
+			out[i] = xs[len(xs)-1]
+			continue
+		}
+		frac := pos - float64(lo)
+		out[i] = xs[lo]*(1-frac) + xs[hi]*frac
+	}
+	return out
+}
+
+// ResampleAll resamples every trace to n points.
+func ResampleAll(traces [][]float64, n int) [][]float64 {
+	out := make([][]float64, len(traces))
+	for i, tr := range traces {
+		out[i] = Resample(tr, n)
+	}
+	return out
+}
+
+// MeanPairwiseSpearman computes the average Spearman coefficient over all
+// unordered pairs of traces — the aggregation used for "the average
+// Spearman coefficients of throughput traces belonging to NB and SB"
+// (§4.2). Traces may have different lengths; each pair is truncated to the
+// shorter length, mimicking aligned-by-position comparison of repeated
+// walks over the same trajectory.
+func MeanPairwiseSpearman(traces [][]float64) float64 {
+	var sum float64
+	var count int
+	for i := 0; i < len(traces); i++ {
+		for j := i + 1; j < len(traces); j++ {
+			a, b := traces[i], traces[j]
+			n := len(a)
+			if len(b) < n {
+				n = len(b)
+			}
+			if n < 3 {
+				continue
+			}
+			r := Spearman(a[:n], b[:n])
+			if !math.IsNaN(r) {
+				sum += r
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return math.NaN()
+	}
+	return sum / float64(count)
+}
+
+// CrossGroupSpearman computes the average Spearman coefficient between
+// traces drawn from two different groups (e.g. NB vs SB traces), which the
+// paper reports as near zero (0.021) when directions differ.
+func CrossGroupSpearman(groupA, groupB [][]float64) float64 {
+	var sum float64
+	var count int
+	for _, a := range groupA {
+		for _, b := range groupB {
+			n := len(a)
+			if len(b) < n {
+				n = len(b)
+			}
+			if n < 3 {
+				continue
+			}
+			r := Spearman(a[:n], b[:n])
+			if !math.IsNaN(r) {
+				sum += r
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return math.NaN()
+	}
+	return sum / float64(count)
+}

@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"lumos5g/internal/rng"
+)
+
+func TestPearsonPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(x, y); !approx(r, 1, 1e-12) {
+		t.Fatalf("perfect positive r = %v", r)
+	}
+	yneg := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(x, yneg); !approx(r, -1, 1e-12) {
+		t.Fatalf("perfect negative r = %v", r)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if !math.IsNaN(Pearson([]float64{1, 2}, []float64{1})) {
+		t.Fatal("length mismatch should be NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{3, 3, 3}, []float64{1, 2, 3})) {
+		t.Fatal("zero variance should be NaN")
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if !approx(got[i], want[i], 1e-12) {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRanksAllTied(t *testing.T) {
+	got := Ranks([]float64{5, 5, 5})
+	for _, r := range got {
+		if !approx(r, 2, 1e-12) {
+			t.Fatalf("all-tied ranks = %v", got)
+		}
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Monotone nonlinear relation: Spearman = 1 even though Pearson < 1.
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Exp(v)
+	}
+	if r := Spearman(x, y); !approx(r, 1, 1e-12) {
+		t.Fatalf("monotone Spearman = %v", r)
+	}
+}
+
+func TestSpearmanIndependent(t *testing.T) {
+	src := rng.New(7)
+	x := make([]float64, 2000)
+	y := make([]float64, 2000)
+	for i := range x {
+		x[i] = src.Float64()
+		y[i] = src.Float64()
+	}
+	if r := Spearman(x, y); math.Abs(r) > 0.06 {
+		t.Fatalf("independent Spearman = %v", r)
+	}
+}
+
+func TestMeanPairwiseSpearman(t *testing.T) {
+	// Three noisy copies of the same trend should have high mean pairwise
+	// Spearman.
+	src := rng.New(9)
+	base := make([]float64, 100)
+	for i := range base {
+		base[i] = float64(i)
+	}
+	traces := make([][]float64, 3)
+	for k := range traces {
+		tr := make([]float64, len(base))
+		for i := range tr {
+			tr[i] = base[i] + src.NormMeanStd(0, 5)
+		}
+		traces[k] = tr
+	}
+	if r := MeanPairwiseSpearman(traces); r < 0.9 {
+		t.Fatalf("noisy copies pairwise Spearman = %v", r)
+	}
+	if !math.IsNaN(MeanPairwiseSpearman([][]float64{{1, 2}})) {
+		t.Fatal("single trace should be NaN")
+	}
+}
+
+func TestCrossGroupSpearman(t *testing.T) {
+	up := [][]float64{{1, 2, 3, 4, 5}, {2, 3, 4, 5, 6}}
+	down := [][]float64{{5, 4, 3, 2, 1}, {6, 5, 4, 3, 2}}
+	if r := CrossGroupSpearman(up, down); !approx(r, -1, 1e-12) {
+		t.Fatalf("opposing trends cross Spearman = %v", r)
+	}
+	if r := MeanPairwiseSpearman(up); !approx(r, 1, 1e-12) {
+		t.Fatalf("same-trend pairwise = %v", r)
+	}
+}
+
+func TestCrossGroupSpearmanLengthMismatch(t *testing.T) {
+	a := [][]float64{{1, 2, 3, 4, 5, 6, 7}}
+	b := [][]float64{{7, 6, 5}}
+	if r := CrossGroupSpearman(a, b); !approx(r, -1, 1e-12) {
+		t.Fatalf("truncated cross Spearman = %v", r)
+	}
+}
+
+func TestMAERMSE(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	truth := []float64{2, 2, 5}
+	if m := MAE(pred, truth); !approx(m, 1, 1e-12) {
+		t.Fatalf("MAE = %v", m)
+	}
+	if r := RMSE(pred, truth); !approx(r, math.Sqrt(5.0/3.0), 1e-12) {
+		t.Fatalf("RMSE = %v", r)
+	}
+	if !math.IsNaN(MAE(nil, nil)) || !math.IsNaN(RMSE([]float64{1}, nil)) {
+		t.Fatal("degenerate inputs should give NaN")
+	}
+}
+
+func TestRMSEAtLeastMAE(t *testing.T) {
+	src := rng.New(13)
+	pred := make([]float64, 500)
+	truth := make([]float64, 500)
+	for i := range pred {
+		pred[i] = src.Range(0, 2000)
+		truth[i] = src.Range(0, 2000)
+	}
+	if RMSE(pred, truth) < MAE(pred, truth) {
+		t.Fatal("RMSE must be >= MAE")
+	}
+}
+
+func TestConfusionMatrixPerfect(t *testing.T) {
+	truth := []int{0, 1, 2, 0, 1, 2}
+	m := NewConfusionMatrix(3, truth, truth)
+	if !approx(m.Accuracy(), 1, 1e-12) || !approx(m.WeightedF1(), 1, 1e-12) {
+		t.Fatal("perfect predictions should give accuracy=F1=1")
+	}
+	for c := 0; c < 3; c++ {
+		if !approx(m.Recall(c), 1, 1e-12) || !approx(m.Precision(c), 1, 1e-12) {
+			t.Fatalf("class %d not perfect", c)
+		}
+	}
+}
+
+func TestConfusionMatrixKnown(t *testing.T) {
+	truth := []int{0, 0, 0, 1, 1, 1}
+	pred := []int{0, 0, 1, 1, 1, 0}
+	m := NewConfusionMatrix(2, pred, truth)
+	if m.Cell[0][0] != 2 || m.Cell[0][1] != 1 || m.Cell[1][0] != 1 || m.Cell[1][1] != 2 {
+		t.Fatalf("cells: %v", m.Cell)
+	}
+	if !approx(m.Recall(0), 2.0/3.0, 1e-12) {
+		t.Fatalf("recall(0) = %v", m.Recall(0))
+	}
+	if !approx(m.Accuracy(), 4.0/6.0, 1e-12) {
+		t.Fatalf("accuracy = %v", m.Accuracy())
+	}
+	// Both classes have the same P/R here, so F1 = 2/3 and weighted too.
+	if !approx(m.WeightedF1(), 2.0/3.0, 1e-12) {
+		t.Fatalf("weighted F1 = %v", m.WeightedF1())
+	}
+}
+
+func TestConfusionMatrixIgnoresOutOfRange(t *testing.T) {
+	m := NewConfusionMatrix(2, []int{0, 5, -1}, []int{0, 0, 0})
+	if m.Total() != 1 {
+		t.Fatalf("out-of-range labels should be ignored, total = %d", m.Total())
+	}
+}
+
+func TestConfusionMatrixEmptyClass(t *testing.T) {
+	// Class 2 never appears in truth: its recall is NaN, weighted F1 is
+	// still defined from the remaining classes.
+	m := NewConfusionMatrix(3, []int{0, 1}, []int{0, 1})
+	if !math.IsNaN(m.Recall(2)) {
+		t.Fatal("empty class recall should be NaN")
+	}
+	if !approx(m.WeightedF1(), 1, 1e-12) {
+		t.Fatal("weighted F1 should skip empty classes")
+	}
+}
+
+func TestConfusionMatrixString(t *testing.T) {
+	m := NewConfusionMatrix(2, []int{0, 1}, []int{0, 1})
+	if s := m.String(); len(s) == 0 {
+		t.Fatal("empty string rendering")
+	}
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lumos5g/internal/rng"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !approx(m, 5, 1e-12) {
+		t.Fatalf("mean = %v", m)
+	}
+	// Sample variance with n-1: sum sq dev = 32, /7.
+	if v := Variance(xs); !approx(v, 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %v", v)
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Fatal("Variance of 1 sample should be NaN")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("Quantile(nil) should be NaN")
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Fatal("Min/Max of empty should be NaN")
+	}
+}
+
+func TestCV(t *testing.T) {
+	xs := []float64{10, 10, 10}
+	if cv := CV(xs); !approx(cv, 0, 1e-12) {
+		t.Fatalf("constant CV = %v", cv)
+	}
+	if !math.IsNaN(CV([]float64{-1, 0, 1})) {
+		t.Fatal("zero-mean CV should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if q := Quantile(xs, 0.5); !approx(q, 3, 1e-12) {
+		t.Fatalf("median = %v", q)
+	}
+	if q := Quantile(xs, 0); !approx(q, 1, 1e-12) {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); !approx(q, 5, 1e-12) {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.25); !approx(q, 2, 1e-12) {
+		t.Fatalf("q25 = %v", q)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	src := rng.New(3)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = src.Norm()
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := Quantile(xs, q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v", q)
+		}
+		prev = v
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	s := Summarize(xs)
+	if s.N != 5 || !approx(s.Mean, 3, 1e-12) || !approx(s.Median, 3, 1e-12) ||
+		!approx(s.Min, 1, 1e-12) || !approx(s.Max, 5, 1e-12) {
+		t.Fatalf("summary = %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Fatal("empty summary should have N=0")
+	}
+}
+
+func TestSummarizeMatchesPieces(t *testing.T) {
+	src := rng.New(17)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = src.Range(0, 2000)
+	}
+	s := Summarize(xs)
+	if !approx(s.Mean, Mean(xs), 1e-9) || !approx(s.Std, StdDev(xs), 1e-9) ||
+		!approx(s.Median, Median(xs), 1e-9) {
+		t.Fatal("Summarize disagrees with individual functions")
+	}
+}
+
+func TestSkewKurtNormalApprox(t *testing.T) {
+	src := rng.New(101)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = src.Norm()
+	}
+	if sk := Skewness(xs); math.Abs(sk) > 0.05 {
+		t.Fatalf("normal skewness = %v", sk)
+	}
+	if k := Kurtosis(xs); !approx(k, 3, 0.1) {
+		t.Fatalf("normal kurtosis = %v", k)
+	}
+}
+
+func TestSkewnessSign(t *testing.T) {
+	rightSkewed := []float64{1, 1, 1, 1, 2, 2, 3, 10, 20, 50}
+	if Skewness(rightSkewed) <= 0 {
+		t.Fatal("right-skewed data should have positive skewness")
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); !approx(got, c.want, 1e-12) {
+			t.Errorf("ECDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.Len() != 4 {
+		t.Fatal("Len")
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		src := rng.New(seed)
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = src.Range(-10, 10)
+		}
+		e := NewECDF(xs)
+		prev := -1.0
+		for x := -11.0; x <= 11; x += 0.5 {
+			v := e.At(x)
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// MAE returns the mean absolute error between predictions and truth.
+func MAE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for i := range pred {
+		s += math.Abs(pred[i] - truth[i])
+	}
+	return s / float64(len(pred))
+}
+
+// RMSE returns the root mean squared error between predictions and truth.
+func RMSE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for i := range pred {
+		d := pred[i] - truth[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred)))
+}
+
+// ConfusionMatrix counts classification outcomes for k classes.
+// Cell[i][j] is the number of samples whose true class is i and predicted
+// class is j.
+type ConfusionMatrix struct {
+	K    int
+	Cell [][]int
+}
+
+// NewConfusionMatrix builds a k-class confusion matrix from label slices.
+// Labels outside [0, k) are ignored.
+func NewConfusionMatrix(k int, pred, truth []int) *ConfusionMatrix {
+	m := &ConfusionMatrix{K: k, Cell: make([][]int, k)}
+	for i := range m.Cell {
+		m.Cell[i] = make([]int, k)
+	}
+	n := len(pred)
+	if len(truth) < n {
+		n = len(truth)
+	}
+	for i := 0; i < n; i++ {
+		t, p := truth[i], pred[i]
+		if t < 0 || t >= k || p < 0 || p >= k {
+			continue
+		}
+		m.Cell[t][p]++
+	}
+	return m
+}
+
+// Total returns the number of counted samples.
+func (m *ConfusionMatrix) Total() int {
+	t := 0
+	for i := range m.Cell {
+		for j := range m.Cell[i] {
+			t += m.Cell[i][j]
+		}
+	}
+	return t
+}
+
+// Support returns the number of true samples of class c.
+func (m *ConfusionMatrix) Support(c int) int {
+	s := 0
+	for j := 0; j < m.K; j++ {
+		s += m.Cell[c][j]
+	}
+	return s
+}
+
+// Precision returns TP/(TP+FP) for class c, or NaN if undefined.
+func (m *ConfusionMatrix) Precision(c int) float64 {
+	tp := m.Cell[c][c]
+	col := 0
+	for i := 0; i < m.K; i++ {
+		col += m.Cell[i][c]
+	}
+	if col == 0 {
+		return math.NaN()
+	}
+	return float64(tp) / float64(col)
+}
+
+// Recall returns TP/(TP+FN) for class c, or NaN if the class has no
+// support. The paper tracks recall of the low-throughput class because
+// misclassifying low as high risks video stalls (§6.1).
+func (m *ConfusionMatrix) Recall(c int) float64 {
+	sup := m.Support(c)
+	if sup == 0 {
+		return math.NaN()
+	}
+	return float64(m.Cell[c][c]) / float64(sup)
+}
+
+// F1 returns the harmonic mean of precision and recall for class c.
+func (m *ConfusionMatrix) F1(c int) float64 {
+	p := m.Precision(c)
+	r := m.Recall(c)
+	if math.IsNaN(p) || math.IsNaN(r) || p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// WeightedF1 returns the support-weighted average F1 across classes — the
+// paper's headline classification metric (§6.1).
+func (m *ConfusionMatrix) WeightedF1() float64 {
+	total := m.Total()
+	if total == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for c := 0; c < m.K; c++ {
+		sup := m.Support(c)
+		if sup == 0 {
+			continue
+		}
+		s += float64(sup) * m.F1(c)
+	}
+	return s / float64(total)
+}
+
+// Accuracy returns the fraction of correctly classified samples.
+func (m *ConfusionMatrix) Accuracy() float64 {
+	total := m.Total()
+	if total == 0 {
+		return math.NaN()
+	}
+	correct := 0
+	for c := 0; c < m.K; c++ {
+		correct += m.Cell[c][c]
+	}
+	return float64(correct) / float64(total)
+}
+
+func (m *ConfusionMatrix) String() string {
+	s := "true\\pred"
+	for j := 0; j < m.K; j++ {
+		s += fmt.Sprintf("\t%d", j)
+	}
+	s += "\n"
+	for i := 0; i < m.K; i++ {
+		s += fmt.Sprintf("%d", i)
+		for j := 0; j < m.K; j++ {
+			s += fmt.Sprintf("\t%d", m.Cell[i][j])
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,166 @@
+// Package stats implements the statistical machinery the paper relies on:
+// descriptive statistics (mean, CV, quantiles), the hypothesis tests used
+// in §4 (Welch's t-test, Levene's test, D'Agostino–Pearson and
+// Anderson–Darling normality tests), Spearman's rank correlation, empirical
+// CDFs, and the ML evaluation metrics of §6 (MAE, RMSE, weighted-average
+// F1, per-class recall).
+package stats
+
+import "math"
+
+// RegIncBeta computes the regularized incomplete beta function I_x(a, b)
+// via the continued-fraction expansion (Numerical Recipes style). It is
+// the backbone of the Student's t and F distribution CDFs.
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta, _ := math.Lgamma(a + b)
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	front := math.Exp(lbeta - la - lb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// RegIncGammaLower computes the regularized lower incomplete gamma
+// function P(a, x), used for the chi-squared CDF.
+func RegIncGammaLower(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 0
+	}
+	if x < a+1 {
+		// Series representation converges quickly here.
+		ap := a
+		sum := 1 / a
+		del := sum
+		for n := 0; n < 500; n++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-15 {
+				break
+			}
+		}
+		lg, _ := math.Lgamma(a)
+		return sum * math.Exp(-x+a*math.Log(x)-lg)
+	}
+	// Continued fraction for Q(a, x), then P = 1 - Q.
+	const fpmin = 1e-300
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	q := math.Exp(-x+a*math.Log(x)-lg) * h
+	return 1 - q
+}
+
+// StudentTSF returns the two-sided survival probability P(|T_df| >= |t|)
+// for a Student's t variable with df degrees of freedom.
+func StudentTSF(t, df float64) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	x := df / (df + t*t)
+	return RegIncBeta(df/2, 0.5, x)
+}
+
+// FSF returns the upper-tail probability P(F >= f) for an F distribution
+// with (d1, d2) degrees of freedom.
+func FSF(f, d1, d2 float64) float64 {
+	if f <= 0 {
+		return 1
+	}
+	x := d2 / (d2 + d1*f)
+	return RegIncBeta(d2/2, d1/2, x)
+}
+
+// ChiSquareSF returns the upper-tail probability P(X >= x) for a
+// chi-squared distribution with k degrees of freedom.
+func ChiSquareSF(x, k float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return 1 - RegIncGammaLower(k/2, x/2)
+}
+
+// NormalCDF is the standard normal cumulative distribution function.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// TestResult is the outcome of a hypothesis test.
+type TestResult struct {
+	Statistic float64
+	PValue    float64
+}
+
+// WelchTTest performs the unequal-variance two-sample t-test the paper
+// uses pairwise between geolocation grids (§4.1, Fig 7a). It returns the
+// t statistic and the two-sided p-value. Requires at least two samples on
+// each side.
+func WelchTTest(a, b []float64) TestResult {
+	na, nb := float64(len(a)), float64(len(b))
+	if na < 2 || nb < 2 {
+		return TestResult{math.NaN(), math.NaN()}
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	sa, sb := va/na, vb/nb
+	se := math.Sqrt(sa + sb)
+	if se == 0 {
+		if ma == mb {
+			return TestResult{0, 1}
+		}
+		return TestResult{math.Inf(1), 0}
+	}
+	t := (ma - mb) / se
+	// Welch–Satterthwaite degrees of freedom.
+	df := (sa + sb) * (sa + sb) / (sa*sa/(na-1) + sb*sb/(nb-1))
+	return TestResult{t, StudentTSF(t, df)}
+}
+
+// LeveneTest performs Levene's test for equality of variances across
+// groups, using the mean-centered absolute deviations (the classic form).
+// The paper uses it pairwise between grids (Table 5, Fig 17).
+func LeveneTest(groups ...[]float64) TestResult {
+	k := len(groups)
+	if k < 2 {
+		return TestResult{math.NaN(), math.NaN()}
+	}
+	n := 0
+	z := make([][]float64, k)
+	zbars := make([]float64, k)
+	var grand float64
+	for i, g := range groups {
+		if len(g) < 2 {
+			return TestResult{math.NaN(), math.NaN()}
+		}
+		n += len(g)
+		mi := Mean(g)
+		z[i] = make([]float64, len(g))
+		for j, x := range g {
+			z[i][j] = math.Abs(x - mi)
+		}
+		zbars[i] = Mean(z[i])
+		grand += zbars[i] * float64(len(g))
+	}
+	grand /= float64(n)
+	var num, den float64
+	for i, g := range groups {
+		ni := float64(len(g))
+		d := zbars[i] - grand
+		num += ni * d * d
+		for _, zij := range z[i] {
+			dd := zij - zbars[i]
+			den += dd * dd
+		}
+	}
+	d1 := float64(k - 1)
+	d2 := float64(n - k)
+	if den == 0 {
+		if num == 0 {
+			return TestResult{0, 1}
+		}
+		return TestResult{math.Inf(1), 0}
+	}
+	w := (d2 / d1) * num / den
+	return TestResult{w, FSF(w, d1, d2)}
+}
+
+// DAgostinoPearson performs the D'Agostino–Pearson K² omnibus normality
+// test [28, 29]. The null hypothesis is that the sample is normal; small
+// p-values reject normality. Requires n >= 20 for the approximations.
+func DAgostinoPearson(xs []float64) TestResult {
+	n := float64(len(xs))
+	if n < 20 {
+		return TestResult{math.NaN(), math.NaN()}
+	}
+	zs := dagostinoSkewZ(xs)
+	zk := dagostinoKurtZ(xs)
+	k2 := zs*zs + zk*zk
+	return TestResult{k2, ChiSquareSF(k2, 2)}
+}
+
+// dagostinoSkewZ is the transformed skewness statistic Z(b1).
+func dagostinoSkewZ(xs []float64) float64 {
+	n := float64(len(xs))
+	b1 := Skewness(xs)
+	y := b1 * math.Sqrt((n+1)*(n+3)/(6*(n-2)))
+	beta2 := 3 * (n*n + 27*n - 70) * (n + 1) * (n + 3) /
+		((n - 2) * (n + 5) * (n + 7) * (n + 9))
+	w2 := -1 + math.Sqrt(2*(beta2-1))
+	delta := 1 / math.Sqrt(math.Log(math.Sqrt(w2)))
+	alpha := math.Sqrt(2 / (w2 - 1))
+	if y == 0 {
+		return 0
+	}
+	return delta * math.Log(y/alpha+math.Sqrt((y/alpha)*(y/alpha)+1))
+}
+
+// dagostinoKurtZ is the transformed kurtosis statistic Z(b2)
+// (Anscombe–Glynn).
+func dagostinoKurtZ(xs []float64) float64 {
+	n := float64(len(xs))
+	b2 := Kurtosis(xs)
+	eb2 := 3 * (n - 1) / (n + 1)
+	vb2 := 24 * n * (n - 2) * (n - 3) / ((n + 1) * (n + 1) * (n + 3) * (n + 5))
+	x := (b2 - eb2) / math.Sqrt(vb2)
+	beta1 := 6 * (n*n - 5*n + 2) / ((n + 7) * (n + 9)) *
+		math.Sqrt(6*(n+3)*(n+5)/(n*(n-2)*(n-3)))
+	a := 6 + 8/beta1*(2/beta1+math.Sqrt(1+4/(beta1*beta1)))
+	t1 := 1 - 2/(9*a)
+	inner := (1 - 2/a) / (1 + x*math.Sqrt(2/(a-4)))
+	t2 := math.Cbrt(inner)
+	return (t1 - t2) / math.Sqrt(2/(9*a))
+}
+
+// AndersonDarling performs the Anderson–Darling test of normality [21]
+// with estimated mean and variance (case 3). The returned p-value uses
+// D'Agostino & Stephens' approximation for the adjusted statistic A*².
+func AndersonDarling(xs []float64) TestResult {
+	n := len(xs)
+	if n < 8 {
+		return TestResult{math.NaN(), math.NaN()}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mean := Mean(s)
+	std := StdDev(s)
+	if std == 0 {
+		return TestResult{math.Inf(1), 0}
+	}
+	fn := float64(n)
+	a2 := -fn
+	for i := 0; i < n; i++ {
+		zi := NormalCDF((s[i] - mean) / std)
+		zni := NormalCDF((s[n-1-i] - mean) / std)
+		// Clamp to avoid log(0) from extreme observations.
+		zi = math.Min(math.Max(zi, 1e-300), 1-1e-16)
+		zni = math.Min(math.Max(zni, 1e-300), 1-1e-16)
+		a2 -= (2*float64(i) + 1) / fn * (math.Log(zi) + math.Log(1-zni))
+	}
+	// Small-sample adjustment for estimated parameters.
+	aStar := a2 * (1 + 0.75/fn + 2.25/(fn*fn))
+	return TestResult{a2, adPValue(aStar)}
+}
+
+// adPValue maps the adjusted Anderson–Darling statistic to a p-value
+// (D'Agostino & Stephens 1986, Table 4.9).
+func adPValue(aStar float64) float64 {
+	switch {
+	case aStar >= 0.6:
+		return math.Exp(1.2937 - 5.709*aStar + 0.0186*aStar*aStar)
+	case aStar >= 0.34:
+		return math.Exp(0.9177 - 4.279*aStar - 1.38*aStar*aStar)
+	case aStar >= 0.2:
+		return 1 - math.Exp(-8.318+42.796*aStar-59.938*aStar*aStar)
+	default:
+		return 1 - math.Exp(-13.436+101.14*aStar-223.73*aStar*aStar)
+	}
+}
+
+// IsNormalEither reports whether the sample passes either normality test
+// at the given significance level — the paper's §4.1 rule: "we consider
+// the measurements associated with a geolocation as normal if they pass
+// any of the two types" (D'Agostino–Pearson or Anderson–Darling).
+func IsNormalEither(xs []float64, alpha float64) bool {
+	dp := DAgostinoPearson(xs)
+	ad := AndersonDarling(xs)
+	passDP := !math.IsNaN(dp.PValue) && dp.PValue > alpha
+	passAD := !math.IsNaN(ad.PValue) && ad.PValue > alpha
+	return passDP || passAD
+}

@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"lumos5g/internal/rng"
+)
+
+func normSample(seed uint64, n int, mean, std float64) []float64 {
+	src := rng.New(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = src.NormMeanStd(mean, std)
+	}
+	return xs
+}
+
+func TestSpecialFunctions(t *testing.T) {
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); !approx(got, x, 1e-10) {
+			t.Errorf("RegIncBeta(1,1,%v) = %v", x, got)
+		}
+	}
+	// I_x(2,2) = x^2(3-2x).
+	if got := RegIncBeta(2, 2, 0.3); !approx(got, 0.3*0.3*(3-0.6), 1e-10) {
+		t.Errorf("RegIncBeta(2,2,0.3) = %v", got)
+	}
+	// P(1, x) = 1 - e^{-x}.
+	for _, x := range []float64{0.5, 1, 3} {
+		if got := RegIncGammaLower(1, x); !approx(got, 1-math.Exp(-x), 1e-10) {
+			t.Errorf("RegIncGammaLower(1,%v) = %v", x, got)
+		}
+	}
+	// Boundaries.
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Error("RegIncBeta boundaries")
+	}
+	if RegIncGammaLower(2, 0) != 0 {
+		t.Error("RegIncGammaLower at 0")
+	}
+}
+
+func TestStudentTSFKnown(t *testing.T) {
+	// For df → large, t=1.96 gives two-sided p ≈ 0.05.
+	if p := StudentTSF(1.96, 10000); !approx(p, 0.05, 0.002) {
+		t.Fatalf("p(1.96, inf) = %v", p)
+	}
+	// t=0 gives p=1.
+	if p := StudentTSF(0, 5); !approx(p, 1, 1e-9) {
+		t.Fatalf("p(0) = %v", p)
+	}
+	// Symmetric in t.
+	if StudentTSF(2.5, 7) != StudentTSF(-2.5, 7) {
+		t.Fatal("t SF should be symmetric")
+	}
+}
+
+func TestChiSquareSFKnown(t *testing.T) {
+	// Chi-square with 2 df: SF(x) = exp(-x/2).
+	for _, x := range []float64{1, 2, 5} {
+		if got := ChiSquareSF(x, 2); !approx(got, math.Exp(-x/2), 1e-9) {
+			t.Errorf("ChiSquareSF(%v,2) = %v", x, got)
+		}
+	}
+	if ChiSquareSF(0, 3) != 1 {
+		t.Error("SF at 0 should be 1")
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	if !approx(NormalCDF(0), 0.5, 1e-12) {
+		t.Fatal("Phi(0)")
+	}
+	if !approx(NormalCDF(1.96), 0.975, 1e-4) {
+		t.Fatal("Phi(1.96)")
+	}
+	if !approx(NormalCDF(-1.96), 0.025, 1e-4) {
+		t.Fatal("Phi(-1.96)")
+	}
+}
+
+func TestFSF(t *testing.T) {
+	// F(1, d1, d2) for d1=d2 should be 0.5 by symmetry.
+	if p := FSF(1, 10, 10); !approx(p, 0.5, 1e-9) {
+		t.Fatalf("FSF(1,10,10) = %v", p)
+	}
+	if FSF(0, 3, 3) != 1 {
+		t.Fatal("FSF at 0 should be 1")
+	}
+}
+
+func TestWelchSameDistribution(t *testing.T) {
+	// Same distribution: p should usually be large. Check on average.
+	reject := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		a := normSample(uint64(i*2+1), 50, 100, 15)
+		b := normSample(uint64(i*2+2), 50, 100, 15)
+		if WelchTTest(a, b).PValue < 0.05 {
+			reject++
+		}
+	}
+	// Expected false positive rate ~5%.
+	if reject > trials/5 {
+		t.Fatalf("too many false rejections: %d/%d", reject, trials)
+	}
+}
+
+func TestWelchDifferentMeans(t *testing.T) {
+	a := normSample(1, 100, 100, 10)
+	b := normSample(2, 100, 140, 10)
+	res := WelchTTest(a, b)
+	if res.PValue > 1e-6 {
+		t.Fatalf("clearly different means not detected: p = %v", res.PValue)
+	}
+	if res.Statistic > 0 {
+		t.Fatal("t statistic sign: mean(a) < mean(b) should give t < 0")
+	}
+}
+
+func TestWelchDegenerate(t *testing.T) {
+	if !math.IsNaN(WelchTTest([]float64{1}, []float64{1, 2}).PValue) {
+		t.Fatal("n<2 should give NaN")
+	}
+	// Identical constant samples: p = 1.
+	if p := WelchTTest([]float64{5, 5, 5}, []float64{5, 5, 5}).PValue; p != 1 {
+		t.Fatalf("identical constants p = %v", p)
+	}
+	// Different constants: p = 0.
+	if p := WelchTTest([]float64{5, 5, 5}, []float64{7, 7, 7}).PValue; p != 0 {
+		t.Fatalf("different constants p = %v", p)
+	}
+}
+
+func TestLeveneEqualVariances(t *testing.T) {
+	a := normSample(11, 200, 0, 10)
+	b := normSample(12, 200, 50, 10) // different mean, same variance
+	res := LeveneTest(a, b)
+	if res.PValue < 0.01 {
+		t.Fatalf("equal variances rejected: p = %v", res.PValue)
+	}
+}
+
+func TestLeveneDifferentVariances(t *testing.T) {
+	a := normSample(13, 200, 0, 5)
+	b := normSample(14, 200, 0, 50)
+	res := LeveneTest(a, b)
+	if res.PValue > 1e-6 {
+		t.Fatalf("10x variance difference not detected: p = %v", res.PValue)
+	}
+}
+
+func TestLeveneDegenerate(t *testing.T) {
+	if !math.IsNaN(LeveneTest([]float64{1, 2}).PValue) {
+		t.Fatal("single group should be NaN")
+	}
+	if !math.IsNaN(LeveneTest([]float64{1}, []float64{2, 3}).PValue) {
+		t.Fatal("tiny group should be NaN")
+	}
+}
+
+func TestDAgostinoOnNormal(t *testing.T) {
+	xs := normSample(21, 5000, 500, 100)
+	res := DAgostinoPearson(xs)
+	if res.PValue < 0.01 {
+		t.Fatalf("normal sample rejected by D'Agostino: p = %v", res.PValue)
+	}
+}
+
+func TestDAgostinoOnExponential(t *testing.T) {
+	src := rng.New(22)
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = src.Exp(1)
+	}
+	res := DAgostinoPearson(xs)
+	if res.PValue > 1e-6 {
+		t.Fatalf("exponential sample not rejected: p = %v", res.PValue)
+	}
+}
+
+func TestDAgostinoSmallSample(t *testing.T) {
+	if !math.IsNaN(DAgostinoPearson(normSample(1, 10, 0, 1)).PValue) {
+		t.Fatal("n<20 should be NaN")
+	}
+}
+
+func TestAndersonDarlingOnNormal(t *testing.T) {
+	xs := normSample(31, 2000, 500, 100)
+	res := AndersonDarling(xs)
+	if res.PValue < 0.01 {
+		t.Fatalf("normal sample rejected by AD: p = %v", res.PValue)
+	}
+}
+
+func TestAndersonDarlingOnBimodal(t *testing.T) {
+	src := rng.New(32)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		if i%2 == 0 {
+			xs[i] = src.NormMeanStd(0, 1)
+		} else {
+			xs[i] = src.NormMeanStd(20, 1)
+		}
+	}
+	res := AndersonDarling(xs)
+	if res.PValue > 1e-6 {
+		t.Fatalf("bimodal sample not rejected: p = %v", res.PValue)
+	}
+}
+
+func TestIsNormalEither(t *testing.T) {
+	if !IsNormalEither(normSample(41, 1000, 100, 10), 0.001) {
+		t.Fatal("normal sample should pass either test")
+	}
+	src := rng.New(42)
+	exp := make([]float64, 1000)
+	for i := range exp {
+		exp[i] = src.Exp(0.5)
+	}
+	if IsNormalEither(exp, 0.001) {
+		t.Fatal("exponential sample should fail both tests")
+	}
+}

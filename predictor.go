@@ -1,0 +1,81 @@
+package lumos5g
+
+import (
+	"fmt"
+
+	"lumos5g/internal/core"
+	"lumos5g/internal/features"
+	"lumos5g/internal/ml"
+	"lumos5g/internal/ml/forest"
+	"lumos5g/internal/ml/gbdt"
+	"lumos5g/internal/ml/knn"
+	"lumos5g/internal/ml/kriging"
+)
+
+// Predictor is a trained throughput model bound to a feature group — the
+// artifact an application would download alongside a throughput map
+// (§2.3) and query for bandwidth decisions.
+type Predictor struct {
+	group FeatureGroup
+	model Model
+	reg   ml.Regressor
+	names []string
+}
+
+// Train fits a tabular model (KNN, RF, OK or GDBT) on the whole dataset
+// under the feature group and returns a reusable Predictor. For
+// train/test *evaluation*, use Evaluate instead — Train deliberately uses
+// every sample, as a production model would.
+func Train(d *Dataset, g FeatureGroup, m Model, sc Scale) (*Predictor, error) {
+	mat := features.Build(d, g)
+	if len(mat.X) == 0 {
+		return nil, fmt.Errorf("lumos5g: no usable rows for %s", g)
+	}
+	var reg ml.Regressor
+	switch m {
+	case core.ModelKNN:
+		reg = knn.New(sc.KNN)
+	case core.ModelRF:
+		cfg := sc.RF
+		cfg.Seed = sc.Seed
+		reg = forest.New(cfg)
+	case core.ModelOK:
+		reg = kriging.New(sc.Kriging)
+	case core.ModelGDBT:
+		cfg := sc.GBDT
+		cfg.Seed = sc.Seed
+		reg = gbdt.New(cfg)
+	default:
+		return nil, fmt.Errorf("lumos5g: Train supports tabular models only, not %s", m)
+	}
+	if err := reg.Fit(mat.X, mat.Y); err != nil {
+		return nil, err
+	}
+	return &Predictor{group: g, model: m, reg: reg, names: mat.Names}, nil
+}
+
+// Group returns the predictor's feature group.
+func (p *Predictor) Group() FeatureGroup { return p.group }
+
+// Model returns the predictor's model family.
+func (p *Predictor) Model() Model { return p.model }
+
+// FeatureNames returns the expected feature column order for Predict.
+func (p *Predictor) FeatureNames() []string {
+	return append([]string(nil), p.names...)
+}
+
+// Predict estimates throughput for one raw feature vector (in the order
+// of FeatureNames).
+func (p *Predictor) Predict(x []float64) float64 { return p.reg.Predict(x) }
+
+// PredictClass maps Predict's output to a throughput class.
+func (p *Predictor) PredictClass(x []float64) Class { return ml.ClassOf(p.reg.Predict(x)) }
+
+// PredictDataset vectorises d under the predictor's feature group and
+// returns the per-row predictions along with the record indices they
+// correspond to.
+func (p *Predictor) PredictDataset(d *Dataset) (pred []float64, recordIdx []int) {
+	mat := features.Build(d, p.group)
+	return ml.PredictAll(p.reg, mat.X), mat.RecordIdx
+}

@@ -1,0 +1,72 @@
+package lumos5g
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"lumos5g/internal/features"
+	"lumos5g/internal/ml/gbdt"
+)
+
+// predictorDTO is the wire form of a trained predictor — the paper's
+// §2.3 vision has UEs download throughput maps *with ML models*; this is
+// that downloadable artifact.
+type predictorDTO struct {
+	Version int
+	Group   string
+	Names   []string
+	Model   []byte // gbdt payload
+}
+
+const predictorWireVersion = 1
+
+// Save serialises a trained predictor. Only GDBT predictors are
+// persistable (the deployable model family: compact, CPU-cheap,
+// interpretable — the reasons §5.2 gives for choosing GDBT on-device).
+func (p *Predictor) Save(w io.Writer) error {
+	g, ok := p.reg.(*gbdt.Model)
+	if !ok {
+		return fmt.Errorf("lumos5g: only GDBT predictors can be saved, not %s", p.model)
+	}
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(predictorDTO{
+		Version: predictorWireVersion,
+		Group:   p.group.String(),
+		Names:   p.names,
+		Model:   buf.Bytes(),
+	})
+}
+
+// LoadPredictor reconstructs a predictor saved with Save.
+func LoadPredictor(r io.Reader) (*Predictor, error) {
+	var dto predictorDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("lumos5g: decode predictor: %w", err)
+	}
+	if dto.Version != predictorWireVersion {
+		return nil, fmt.Errorf("lumos5g: unsupported predictor version %d", dto.Version)
+	}
+	group, err := features.ParseGroup(dto.Group)
+	if err != nil {
+		return nil, err
+	}
+	model, err := gbdt.Load(bytes.NewReader(dto.Model))
+	if err != nil {
+		return nil, err
+	}
+	if model.NumFeatures() != len(dto.Names) {
+		return nil, fmt.Errorf("lumos5g: model expects %d features but %d names stored",
+			model.NumFeatures(), len(dto.Names))
+	}
+	return &Predictor{
+		group: group,
+		model: ModelGDBT,
+		reg:   model,
+		names: dto.Names,
+	}, nil
+}
