@@ -1,0 +1,35 @@
+# Tier-1 verification and development targets.
+#
+# `make tier1` is the CI gate: build, vet, and the full test suite under
+# the race detector (the fault-injection and resilience tests exercise
+# heavy goroutine churn, so they must stay race-clean).
+
+GO ?= go
+
+.PHONY: tier1 build vet test race race-core bench fmt
+
+tier1: ## build + vet + race-enabled test suite
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The packages the fault-injection layer touches, race-checked in
+# isolation (fast inner loop while working on netem/mapserver).
+race-core:
+	$(GO) test -race ./internal/netem/... ./internal/mapserver/...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+fmt:
+	gofmt -w ./cmd ./internal ./examples *.go

@@ -9,14 +9,22 @@
 //	lumos5g eval     -in airport.csv -group L+M -model GDBT
 //	lumos5g map      -in airport.csv -min 3
 //	lumos5g congestion -ues 4
+//	lumos5g measure  -rate 200 -samples 30 -faults
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	"lumos5g"
+	"lumos5g/internal/netem"
+	"lumos5g/internal/rng"
 	"lumos5g/internal/sim"
 )
 
@@ -37,6 +45,8 @@ func main() {
 		err = cmdMap(os.Args[2:])
 	case "congestion":
 		err = cmdCongestion(os.Args[2:])
+	case "measure":
+		err = cmdMeasure(os.Args[2:])
 	case "train":
 		err = cmdTrain(os.Args[2:])
 	case "predict":
@@ -64,7 +74,8 @@ commands:
   map         render the 2 m-grid throughput map (Fig 6)
   train       train a GDBT predictor on a dataset and save it (gob)
   predict     load a saved predictor and score a dataset CSV
-  congestion  run the 4-UE congestion experiment (Fig 21)`)
+  congestion  run the 4-UE congestion experiment (Fig 21)
+  measure     run a live shaped-TCP measurement with optional fault injection`)
 }
 
 func cmdGenerate(args []string) error {
@@ -223,6 +234,70 @@ func cmdCongestion(args []string) error {
 		}
 		fmt.Printf("UE%d: start t=%3ds, mean %.0f Mbps over %d s\n",
 			u+1, res.Starts[u], sum/float64(len(active)), len(active))
+	}
+	return nil
+}
+
+func cmdMeasure(args []string) error {
+	fs := flag.NewFlagSet("measure", flag.ExitOnError)
+	rate := fs.Float64("rate", 200, "shaped link rate in Mbps")
+	conns := fs.Int("conns", 8, "parallel TCP connections")
+	samples := fs.Int("samples", 30, "per-interval samples to collect")
+	interval := fs.Duration("interval", time.Second, "sample interval")
+	seed := fs.Uint64("seed", 1, "fault-plan and backoff-jitter seed")
+	faults := fs.Bool("faults", false, "inject mmWave faults (reset, handoff stall, dead-zone blackout)")
+	resets := fs.Int("resets", 1, "connection resets to schedule (with -faults)")
+	stalls := fs.Int("stalls", 1, "handoff stalls to schedule (with -faults)")
+	blackouts := fs.Int("blackouts", 1, "dead-zone blackouts to schedule (with -faults)")
+	fs.Parse(args)
+
+	sh := netem.NewShaper(*rate * 1e6)
+	var plan *netem.FaultPlan
+	if *faults {
+		window := time.Duration(*samples) * *interval
+		plan = netem.GenerateFaultPlan(rng.New(*seed), window, netem.FaultConfig{
+			Resets: *resets, Stalls: *stalls, Blackouts: *blackouts,
+			StallMean: 2 * *interval, BlackoutMean: 3 * *interval,
+		})
+		for _, ev := range plan.Events() {
+			fmt.Fprintf(os.Stderr, "scheduled %-9s at %6.1fs dur %.1fs\n",
+				ev.Kind, ev.At.Seconds(), ev.Duration.Seconds())
+		}
+	}
+	srv, err := netem.NewServerWithFaults(sh, plan)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	// Ctrl-C ends the run early; the partial-result contract still
+	// yields every sample collected so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	c := &netem.Client{Connections: *conns, SampleInterval: *interval, Seed: *seed}
+	rep, err := c.MeasureFull(ctx, srv.Addr(), *samples)
+	if rep == nil {
+		return err
+	}
+	for i, v := range rep.Samples {
+		fmt.Printf("t=%3d  %8.1f Mbps\n", i, v)
+	}
+	if rep.Partial {
+		fmt.Printf("interrupted after %d/%d samples (%v)\n", len(rep.Samples), *samples, err)
+	}
+	fmt.Printf("zero-throughput samples: %d\n", rep.Zeros)
+	fmt.Printf("reconnect attempts: %d (dial errors: %d)\n", rep.Retries, rep.DialErrors)
+	for i, st := range rep.Conns {
+		if len(st.Errors) > 0 {
+			fmt.Printf("conn %d: dials %d stalls %d read-errors %d [%s]\n",
+				i, st.Dials, st.Stalls, st.ReadErrors, strings.Join(st.Errors, "; "))
+		}
+	}
+	if plan != nil {
+		for _, ev := range plan.Fired() {
+			fmt.Printf("fired %-9s at %6.1fs dur %.1fs\n", ev.Kind, ev.At.Seconds(), ev.Duration.Seconds())
+		}
 	}
 	return nil
 }

@@ -6,16 +6,23 @@
 //
 //	lumosmapd -in airport.csv -listen :8457
 //	lumosmapd -area Airport -passes 6 -listen :8457   # simulate instead
+//	lumosmapd -area Airport -nomodel                  # degraded: map only
 //
 // Routes: /healthz, /map.svg, /cells.json, /model, /predict?lat=..&lon=..&speed=..&bearing=..
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests for -grace before exiting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"lumos5g"
 	"lumos5g/internal/mapserver"
@@ -28,6 +35,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "campaign/model seed")
 	listen := flag.String("listen", "127.0.0.1:8457", "listen address")
 	minSamples := flag.Int("min", 3, "minimum samples per map cell")
+	noModel := flag.Bool("nomodel", false, "serve the map without training a predictor (degraded mode)")
+	reqTimeout := flag.Duration("timeout", 10*time.Second, "per-request handler timeout")
+	grace := flag.Duration("grace", 5*time.Second, "shutdown drain period")
 	flag.Parse()
 
 	var d *lumos5g.Dataset
@@ -56,14 +66,29 @@ func main() {
 	}
 
 	tm := lumos5g.BuildThroughputMap(d, *minSamples)
-	pred, err := lumos5g.Train(d, lumos5g.GroupLM, lumos5g.ModelGDBT, lumos5g.Scale{Seed: *seed})
+	var pred *lumos5g.Predictor
+	if !*noModel {
+		var err error
+		pred, err = lumos5g.Train(d, lumos5g.GroupLM, lumos5g.ModelGDBT, lumos5g.Scale{Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	srv, err := mapserver.New(tm, pred, mapserver.WithRequestTimeout(*reqTimeout))
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := mapserver.New(tm, pred)
-	if err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if pred != nil {
+		log.Printf("serving %d map cells and an L+M GDBT model on http://%s", len(tm.Cells), *listen)
+	} else {
+		log.Printf("serving %d map cells DEGRADED (no model) on http://%s", len(tm.Cells), *listen)
+	}
+	if err := mapserver.ListenAndServe(ctx, *listen, srv, *grace); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("serving %d map cells and an L+M GDBT model on http://%s", len(tm.Cells), *listen)
-	log.Fatal(http.ListenAndServe(*listen, srv))
+	log.Printf("shut down cleanly")
 }

@@ -6,12 +6,15 @@
 //
 // Routes:
 //
-//	GET /healthz          liveness probe
+//	GET /healthz          liveness probe (reports degraded without a model)
 //	GET /map.svg          the Fig 3c heatmap as SVG
 //	GET /cells.json       per-cell statistics as JSON
 //	GET /model            the downloadable predictor (gob payload)
 //	GET /predict?lat=..&lon=..&speed=..&bearing=..
 //	                      server-side throughput prediction as JSON
+//
+// Every route runs behind panic-recovery, request-timeout, method and
+// request-size middleware; errors are structured JSON ({"error": ...}).
 package mapserver
 
 import (
@@ -20,6 +23,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"time"
 
 	"lumos5g"
 	"lumos5g/internal/geo"
@@ -30,12 +34,33 @@ type Server struct {
 	tm   *lumos5g.ThroughputMap
 	pred *lumos5g.Predictor
 	mux  *http.ServeMux
+	h    http.Handler // mux wrapped in the hardening middleware
+}
+
+// Option tunes the server's hardening envelope.
+type Option func(*options)
+
+type options struct {
+	timeout  time.Duration
+	maxBytes int64
+}
+
+// WithRequestTimeout bounds each request's handler time (default 10 s).
+func WithRequestTimeout(d time.Duration) Option {
+	return func(o *options) { o.timeout = d }
+}
+
+// WithMaxRequestBytes caps request body size (default 1 MiB).
+func WithMaxRequestBytes(n int64) Option {
+	return func(o *options) { o.maxBytes = n }
 }
 
 // New creates a handler for the given map and (optionally nil) predictor.
-// The predictor must use the L or L+M feature group: those are the only
-// groups whose features a bare /predict query can supply.
-func New(tm *lumos5g.ThroughputMap, pred *lumos5g.Predictor) (*Server, error) {
+// Without a predictor the server runs degraded: the map routes work,
+// /model and /predict return 404, and /healthz reports the degradation.
+// A non-nil predictor must use the L or L+M feature group: those are the
+// only groups whose features a bare /predict query can supply.
+func New(tm *lumos5g.ThroughputMap, pred *lumos5g.Predictor, opts ...Option) (*Server, error) {
 	if tm == nil {
 		return nil, fmt.Errorf("mapserver: nil throughput map")
 	}
@@ -44,23 +69,44 @@ func New(tm *lumos5g.ThroughputMap, pred *lumos5g.Predictor) (*Server, error) {
 			return nil, fmt.Errorf("mapserver: /predict supports L or L+M predictors, not %s", g)
 		}
 	}
+	o := options{timeout: 10 * time.Second, maxBytes: 1 << 20}
+	for _, opt := range opts {
+		opt(&o)
+	}
 	s := &Server{tm: tm, pred: pred, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/map.svg", s.handleSVG)
 	s.mux.HandleFunc("/cells.json", s.handleCells)
 	s.mux.HandleFunc("/model", s.handleModel)
 	s.mux.HandleFunc("/predict", s.handlePredict)
+	// Recovery sits outermost: http.TimeoutHandler re-raises handler
+	// panics on the caller goroutine, so the recover catches both direct
+	// and timed-out panics.
+	s.h = withRecovery(withTimeout(withReadOnly(withMaxBytes(s.mux, o.maxBytes)), o.timeout))
 	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.h.ServeHTTP(w, r)
+}
+
+// healthJSON is the /healthz wire form. Degraded means the service is up
+// but missing its predictor, so model-backed routes are unavailable.
+type healthJSON struct {
+	OK       bool `json:"ok"`
+	Degraded bool `json:"degraded"`
+	Cells    int  `json:"cells"`
+	Model    bool `json:"model"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, `{"ok":true,"cells":%d}`, len(s.tm.Cells))
+	writeJSON(w, http.StatusOK, healthJSON{
+		OK:       true,
+		Degraded: s.pred == nil,
+		Cells:    len(s.tm.Cells),
+		Model:    s.pred != nil,
+	})
 }
 
 func (s *Server) handleSVG(w http.ResponseWriter, _ *http.Request) {
@@ -95,13 +141,13 @@ func (s *Server) handleCells(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
 	if s.pred == nil {
-		http.Error(w, "no model published", http.StatusNotFound)
+		writeError(w, http.StatusNotFound, "no model published")
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Disposition", `attachment; filename="lumos5g-model.gob"`)
 	if err := s.pred.Save(w); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, err.Error())
 	}
 }
 
@@ -112,16 +158,33 @@ type predictResponse struct {
 	Group string  `json:"group"`
 }
 
+// queryFloat parses a required query parameter as a finite float within
+// [lo, hi], returning a client-facing error message otherwise.
+func queryFloat(q string, name string, lo, hi float64) (float64, error) {
+	v, err := strconv.ParseFloat(q, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s must be a number", name)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < lo || v > hi {
+		return 0, fmt.Errorf("%s must be in [%g, %g]", name, lo, hi)
+	}
+	return v, nil
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if s.pred == nil {
-		http.Error(w, "no model published", http.StatusNotFound)
+		writeError(w, http.StatusNotFound, "no model published")
 		return
 	}
 	q := r.URL.Query()
-	lat, err1 := strconv.ParseFloat(q.Get("lat"), 64)
-	lon, err2 := strconv.ParseFloat(q.Get("lon"), 64)
-	if err1 != nil || err2 != nil {
-		http.Error(w, "lat and lon are required floats", http.StatusBadRequest)
+	lat, err := queryFloat(q.Get("lat"), "lat", -90, 90)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	lon, err := queryFloat(q.Get("lon"), "lon", -180, 180)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	px := geo.Pixelize(geo.LatLon{Lat: lat, Lon: lon}, geo.DefaultZoom)
@@ -133,14 +196,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		"pixel_y": float64(px.Y),
 	}
 	if s.pred.Group() == lumos5g.GroupLM {
-		speed, err := strconv.ParseFloat(q.Get("speed"), 64)
+		speed, err := queryFloat(q.Get("speed"), "speed (km/h, required for L+M models)", 0, 500)
 		if err != nil {
-			http.Error(w, "speed (km/h) is required for L+M models", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		bearing, err := strconv.ParseFloat(q.Get("bearing"), 64)
+		bearing, err := queryFloat(q.Get("bearing"), "bearing (degrees, required for L+M models)", -360, 360)
 		if err != nil {
-			http.Error(w, "bearing (degrees) is required for L+M models", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		rad := math.Pi / 180
@@ -153,14 +216,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	for i, n := range names {
 		v, ok := vals[n]
 		if !ok {
-			http.Error(w, "model requires unsupported feature "+n, http.StatusInternalServerError)
+			writeError(w, http.StatusInternalServerError, "model requires unsupported feature "+n)
 			return
 		}
 		x[i] = v
 	}
 	mbps := s.pred.Predict(x)
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(predictResponse{
+	writeJSON(w, http.StatusOK, predictResponse{
 		Mbps:  mbps,
 		Class: lumos5g.ClassOf(mbps).String(),
 		Group: s.pred.Group().String(),

@@ -1,0 +1,80 @@
+package mapserver
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// Hardening middleware for the map service: the serving path must stay
+// up while UEs in marginal coverage hammer it with slow, malformed or
+// abandoned requests, so every route runs behind panic recovery, a
+// request timeout, a method filter and a request-size cap, and all
+// errors leave the server as structured JSON.
+
+// apiError is the wire form of every error response.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError sends a structured JSON error with the given status.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, apiError{Error: msg})
+}
+
+// withRecovery converts a handler panic into a 500 JSON error instead of
+// killing the connection (and, under some servers, the process).
+func withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler { // deliberate aborts pass through
+					panic(rec)
+				}
+				writeError(w, http.StatusInternalServerError, "internal server error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withTimeout bounds one request's handler time. http.TimeoutHandler
+// buffers the response and handles the writer race safely; the body it
+// writes on expiry is our JSON error shape.
+func withTimeout(next http.Handler, d time.Duration) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.TimeoutHandler(next, d, `{"error":"request timed out"}`)
+}
+
+// withReadOnly rejects anything but GET/HEAD — the service publishes
+// artifacts, it accepts nothing.
+func withReadOnly(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			writeError(w, http.StatusMethodNotAllowed, "method not allowed")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withMaxBytes caps request bodies so a misbehaving client cannot stream
+// an unbounded payload at a read-only service.
+func withMaxBytes(next http.Handler, n int64) http.Handler {
+	if n <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, n)
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,56 @@
+package mapserver
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Serve runs h on ln until ctx is cancelled, then drains in-flight
+// requests with a graceful Shutdown bounded by grace (<=0 means 5 s).
+// It returns nil after a clean shutdown, or the first serve/shutdown
+// error otherwise. The listener is owned by the caller until Serve
+// starts; Serve closes it on return.
+func Serve(ctx context.Context, ln net.Listener, h http.Handler, grace time.Duration) error {
+	if grace <= 0 {
+		grace = 5 * time.Second
+	}
+	srv := &http.Server{
+		Handler: h,
+		// Slow-client bounds: a UE on a collapsing link must not be able
+		// to pin a connection open indefinitely.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		// Listener failed before the context ended.
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		srv.Close() // grace expired: tear down what remains
+		return err
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// ListenAndServe binds addr and delegates to Serve.
+func ListenAndServe(ctx context.Context, addr string, h http.Handler, grace time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return Serve(ctx, ln, h, grace)
+}

@@ -22,6 +22,12 @@ type Platform struct {
 	// TickInterval compresses simulated seconds into wall-clock time
 	// (0 = 100 ms per simulated second, so a 200 s pass runs in 20 s).
 	TickInterval time.Duration
+	// InjectFaults derives a FaultPlan from the pass's own radio events
+	// (vertical handoffs → stalls, horizontal handoffs → connection
+	// resets, ~0 Mbps stretches → blackouts) and injects them into the
+	// transfer, so the TCP side experiences the outages the radio model
+	// produced instead of only their shaped rates.
+	InjectFaults bool
 }
 
 // LiveSample pairs the radio model's offered rate with the throughput the
@@ -35,8 +41,16 @@ type LiveSample struct {
 // RunPass walks the trajectory once (mode walking) and measures over real
 // TCP. It returns one LiveSample per simulated second.
 func (p *Platform) RunPass(ctx context.Context, a *env.Area, trajIdx int, seed uint64) ([]LiveSample, error) {
+	samples, _, err := p.RunPassReport(ctx, a, trajIdx, seed)
+	return samples, err
+}
+
+// RunPassReport is RunPass plus the client's MeasureReport, exposing the
+// retry/outage bookkeeping of a fault-injected pass. The report is nil
+// when the measurement could not start at all.
+func (p *Platform) RunPassReport(ctx context.Context, a *env.Area, trajIdx int, seed uint64) ([]LiveSample, *MeasureReport, error) {
 	if trajIdx < 0 || trajIdx >= len(a.Trajectories) {
-		return nil, fmt.Errorf("netem: trajectory index %d out of range", trajIdx)
+		return nil, nil, fmt.Errorf("netem: trajectory index %d out of range", trajIdx)
 	}
 	conns := p.Connections
 	if conns <= 0 {
@@ -51,14 +65,30 @@ func (p *Platform) RunPass(ctx context.Context, a *env.Area, trajIdx int, seed u
 	src := rng.New(seed).SplitLabeled("platform")
 	ticks := mobility.GeneratePass(a, a.Trajectories[trajIdx], radio.Walking, src.SplitLabeled("kinematics"))
 	if len(ticks) == 0 {
-		return nil, fmt.Errorf("netem: empty pass")
+		return nil, nil, fmt.Errorf("netem: empty pass")
 	}
 	conn := radio.NewConnection(envr, lte, src.SplitLabeled("radio"))
 
+	// Pre-compute offered rates and radio events by ticking the model.
+	offered := make([]float64, len(ticks))
+	vho := make([]bool, len(ticks))
+	hho := make([]bool, len(ticks))
+	for i, tk := range ticks {
+		ue := radio.UEState{Pos: tk.Pos, Heading: tk.Heading, SpeedKmh: tk.SpeedKmh, Mode: tk.Mode}
+		obs := conn.Tick(ue, 0)
+		offered[i] = obs.ThroughputMbps
+		vho[i] = obs.VerticalHandoff
+		hho[i] = obs.HorizontalHandoff
+	}
+
 	shaper := NewShaper(1e6)
-	srv, err := NewServer(shaper)
+	var plan *FaultPlan
+	if p.InjectFaults {
+		plan = NewFaultPlan(EventsFromTrace(vho, hho, offered, tick)...)
+	}
+	srv, err := NewServerWithFaults(shaper, plan)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer srv.Close()
 
@@ -67,25 +97,17 @@ func (p *Platform) RunPass(ctx context.Context, a *env.Area, trajIdx int, seed u
 
 	// The client samples once per tick; we adjust the shaper just before
 	// each sample window opens.
-	client := &Client{Connections: conns, SampleInterval: tick}
+	client := &Client{Connections: conns, SampleInterval: tick, Seed: seed}
 	type measured struct {
-		vals []float64
-		err  error
+		rep *MeasureReport
+		err error
 	}
 	done := make(chan measured, 1)
 
-	// Pre-compute offered rates by ticking the radio model.
-	offered := make([]float64, len(ticks))
-	for i, tk := range ticks {
-		ue := radio.UEState{Pos: tk.Pos, Heading: tk.Heading, SpeedKmh: tk.SpeedKmh, Mode: tk.Mode}
-		obs := conn.Tick(ue, 0)
-		offered[i] = obs.ThroughputMbps
-	}
-
 	// Drive the shaper in lockstep with the client's sampling clock.
 	go func() {
-		vals, err := client.Measure(ctx, srv.Addr(), len(offered))
-		done <- measured{vals, err}
+		rep, err := client.MeasureFull(ctx, srv.Addr(), len(offered))
+		done <- measured{rep, err}
 	}()
 	shaper.SetRate(maxF(offered[0], 1) * 1e6)
 	driver := time.NewTicker(tick)
@@ -94,23 +116,24 @@ func (p *Platform) RunPass(ctx context.Context, a *env.Area, trajIdx int, seed u
 	for i < len(offered) {
 		select {
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, nil, ctx.Err()
 		case m := <-done:
-			// Client finished early (error): surface it.
-			if m.err != nil {
-				return nil, m.err
+			// Client finished early (error): surface it, keeping any
+			// partial samples per the Measure contract.
+			if m.err != nil && (m.rep == nil || len(m.rep.Samples) == 0) {
+				return nil, m.rep, m.err
 			}
-			return zipSamples(offered, m.vals), nil
+			return zipSamples(offered, m.rep.Samples), m.rep, nil
 		case <-driver.C:
 			shaper.SetRate(maxF(offered[i], 1) * 1e6)
 			i++
 		}
 	}
 	m := <-done
-	if m.err != nil && len(m.vals) == 0 {
-		return nil, m.err
+	if m.err != nil && (m.rep == nil || len(m.rep.Samples) == 0) {
+		return nil, m.rep, m.err
 	}
-	return zipSamples(offered, m.vals), nil
+	return zipSamples(offered, m.rep.Samples), m.rep, nil
 }
 
 func zipSamples(offered, vals []float64) []LiveSample {

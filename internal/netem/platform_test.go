@@ -40,6 +40,31 @@ func TestPlatformLivePassTracksRadioModel(t *testing.T) {
 	}
 }
 
+func TestPlatformFaultInjectedPassCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live TCP pass takes tens of seconds")
+	}
+	// With faults derived from the pass's own radio events injected into
+	// the transfer, the measurement must still deliver every sample —
+	// outage seconds arrive as data, not as an aborted run.
+	p := &Platform{Connections: 2, TickInterval: 30 * time.Millisecond, InjectFaults: true}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	samples, rep, err := p.RunPassReport(ctx, env.Airport(), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || rep.Partial {
+		t.Fatalf("fault-injected pass did not complete: %+v", rep)
+	}
+	if len(samples) < 100 {
+		t.Fatalf("only %d live samples", len(samples))
+	}
+	if len(rep.Samples) != len(samples) {
+		t.Fatalf("report/sample mismatch: %d vs %d", len(rep.Samples), len(samples))
+	}
+}
+
 func TestPlatformValidation(t *testing.T) {
 	p := &Platform{}
 	if _, err := p.RunPass(context.Background(), env.Airport(), 99, 1); err == nil {

@@ -1,0 +1,148 @@
+package netem
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestMeasurePartialResultContract pins the documented contract: when
+// the context ends mid-measurement, Measure returns the prefix collected
+// so far together with the context's error — the partial trace is data.
+func TestMeasurePartialResultContract(t *testing.T) {
+	srv, err := NewServer(NewShaper(50e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(350 * time.Millisecond)
+		cancel()
+	}()
+	c := &Client{Connections: 2, SampleInterval: 100 * time.Millisecond}
+	vals, err := c.Measure(ctx, srv.Addr(), 1000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if len(vals) == 0 || len(vals) >= 1000 {
+		t.Fatalf("want a non-empty partial prefix, got %d samples", len(vals))
+	}
+
+	// MeasureFull marks the same situation explicitly.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel2()
+	rep, err := c.MeasureFull(ctx2, srv.Addr(), 1000)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+	if rep == nil || !rep.Partial || len(rep.Samples) == 0 {
+		t.Fatalf("partial report not surfaced: %+v", rep)
+	}
+}
+
+// TestMeasureOnceUsesPartialData pins the satellite fix: an interrupted
+// MeasureOnce returns the mean of the collected prefix alongside the
+// error instead of discarding the data.
+func TestMeasureOnceUsesPartialData(t *testing.T) {
+	srv, err := NewServer(NewShaper(50e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	defer cancel()
+	c := &Client{Connections: 2, SampleInterval: 100 * time.Millisecond}
+	m, err := c.MeasureOnce(ctx, srv.Addr(), 1000)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+	if m <= 0 {
+		t.Fatalf("partial mean discarded: %v", m)
+	}
+}
+
+// TestServerShutdownMidTransfer: killing the server mid-measurement must
+// not abort the run — the remaining intervals are recorded as 0 Mbps
+// while the supervisors keep retrying against the dead address.
+func TestServerShutdownMidTransfer(t *testing.T) {
+	srv, err := NewServer(NewShaper(50e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(250 * time.Millisecond)
+		srv.Close()
+	}()
+	c := &Client{Connections: 2, SampleInterval: 100 * time.Millisecond, Seed: 5}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	rep, err := c.MeasureFull(ctx, srv.Addr(), 8)
+	if err != nil {
+		t.Fatalf("shutdown mid-transfer must not error the measurement: %v", err)
+	}
+	if len(rep.Samples) != 8 {
+		t.Fatalf("want all 8 samples, got %d", len(rep.Samples))
+	}
+	if rep.Samples[0] <= 0 {
+		t.Fatalf("first interval should have seen traffic: %v", rep.Samples)
+	}
+	if rep.Zeros == 0 {
+		t.Fatalf("post-shutdown intervals must be explicit zeros: %v", rep.Samples)
+	}
+	if rep.DialErrors == 0 {
+		t.Fatalf("supervisors should have recorded failed re-dials: %+v", rep.Conns)
+	}
+}
+
+// TestZeroRateBlackoutYieldsZeroSamples: driving the shaper to ~0 (a
+// dead zone) mid-run produces explicit 0 Mbps samples, not an error —
+// the paper's 0 Mbps seconds are first-class data.
+func TestZeroRateBlackoutYieldsZeroSamples(t *testing.T) {
+	sh := NewShaper(100e6)
+	srv, err := NewServer(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go func() {
+		time.Sleep(350 * time.Millisecond)
+		sh.SetRate(0) // clamps to 1 bit/s: a dead zone
+	}()
+	c := &Client{Connections: 4, SampleInterval: 100 * time.Millisecond, Seed: 2}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	rep, err := c.MeasureFull(ctx, srv.Addr(), 10)
+	if err != nil {
+		t.Fatalf("blackout must not error the measurement: %v", err)
+	}
+	if len(rep.Samples) != 10 {
+		t.Fatalf("want all 10 samples, got %d", len(rep.Samples))
+	}
+	if rep.Samples[1] <= 0 {
+		t.Fatalf("pre-blackout interval should have traffic: %v", rep.Samples)
+	}
+	var tail float64
+	for _, v := range rep.Samples[7:] {
+		tail += v
+	}
+	if tail/3 > 1 {
+		t.Fatalf("blackout intervals should be ~0 Mbps: %v", rep.Samples)
+	}
+	if rep.Zeros == 0 {
+		t.Fatalf("expected explicit zero samples: %v", rep.Samples)
+	}
+}
+
+// TestMeasureFailsFastWhenUnreachable: resilience does not swallow
+// configuration errors — if no initial dial succeeds there is nothing to
+// measure and the client errors out immediately.
+func TestMeasureFailsFastWhenUnreachable(t *testing.T) {
+	c := &Client{Connections: 2, SampleInterval: 50 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Measure(ctx, "127.0.0.1:1", 3); err == nil {
+		t.Fatal("unreachable server must fail fast")
+	}
+}

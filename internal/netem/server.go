@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // chunkSize is the server's write unit. Small enough that shaping stays
@@ -15,8 +16,11 @@ const chunkSize = 16 * 1024
 // receives an endless stream of bytes, throttled by the shared Shaper —
 // the stand-in for the paper's cloud-hosted iPerf servers whose wired
 // side sustains >3 Gbps so that the radio link is always the bottleneck.
+// An optional FaultPlan injects the radio outages the wired side never
+// sees: resets, handoff stalls, dead-zone blackouts and accept failures.
 type Server struct {
 	shaper *Shaper
+	faults *FaultPlan // nil = no injected impairments
 	ln     net.Listener
 
 	mu     sync.Mutex
@@ -27,12 +31,20 @@ type Server struct {
 
 // NewServer starts a server on 127.0.0.1 (ephemeral port) shaped by sh.
 func NewServer(sh *Shaper) (*Server, error) {
+	return NewServerWithFaults(sh, nil)
+}
+
+// NewServerWithFaults starts a shaped server whose transfers are
+// additionally impaired by plan (nil plan means no faults). The plan's
+// clock starts at its first consult — effectively when the first client
+// connects — so event offsets align with the measurement window.
+func NewServerWithFaults(sh *Shaper, plan *FaultPlan) (*Server, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("netem: listen: %w", err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	s := &Server{shaper: sh, ln: ln, cancel: cancel}
+	s := &Server{shaper: sh, faults: plan, ln: ln, cancel: cancel}
 	s.wg.Add(1)
 	go s.acceptLoop(ctx)
 	return s, nil
@@ -48,6 +60,12 @@ func (s *Server) acceptLoop(ctx context.Context) {
 		if err != nil {
 			return // listener closed
 		}
+		if s.faults.DialFault(time.Now()) {
+			// Attach failure: refuse the connection at setup time with a
+			// hard reset rather than a graceful close.
+			abortConn(conn)
+			continue
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -56,8 +74,17 @@ func (s *Server) acceptLoop(ctx context.Context) {
 	}
 }
 
-// serve streams shaped bytes until the peer disconnects or the server
-// closes.
+// abortConn closes conn with SO_LINGER 0 so the peer sees a RST, the
+// transport-level signature of a blocked/reset mmWave link.
+func abortConn(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	conn.Close()
+}
+
+// serve streams shaped bytes until the peer disconnects, the server
+// closes, or the fault plan tears the connection down.
 func (s *Server) serve(ctx context.Context, conn net.Conn) {
 	defer conn.Close()
 	// Close the connection promptly when the server shuts down.
@@ -75,16 +102,32 @@ func (s *Server) serve(ctx context.Context, conn net.Conn) {
 	for i := range buf {
 		buf[i] = byte(i * 31)
 	}
+	// Per-connection cap: each connection carries its own token bucket so
+	// a single TCP stream cannot exceed Shaper.PerConnRate — the paper's
+	// reason for running 8 parallel streams. The bucket is created when a
+	// cap is first seen and its rate is refreshed only when the cap
+	// changes at runtime.
 	var perConn *Shaper
 	for {
+		if reset, pause := s.faults.WriteFault(time.Now()); reset {
+			abortConn(conn)
+			return
+		} else if pause > 0 {
+			// Stall/blackout: hold all writes for the remaining outage,
+			// then re-consult — another impairment may follow directly.
+			if !sleepCtx(ctx, pause) {
+				return
+			}
+			continue
+		}
 		if err := s.shaper.Take(ctx, len(buf)); err != nil {
 			return
 		}
-		if cap := s.shaper.PerConnRate(); cap > 0 {
+		if rate := s.shaper.PerConnRate(); rate > 0 {
 			if perConn == nil {
-				perConn = NewShaper(cap)
-			} else {
-				perConn.SetRate(cap)
+				perConn = NewShaper(rate)
+			} else if perConn.Rate() != rate {
+				perConn.SetRate(rate)
 			}
 			if err := perConn.Take(ctx, len(buf)); err != nil {
 				return

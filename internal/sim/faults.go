@@ -1,0 +1,36 @@
+package sim
+
+import (
+	"time"
+
+	"lumos5g/internal/dataset"
+	"lumos5g/internal/netem"
+)
+
+// FaultTimeline converts one simulated pass's per-second records into
+// the transport impairments a replay of that pass would experience:
+// vertical (NR↔LTE) handoffs become multi-second write stalls (§4.4),
+// horizontal handoffs become single-connection resets from beam
+// re-acquisition (§4.3), and every run of ~0 Mbps seconds becomes a
+// link blackout spanning the dead zone (§4.2). tick is the wall-clock
+// length of one simulated second (netem passes typically compress it).
+//
+// The returned events feed netem.NewFaultPlan, letting a recorded
+// campaign drive chaos testing of the live measurement pipeline.
+func FaultTimeline(recs []dataset.Record, tick time.Duration) []netem.FaultEvent {
+	vho := make([]bool, len(recs))
+	hho := make([]bool, len(recs))
+	tput := make([]float64, len(recs))
+	for i, r := range recs {
+		vho[i] = r.VerticalHO
+		hho[i] = r.HorizontalHO
+		tput[i] = r.ThroughputMbps
+	}
+	return netem.EventsFromTrace(vho, hho, tput, tick)
+}
+
+// FaultPlanForPass is the one-call form: it derives the timeline and
+// wraps it in a ready-to-inject plan.
+func FaultPlanForPass(recs []dataset.Record, tick time.Duration) *netem.FaultPlan {
+	return netem.NewFaultPlan(FaultTimeline(recs, tick)...)
+}

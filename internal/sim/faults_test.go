@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"lumos5g/internal/dataset"
+	"lumos5g/internal/env"
+	"lumos5g/internal/netem"
+)
+
+func TestFaultTimelineMapsRadioEvents(t *testing.T) {
+	tick := 100 * time.Millisecond
+	recs := []dataset.Record{
+		{Second: 0, ThroughputMbps: 900},
+		{Second: 1, ThroughputMbps: 850, VerticalHO: true},
+		{Second: 2, ThroughputMbps: 0.1}, // dead zone starts
+		{Second: 3, ThroughputMbps: 0.2},
+		{Second: 4, ThroughputMbps: 700, HorizontalHO: true},
+		{Second: 5, ThroughputMbps: 750},
+	}
+	evs := FaultTimeline(recs, tick)
+	var kinds []netem.FaultKind
+	for _, ev := range evs {
+		kinds = append(kinds, ev.Kind)
+	}
+	find := func(k netem.FaultKind) *netem.FaultEvent {
+		for i := range evs {
+			if evs[i].Kind == k {
+				return &evs[i]
+			}
+		}
+		t.Fatalf("no %v event in %v", k, kinds)
+		return nil
+	}
+	if st := find(netem.FaultStall); st.At != 1*tick || st.Duration != 3*tick {
+		t.Fatalf("vertical HO → stall mapping wrong: %+v", st)
+	}
+	if rs := find(netem.FaultReset); rs.At != 4*tick {
+		t.Fatalf("horizontal HO → reset mapping wrong: %+v", rs)
+	}
+	if bo := find(netem.FaultBlackout); bo.At != 2*tick || bo.Duration != 2*tick {
+		t.Fatalf("dead zone → blackout mapping wrong: %+v", bo)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("want 3 events, got %v", evs)
+	}
+}
+
+func TestFaultPlanForPassFromCampaign(t *testing.T) {
+	// A real simulated pass must translate into a consumable plan whose
+	// blackouts cover exactly the trace's ~0 Mbps seconds.
+	d := RunArea(env.Airport(), tinyConfig())
+	if d.Len() == 0 {
+		t.Fatal("empty campaign")
+	}
+	recs := d.Records[:200]
+	plan := FaultPlanForPass(recs, 10*time.Millisecond)
+	evs := plan.Events()
+	var blackoutTicks time.Duration
+	for _, ev := range evs {
+		if ev.Kind == netem.FaultBlackout {
+			blackoutTicks += ev.Duration
+		}
+	}
+	var deadSecs int
+	for _, r := range recs {
+		if r.ThroughputMbps < 1 {
+			deadSecs++
+		}
+	}
+	if got := int(blackoutTicks / (10 * time.Millisecond)); got != deadSecs {
+		t.Fatalf("blackout coverage %d ticks, want %d dead seconds", got, deadSecs)
+	}
+}
