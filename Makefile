@@ -2,13 +2,16 @@
 #
 # `make tier1` is the CI gate: build, vet, and the full test suite under
 # the race detector (the fault-injection and resilience tests exercise
-# heavy goroutine churn, so they must stay race-clean).
+# heavy goroutine churn, so they must stay race-clean). `make fuzz` runs
+# the parser/artifact fuzz targets for a short burst — not part of tier1,
+# but run it after touching the CSV loader or the model artifact codec.
 
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: tier1 build vet test race race-core bench fmt
+.PHONY: tier1 build vet test race race-core bench fmt fuzz
 
-tier1: ## build + vet + race-enabled test suite
+tier1: ## build + vet + race-enabled test suite (run `make fuzz` too when touching parsers)
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
 
 build:
@@ -30,6 +33,12 @@ race-core:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Short fuzz burst over every fuzz target (one -fuzz per package per
+# invocation is a `go test` restriction).
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/dataset
+	$(GO) test -run='^$$' -fuzz=FuzzLoadPredictor -fuzztime=$(FUZZTIME) .
 
 fmt:
 	gofmt -w ./cmd ./internal ./examples *.go

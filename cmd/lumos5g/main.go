@@ -86,11 +86,15 @@ func cmdGenerate(args []string) error {
 	seed := fs.Uint64("seed", 1, "campaign seed")
 	out := fs.String("out", "", "output CSV path (default stdout)")
 	clean := fs.Bool("clean", true, "apply the §3.1 quality filter")
+	checkpoint := fs.String("checkpoint", "", "checkpoint path for a resumable run (requires -out)")
 	fs.Parse(args)
 
 	cfg := lumos5g.CampaignConfig{
 		Seed: *seed, WalkPasses: *passes, DrivePasses: *drives,
 		StationarySessions: 4, BackgroundUEProb: 0.12,
+	}
+	if *checkpoint != "" {
+		return generateResumable(cfg, *areaName, *out, *checkpoint, *clean)
 	}
 	var d *lumos5g.Dataset
 	if *areaName == "" {
@@ -123,6 +127,47 @@ func cmdGenerate(args []string) error {
 	return nil
 }
 
+// generateResumable runs a checkpointed campaign that survives SIGTERM:
+// interrupting it leaves a checkpoint behind, and re-running the same
+// command resumes where it stopped, producing a byte-identical CSV.
+func generateResumable(cfg lumos5g.CampaignConfig, areaName, out, checkpoint string, clean bool) error {
+	if out == "" {
+		return fmt.Errorf("generate: -checkpoint requires -out")
+	}
+	var areas []*lumos5g.Area
+	if areaName != "" {
+		a, err := lumos5g.AreaByName(areaName)
+		if err != nil {
+			return err
+		}
+		areas = []*lumos5g.Area{a}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := lumos5g.GenerateResumable(ctx, cfg, areas, out, checkpoint, lumos5g.ResumeOptions{
+		Clean: clean,
+		OnShard: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rshard %d/%d", done, total)
+		},
+	})
+	fmt.Fprintln(os.Stderr)
+	if err != nil {
+		return err
+	}
+	if res.Resumed {
+		fmt.Fprintln(os.Stderr, "resumed from checkpoint", checkpoint)
+	}
+	if clean {
+		fmt.Fprintf(os.Stderr, "quality filter dropped %d records\n", res.Dropped)
+	}
+	if !res.Completed {
+		fmt.Fprintf(os.Stderr, "interrupted after %d records; rerun to resume from %s\n", res.Rows, checkpoint)
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d records\n", res.Rows)
+	return nil
+}
+
 func loadCSV(path string) (*lumos5g.Dataset, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -135,13 +180,35 @@ func loadCSV(path string) (*lumos5g.Dataset, error) {
 func cmdSummary(args []string) error {
 	fs := flag.NewFlagSet("summary", flag.ExitOnError)
 	in := fs.String("in", "", "input CSV path")
+	lenient := fs.Bool("lenient", false, "quarantine malformed rows instead of failing")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("summary: -in required")
 	}
-	d, err := loadCSV(*in)
-	if err != nil {
-		return err
+	var d *lumos5g.Dataset
+	var err error
+	if *lenient {
+		f, ferr := os.Open(*in)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		var rep *lumos5g.LoadReport
+		d, rep, err = lumos5g.ReadCSVLenient(f)
+		if err != nil {
+			return err
+		}
+		if rep.Quarantined > 0 {
+			fmt.Fprintf(os.Stderr, "quarantined %d malformed rows\n", rep.Quarantined)
+			for _, re := range rep.Errors {
+				fmt.Fprintln(os.Stderr, " ", re)
+			}
+		}
+	} else {
+		d, err = loadCSV(*in)
+		if err != nil {
+			return err
+		}
 	}
 	s := d.Summary()
 	fmt.Printf("data points : %d per-second samples\n", s.DataPoints)

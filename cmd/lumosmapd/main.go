@@ -7,8 +7,16 @@
 //	lumosmapd -in airport.csv -listen :8457
 //	lumosmapd -area Airport -passes 6 -listen :8457   # simulate instead
 //	lumosmapd -area Airport -nomodel                  # degraded: map only
+//	lumosmapd -in airport.csv -model chain.l5g -watch 5s
 //
 // Routes: /healthz, /map.svg, /cells.json, /model, /predict?lat=..&lon=..&speed=..&bearing=..
+//
+// The model is a fallback chain (L+M+C → L+M → L → harmonic mean): a
+// query missing kinematics or history is demoted to the best tier its
+// features support instead of being rejected. With -model the chain is
+// loaded from a saved artifact, and -watch hot-reloads it whenever the
+// file changes — corrupt artifacts are rejected and the live model keeps
+// serving.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests for -grace before exiting.
@@ -35,10 +43,17 @@ func main() {
 	seed := flag.Uint64("seed", 1, "campaign/model seed")
 	listen := flag.String("listen", "127.0.0.1:8457", "listen address")
 	minSamples := flag.Int("min", 3, "minimum samples per map cell")
-	noModel := flag.Bool("nomodel", false, "serve the map without training a predictor (degraded mode)")
+	noModel := flag.Bool("nomodel", false, "serve the map without a predictor (degraded mode)")
+	modelPath := flag.String("model", "", "load the model from a saved artifact instead of training")
+	watch := flag.Duration("watch", 0, "poll -model for changes and hot-reload (0 disables)")
 	reqTimeout := flag.Duration("timeout", 10*time.Second, "per-request handler timeout")
 	grace := flag.Duration("grace", 5*time.Second, "shutdown drain period")
 	flag.Parse()
+
+	if *watch > 0 && *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "lumosmapd: -watch requires -model")
+		os.Exit(2)
+	}
 
 	var d *lumos5g.Dataset
 	switch {
@@ -66,15 +81,29 @@ func main() {
 	}
 
 	tm := lumos5g.BuildThroughputMap(d, *minSamples)
-	var pred *lumos5g.Predictor
-	if !*noModel {
+	var chain *lumos5g.FallbackChain
+	switch {
+	case *noModel:
+	case *modelPath != "":
+		// A missing file is fine under -watch: the watcher installs the
+		// model once the artifact appears.
+		c, err := lumos5g.LoadAnyModelFile(*modelPath, lumos5g.HarmonicMeanThroughput(d))
+		switch {
+		case err == nil:
+			chain = c
+		case *watch > 0 && os.IsNotExist(err):
+			log.Printf("model %s not there yet; waiting for the watcher", *modelPath)
+		default:
+			log.Fatal(err)
+		}
+	default:
 		var err error
-		pred, err = lumos5g.Train(d, lumos5g.GroupLM, lumos5g.ModelGDBT, lumos5g.Scale{Seed: *seed})
+		chain, err = lumos5g.TrainFallbackChain(d, lumos5g.DefaultFallbackGroups, lumos5g.ModelGDBT, lumos5g.Scale{Seed: *seed})
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
-	srv, err := mapserver.New(tm, pred, mapserver.WithRequestTimeout(*reqTimeout))
+	srv, err := mapserver.NewWithChain(tm, chain, mapserver.WithRequestTimeout(*reqTimeout))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,8 +111,18 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if pred != nil {
-		log.Printf("serving %d map cells and an L+M GDBT model on http://%s", len(tm.Cells), *listen)
+	if *watch > 0 {
+		go srv.WatchModelFile(ctx, *modelPath, *watch, func(err error) {
+			if err != nil {
+				log.Printf("model reload rejected: %v", err)
+			} else {
+				log.Printf("model reloaded from %s: %s", *modelPath, srv.Chain())
+			}
+		})
+	}
+
+	if chain != nil {
+		log.Printf("serving %d map cells, model %s on http://%s", len(tm.Cells), chain, *listen)
 	} else {
 		log.Printf("serving %d map cells DEGRADED (no model) on http://%s", len(tm.Cells), *listen)
 	}

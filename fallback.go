@@ -1,0 +1,253 @@
+package lumos5g
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+
+	"lumos5g/internal/features"
+	"lumos5g/internal/ml/hm"
+)
+
+// FallbackChain is a degraded-mode predictor: an ordered list of trained
+// Predictors over progressively smaller feature groups, closed by a
+// harmonic-mean / prior last resort that needs no features at all.
+//
+// The paper's feature groups are composable by design (Table 6) so a
+// deployment can mix L/M/T/C per what its sensors provide — but a live
+// UE loses sensors at runtime too: the compass jams, the modem stops
+// reporting SS-RSRP, the panel survey does not cover the current block.
+// The chain turns those losses into tier demotions instead of errors:
+// each query is served by the first tier whose feature columns are all
+// present, finite, and inside their physical ranges
+// (features.ValidRange), and the response records which tier served it.
+//
+// Predict never fails for a well-formed query (any map, including nil):
+// the last resort forecasts from the query's own past-throughput
+// features when usable (the ABR harmonic-mean estimator the paper
+// benchmarks as HM) and otherwise from the training-set prior.
+//
+// A FallbackChain is safe for concurrent use by multiple goroutines.
+type FallbackChain struct {
+	tiers []*Predictor
+	prior float64
+	// served[i] counts queries answered by tier i; the last slot is the
+	// harmonic-mean / prior last resort.
+	served []atomic.Uint64
+}
+
+// LastResortGroup is the Source label of chain predictions served by the
+// featureless last resort.
+const LastResortGroup = "HM"
+
+// ChainPrediction is one FallbackChain answer with its tier attribution.
+type ChainPrediction struct {
+	// Mbps is the predicted downlink throughput.
+	Mbps float64
+	// Class is the §5.2 throughput class of Mbps.
+	Class Class
+	// Tier is the index of the serving tier; len(chain.Tiers()) means
+	// the last resort served.
+	Tier int
+	// Source names the serving tier's feature group ("L+M+C", "L", ...)
+	// or LastResortGroup.
+	Source string
+	// Degraded reports that at least the first tier was skipped.
+	Degraded bool
+	// Missing lists the first tier's unusable feature columns when the
+	// prediction is degraded (why the preferred model could not run).
+	Missing []string
+}
+
+// DefaultFallbackGroups is the recommended tier order: the full
+// Location+Mobility+Connection model, then Location+Mobility once the
+// modem stops reporting, then bare Location once even kinematics are
+// gone. The chain's built-in last resort covers the empty group.
+var DefaultFallbackGroups = []FeatureGroup{GroupLMC, GroupLM, GroupL}
+
+// NewFallbackChain assembles a chain from trained predictors, ordered
+// most- to least-demanding. priorMbps is the last-resort forecast used
+// when a query carries no usable past-throughput history; it must be a
+// positive finite throughput (typically the training set's harmonic
+// mean). A chain with zero tiers is legal and serves everything from the
+// last resort.
+func NewFallbackChain(priorMbps float64, tiers ...*Predictor) (*FallbackChain, error) {
+	if math.IsNaN(priorMbps) || math.IsInf(priorMbps, 0) || priorMbps <= 0 {
+		return nil, fmt.Errorf("lumos5g: fallback prior must be a positive throughput, got %v", priorMbps)
+	}
+	for i, p := range tiers {
+		if p == nil {
+			return nil, fmt.Errorf("lumos5g: fallback tier %d is nil", i)
+		}
+	}
+	c := &FallbackChain{
+		tiers: append([]*Predictor(nil), tiers...),
+		prior: priorMbps,
+	}
+	c.served = make([]atomic.Uint64, len(c.tiers)+1)
+	return c, nil
+}
+
+// TrainFallbackChain trains one predictor per feature group (in the
+// given order) on d and closes the chain with the dataset's harmonic-mean
+// throughput as the prior. Groups that yield no usable rows on d (e.g. a
+// tower group on an unsurveyed area) are skipped rather than failing the
+// whole chain — the result records only the tiers that exist.
+func TrainFallbackChain(d *Dataset, groups []FeatureGroup, m Model, sc Scale) (*FallbackChain, error) {
+	if len(groups) == 0 {
+		groups = DefaultFallbackGroups
+	}
+	var tiers []*Predictor
+	for _, g := range groups {
+		p, err := Train(d, g, m, sc)
+		if err != nil {
+			if errors.Is(err, ErrNoUsableRows) {
+				continue
+			}
+			return nil, fmt.Errorf("lumos5g: train fallback tier %s: %w", g, err)
+		}
+		tiers = append(tiers, p)
+	}
+	prior, err := hm.New(d.Len()).Predict(d.Throughputs())
+	if err != nil || !(prior > 0) {
+		return nil, fmt.Errorf("lumos5g: cannot derive fallback prior from dataset: %v", err)
+	}
+	return NewFallbackChain(prior, tiers...)
+}
+
+// HarmonicMeanThroughput is the dataset-wide harmonic-mean throughput —
+// the same prior TrainFallbackChain bakes into a chain's last resort.
+// Returns 0 when the dataset cannot support one (empty, or all-zero).
+func HarmonicMeanThroughput(d *Dataset) float64 {
+	if d == nil || d.Len() == 0 {
+		return 0
+	}
+	prior, err := hm.New(d.Len()).Predict(d.Throughputs())
+	if err != nil || !(prior > 0) {
+		return 0
+	}
+	return prior
+}
+
+// ChainFromPredictor wraps a single trained predictor into a one-tier
+// chain — the adapter that lets legacy single-model artifacts serve
+// through the degraded-mode path.
+func ChainFromPredictor(p *Predictor, priorMbps float64) (*FallbackChain, error) {
+	if p == nil {
+		return nil, fmt.Errorf("lumos5g: nil predictor")
+	}
+	return NewFallbackChain(priorMbps, p)
+}
+
+// Predict serves one query. q maps vectorised feature column names (see
+// Predictor.FeatureNames) to raw values; keys may be absent, NaN, or out
+// of range — those columns are treated as missing sensors and demote the
+// query to the first tier that is fully satisfied. Predict never fails:
+// a nil or empty query is served by the last resort.
+func (c *FallbackChain) Predict(q map[string]float64) ChainPrediction {
+	var firstMissing []string
+	for i, p := range c.tiers {
+		missing := features.MissingFeatures(q, p.names)
+		if i == 0 {
+			firstMissing = missing
+		}
+		if len(missing) > 0 {
+			continue
+		}
+		x := make([]float64, len(p.names))
+		for j, n := range p.names {
+			x[j] = q[n]
+		}
+		mbps := p.Predict(x)
+		if math.IsNaN(mbps) || math.IsInf(mbps, 0) {
+			// A tier that produces garbage is treated like a missing
+			// sensor: demote rather than propagate.
+			continue
+		}
+		if mbps < 0 {
+			mbps = 0
+		}
+		c.served[i].Add(1)
+		return ChainPrediction{
+			Mbps:     mbps,
+			Class:    ClassOf(mbps),
+			Tier:     i,
+			Source:   p.group.String(),
+			Degraded: i > 0,
+			Missing:  missingIfDegraded(firstMissing, i > 0),
+		}
+	}
+	// Last resort: the query's own throughput history when usable,
+	// otherwise the training prior. Both are the HM estimator's domain.
+	mbps := c.prior
+	if v, ok := usableFeature(q, "past_tput_hmean"); ok {
+		mbps = v
+	} else if v, ok := usableFeature(q, "past_tput_last"); ok {
+		mbps = v
+	}
+	c.served[len(c.tiers)].Add(1)
+	return ChainPrediction{
+		Mbps:     mbps,
+		Class:    ClassOf(mbps),
+		Tier:     len(c.tiers),
+		Source:   LastResortGroup,
+		Degraded: len(c.tiers) > 0,
+		Missing:  missingIfDegraded(firstMissing, len(c.tiers) > 0),
+	}
+}
+
+// usableFeature returns q[name] when it is present and inside the
+// feature's valid range.
+func usableFeature(q map[string]float64, name string) (float64, bool) {
+	v, ok := q[name]
+	if !ok {
+		return 0, false
+	}
+	fr, known := features.ValidRange(name)
+	if !known || !fr.Contains(v) {
+		return 0, false
+	}
+	return v, true
+}
+
+func missingIfDegraded(missing []string, degraded bool) []string {
+	if !degraded {
+		return nil
+	}
+	return append([]string(nil), missing...)
+}
+
+// Tiers returns the chain's predictors in serving order.
+func (c *FallbackChain) Tiers() []*Predictor {
+	return append([]*Predictor(nil), c.tiers...)
+}
+
+// Prior returns the last-resort throughput prior in Mbps.
+func (c *FallbackChain) Prior() float64 { return c.prior }
+
+// ServedCounts returns how many queries each tier has answered since the
+// chain was built; the final element counts the last resort.
+func (c *FallbackChain) ServedCounts() []uint64 {
+	out := make([]uint64, len(c.served))
+	for i := range c.served {
+		out[i] = c.served[i].Load()
+	}
+	return out
+}
+
+// TierNames returns the serving-order tier labels, ending with the last
+// resort — the /healthz wire form of the chain's shape.
+func (c *FallbackChain) TierNames() []string {
+	out := make([]string, 0, len(c.tiers)+1)
+	for _, p := range c.tiers {
+		out = append(out, p.group.String())
+	}
+	return append(out, LastResortGroup)
+}
+
+// String renders the chain shape, e.g. "L+M+C → L+M → L → HM".
+func (c *FallbackChain) String() string {
+	return strings.Join(c.TierNames(), " → ")
+}

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -45,50 +46,90 @@ func fmtB(b bool) string {
 	return "0"
 }
 
-// WriteCSV serialises the dataset with a header row.
-func (d *Dataset) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
+// CSVWriter streams records to CSV incrementally — the writer behind
+// resumable generation runs, which append one shard at a time and fsync
+// between checkpoints. WriteCSV is the one-shot convenience on top.
+type CSVWriter struct {
+	cw  *csv.Writer
+	row []string
+	n   int
+}
+
+// NewCSVWriter wraps w. Call WriteHeader before the first Append.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{cw: csv.NewWriter(w), row: make([]string, len(csvHeader))}
+}
+
+// WriteHeader emits the schema header row.
+func (w *CSVWriter) WriteHeader() error {
+	if err := w.cw.Write(csvHeader); err != nil {
 		return fmt.Errorf("dataset: write header: %w", err)
 	}
-	row := make([]string, len(csvHeader))
-	for i := range d.Records {
-		r := &d.Records[i]
-		row[0] = r.Area
-		row[1] = r.Trajectory
-		row[2] = strconv.Itoa(r.Pass)
-		row[3] = strconv.Itoa(r.Second)
-		row[4] = strconv.FormatFloat(r.Latitude, 'f', 7, 64)
-		row[5] = strconv.FormatFloat(r.Longitude, 'f', 7, 64)
-		row[6] = fmtF(r.GPSAccuracy)
-		row[7] = r.Activity
-		row[8] = fmtF(r.SpeedKmh)
-		row[9] = fmtF(r.CompassDeg)
-		row[10] = fmtF(r.CompassAcc)
-		row[11] = fmtF(r.ThroughputMbps)
-		row[12] = r.Radio.String()
-		row[13] = strconv.Itoa(r.CellID)
-		row[14] = fmtF(r.LteRsrp)
-		row[15] = fmtF(r.LteRsrq)
-		row[16] = fmtF(r.LteRssi)
-		row[17] = fmtF(r.SSRsrp)
-		row[18] = fmtF(r.SSRsrq)
-		row[19] = fmtF(r.SSSinr)
-		row[20] = fmtB(r.HorizontalHO)
-		row[21] = fmtB(r.VerticalHO)
-		row[22] = fmtF(r.PanelDist)
-		row[23] = fmtF(r.ThetaP)
-		row[24] = fmtF(r.ThetaM)
-		row[25] = strconv.Itoa(r.PixelX)
-		row[26] = strconv.Itoa(r.PixelY)
-		row[27] = r.Mode.String()
-		row[28] = strconv.Itoa(r.SharingUEs)
-		if err := cw.Write(row); err != nil {
-			return fmt.Errorf("dataset: write row %d: %w", i, err)
+	return nil
+}
+
+// Append serialises records in order.
+func (w *CSVWriter) Append(recs ...Record) error {
+	for i := range recs {
+		fillRow(w.row, &recs[i])
+		if err := w.cw.Write(w.row); err != nil {
+			return fmt.Errorf("dataset: write row %d: %w", w.n, err)
 		}
+		w.n++
 	}
-	cw.Flush()
-	return cw.Error()
+	return nil
+}
+
+// Flush pushes buffered rows to the underlying writer and reports any
+// write error.
+func (w *CSVWriter) Flush() error {
+	w.cw.Flush()
+	return w.cw.Error()
+}
+
+// WriteCSV serialises the dataset with a header row.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := NewCSVWriter(w)
+	if err := cw.WriteHeader(); err != nil {
+		return err
+	}
+	if err := cw.Append(d.Records...); err != nil {
+		return err
+	}
+	return cw.Flush()
+}
+
+// fillRow formats one record into row (len(csvHeader)).
+func fillRow(row []string, r *Record) {
+	row[0] = r.Area
+	row[1] = r.Trajectory
+	row[2] = strconv.Itoa(r.Pass)
+	row[3] = strconv.Itoa(r.Second)
+	row[4] = strconv.FormatFloat(r.Latitude, 'f', 7, 64)
+	row[5] = strconv.FormatFloat(r.Longitude, 'f', 7, 64)
+	row[6] = fmtF(r.GPSAccuracy)
+	row[7] = r.Activity
+	row[8] = fmtF(r.SpeedKmh)
+	row[9] = fmtF(r.CompassDeg)
+	row[10] = fmtF(r.CompassAcc)
+	row[11] = fmtF(r.ThroughputMbps)
+	row[12] = r.Radio.String()
+	row[13] = strconv.Itoa(r.CellID)
+	row[14] = fmtF(r.LteRsrp)
+	row[15] = fmtF(r.LteRsrq)
+	row[16] = fmtF(r.LteRssi)
+	row[17] = fmtF(r.SSRsrp)
+	row[18] = fmtF(r.SSRsrq)
+	row[19] = fmtF(r.SSSinr)
+	row[20] = fmtB(r.HorizontalHO)
+	row[21] = fmtB(r.VerticalHO)
+	row[22] = fmtF(r.PanelDist)
+	row[23] = fmtF(r.ThetaP)
+	row[24] = fmtF(r.ThetaM)
+	row[25] = strconv.Itoa(r.PixelX)
+	row[26] = strconv.Itoa(r.PixelY)
+	row[27] = r.Mode.String()
+	row[28] = strconv.Itoa(r.SharingUEs)
 }
 
 // ReadCSV parses a dataset previously written by WriteCSV.
@@ -120,6 +161,84 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		d.Records = append(d.Records, rec)
 	}
 	return d, nil
+}
+
+// RowError records one malformed data row quarantined by the lenient
+// loader.
+type RowError struct {
+	Line int
+	Err  error
+}
+
+func (e RowError) Error() string {
+	return fmt.Sprintf("line %d: %v", e.Line, e.Err)
+}
+
+func (e RowError) Unwrap() error { return e.Err }
+
+// maxStoredRowErrors caps the per-load error list so a pathological file
+// cannot balloon the report; Quarantined still counts every bad row.
+const maxStoredRowErrors = 20
+
+// LoadReport summarises a lenient CSV load.
+type LoadReport struct {
+	// Rows is the number of records successfully parsed.
+	Rows int
+	// Quarantined is the number of malformed rows skipped.
+	Quarantined int
+	// Errors holds the first maxStoredRowErrors quarantined rows.
+	Errors []RowError
+}
+
+func (rep *LoadReport) quarantine(line int, err error) {
+	rep.Quarantined++
+	if len(rep.Errors) < maxStoredRowErrors {
+		rep.Errors = append(rep.Errors, RowError{Line: line, Err: err})
+	}
+}
+
+// ReadCSVLenient parses like ReadCSV but quarantines malformed data rows
+// instead of aborting: each bad row is counted (and the first few kept
+// with line numbers) while every well-formed row still loads. A bad
+// header or an I/O failure remains fatal — those corrupt the whole file,
+// not one measurement.
+func ReadCSVLenient(r io.Reader) (*Dataset, *LoadReport, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	for i, col := range csvHeader {
+		if header[i] != col {
+			return nil, nil, fmt.Errorf("dataset: header column %d = %q, want %q", i, header[i], col)
+		}
+	}
+	d := &Dataset{}
+	rep := &LoadReport{}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var pe *csv.ParseError
+			if !errors.As(err, &pe) {
+				// Not a row-shaped problem: the stream itself failed.
+				return nil, nil, fmt.Errorf("dataset: line %d: %w", line, err)
+			}
+			rep.quarantine(line, err)
+			continue
+		}
+		rec, err := parseRow(row)
+		if err != nil {
+			rep.quarantine(line, err)
+			continue
+		}
+		d.Records = append(d.Records, rec)
+		rep.Rows++
+	}
+	return d, rep, nil
 }
 
 func parseRow(row []string) (Record, error) {

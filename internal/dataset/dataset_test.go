@@ -258,3 +258,123 @@ func TestReadCSVRejectsBadRow(t *testing.T) {
 		t.Fatal("bad radio value should error")
 	}
 }
+
+func TestReadCSVReportsLineNumbers(t *testing.T) {
+	d := &Dataset{}
+	d.Append(mkRecord("Airport", 0, 0, 1), mkRecord("Airport", 0, 1, 2))
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := strings.Replace(buf.String(), ",NR,", ",5G?,", 1)
+	_, err := ReadCSV(strings.NewReader(s))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-numbered error for first data row, got %v", err)
+	}
+}
+
+func TestReadCSVLenient(t *testing.T) {
+	d := &Dataset{}
+	for i := 0; i < 5; i++ {
+		d.Append(mkRecord("Airport", 0, i, float64(100+i)))
+	}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// Corrupt row 2 (bad radio), row 4 (wrong field count); append junk.
+	lines[2] = strings.Replace(lines[2], ",NR,", ",5G?,", 1)
+	lines[4] = "short,row"
+	lines = append(lines, "complete,garbage,here")
+	in := strings.Join(lines, "\n") + "\n"
+
+	got, rep, err := ReadCSVLenient(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 || rep.Rows != 3 {
+		t.Fatalf("want 3 clean rows, got %d (report %+v)", got.Len(), rep)
+	}
+	if rep.Quarantined != 3 || len(rep.Errors) != 3 {
+		t.Fatalf("want 3 quarantined rows, got %+v", rep)
+	}
+	wantLines := []int{3, 5, 7}
+	for i, re := range rep.Errors {
+		if re.Line != wantLines[i] {
+			t.Fatalf("error %d on line %d, want %d (%v)", i, re.Line, wantLines[i], re)
+		}
+		if re.Error() == "" {
+			t.Fatal("empty row error string")
+		}
+	}
+	// The strict loader must reject the same input.
+	if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+		t.Fatal("strict loader accepted corrupt input")
+	}
+	// The survivors are the uncorrupted records, in order.
+	for i, sec := range []int{0, 2, 4} {
+		if got.Records[i].Second != sec {
+			t.Fatalf("survivor %d has second %d, want %d", i, got.Records[i].Second, sec)
+		}
+	}
+}
+
+func TestReadCSVLenientCapsStoredErrors(t *testing.T) {
+	d := &Dataset{}
+	d.Append(mkRecord("Airport", 0, 0, 1))
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	in := buf.String()
+	for i := 0; i < maxStoredRowErrors+10; i++ {
+		in += "junk,row\n"
+	}
+	_, rep, err := ReadCSVLenient(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quarantined != maxStoredRowErrors+10 {
+		t.Fatalf("quarantined %d, want %d", rep.Quarantined, maxStoredRowErrors+10)
+	}
+	if len(rep.Errors) != maxStoredRowErrors {
+		t.Fatalf("stored %d errors, want cap %d", len(rep.Errors), maxStoredRowErrors)
+	}
+}
+
+func TestReadCSVLenientBadHeaderFatal(t *testing.T) {
+	if _, _, err := ReadCSVLenient(strings.NewReader("a,b,c\n1,2,3\n")); err == nil {
+		t.Fatal("bad header must stay fatal in lenient mode")
+	}
+}
+
+func TestCSVWriterIncremental(t *testing.T) {
+	d := &Dataset{}
+	for i := 0; i < 4; i++ {
+		d.Append(mkRecord("Airport", 0, i, float64(10*i)))
+	}
+	var whole, parts bytes.Buffer
+	if err := d.WriteCSV(&whole); err != nil {
+		t.Fatal(err)
+	}
+	w := NewCSVWriter(&parts)
+	if err := w.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(d.Records[:2]...); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(d.Records[2:]...); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if whole.String() != parts.String() {
+		t.Fatal("incremental writer output differs from WriteCSV")
+	}
+}

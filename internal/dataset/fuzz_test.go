@@ -36,8 +36,23 @@ func FuzzReadCSV(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, input string) {
 		got, err := ReadCSV(strings.NewReader(input))
+		ld, rep, lerr := ReadCSVLenient(strings.NewReader(input))
 		if err != nil {
+			// The lenient loader may still salvage rows, but it must not
+			// panic and must agree a broken header/stream is fatal when
+			// the strict loader accepted nothing before the failure.
+			if lerr == nil && rep.Quarantined == 0 && ld.Len() > 0 {
+				t.Fatalf("lenient loaded %d rows cleanly where strict failed: %v", ld.Len(), err)
+			}
 			return // rejected input is fine
+		}
+		// Whatever strict accepts, lenient must accept identically.
+		if lerr != nil {
+			t.Fatalf("lenient rejected strict-valid input: %v", lerr)
+		}
+		if rep.Quarantined != 0 || ld.Len() != got.Len() {
+			t.Fatalf("lenient disagrees on valid input: %d rows, %d quarantined, want %d",
+				ld.Len(), rep.Quarantined, got.Len())
 		}
 		// Accepted input must round-trip.
 		var out bytes.Buffer

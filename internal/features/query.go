@@ -1,0 +1,77 @@
+package features
+
+import "math"
+
+// FeatureRange is the plausible value interval for one vectorised
+// feature column. The fallback predictor uses these to decide whether a
+// query value is trustworthy: a reading outside its physical range is
+// treated exactly like a missing sensor (§2.3's UE-side serving path
+// must survive both).
+type FeatureRange struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v is a finite value inside the range.
+func (fr FeatureRange) Contains(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= fr.Lo && v <= fr.Hi
+}
+
+// ranges maps every feature column produced by Build to its valid
+// interval. Bounds follow the sensor specs the dataset schema mirrors:
+// Web-Mercator pixel coordinates at DefaultZoom, 3GPP signal reporting
+// ranges (widened to include the imputation sentinels), and generous
+// kinematic caps.
+var ranges = map[string]FeatureRange{
+	"pixel_x":      {0, 1 << 26}, // zoom 17 tile space: 2^(17+8) pixels
+	"pixel_y":      {0, 1 << 26},
+	"moving_speed": {0, 500},
+	"compass_sin":  {-1, 1},
+	"compass_cos":  {-1, 1},
+	"panel_dist":   {0, 100e3},
+	"theta_p_sin":  {-1, 1},
+	"theta_p_cos":  {-1, 1},
+	"theta_m_sin":  {-1, 1},
+	"theta_m_cos":  {-1, 1},
+	// Connection features. Signal floors sit at the imputation
+	// sentinels; ceilings at the top of the 3GPP reporting ranges.
+	"past_tput_last":  {0, 100e3},
+	"past_tput_hmean": {0, 100e3},
+	"radio_type":      {0, 1},
+	"lte_rsrp":        {-156, -31},
+	"lte_rsrq":        {-43, 20},
+	"lte_rssi":        {-120, 0},
+	"ss_rsrp":         {SentinelSSRsrp, -31},
+	"ss_rsrq":         {SentinelSSRsrq, 20},
+	"ss_sinr":         {SentinelSSSinr, 40},
+	"horizontal_ho":   {0, 1},
+	"vertical_ho":     {0, 1},
+}
+
+// ValidRange returns the valid interval for a feature column name.
+func ValidRange(name string) (FeatureRange, bool) {
+	fr, ok := ranges[name]
+	return fr, ok
+}
+
+// GroupNames returns the feature column names Build produces for g.
+func GroupNames(g Group) []string { return featureNames(g) }
+
+// MissingFeatures reports which of the named columns are unusable in the
+// query: absent from the map, NaN/Inf, or outside the column's valid
+// range. An empty result means every column can be fed to a model
+// trained on those names. Unknown columns are never considered usable.
+func MissingFeatures(q map[string]float64, names []string) []string {
+	var missing []string
+	for _, n := range names {
+		v, ok := q[n]
+		if !ok {
+			missing = append(missing, n)
+			continue
+		}
+		fr, known := ranges[n]
+		if !known || !fr.Contains(v) {
+			missing = append(missing, n)
+		}
+	}
+	return missing
+}

@@ -3,7 +3,6 @@ package mapserver
 import (
 	"context"
 	"encoding/json"
-	"fmt"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -98,13 +97,14 @@ func TestMethodNotAllowed(t *testing.T) {
 func TestPredictRangeValidation(t *testing.T) {
 	srv := newTestServer(t)
 	cases := []string{
-		"lat=999&lon=0&speed=4&bearing=10",     // latitude out of range
-		"lat=0&lon=-999&speed=4&bearing=10",    // longitude out of range
-		"lat=0&lon=0&speed=-3&bearing=10",      // negative speed
-		"lat=0&lon=0&speed=4&bearing=9999",     // bearing out of range
-		"lat=NaN&lon=0&speed=4&bearing=10",     // non-finite input
-		fmt.Sprintf("lat=%f&lon=%f", 1.0, 1.0), // missing L+M params
+		"lat=999&lon=0&speed=4&bearing=10",  // latitude out of range
+		"lat=0&lon=-999&speed=4&bearing=10", // longitude out of range
+		"lat=0&lon=0&speed=-3&bearing=10",   // negative speed
+		"lat=0&lon=0&speed=4&bearing=9999",  // bearing out of range
+		"lat=NaN&lon=0&speed=4&bearing=10",  // non-finite input
 	}
+	// Missing optional params are NOT an error any more: the fallback
+	// chain degrades instead (covered by TestPredictValidation).
 	for _, qs := range cases {
 		resp, body := get(t, srv.URL+"/predict?"+qs)
 		if resp.StatusCode != http.StatusBadRequest {

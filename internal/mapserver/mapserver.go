@@ -6,12 +6,21 @@
 //
 // Routes:
 //
-//	GET /healthz          liveness probe (reports degraded without a model)
+//	GET /healthz          liveness probe (tier shape, reload health)
 //	GET /map.svg          the Fig 3c heatmap as SVG
 //	GET /cells.json       per-cell statistics as JSON
-//	GET /model            the downloadable predictor (gob payload)
-//	GET /predict?lat=..&lon=..&speed=..&bearing=..
+//	GET /model            the downloadable model artifact (chain bundle)
+//	GET /predict?lat=..&lon=..[&speed=..&bearing=..]
 //	                      server-side throughput prediction as JSON
+//
+// Prediction is served through a lumos5g.FallbackChain and degrades
+// instead of failing: queries missing speed/bearing fall to smaller
+// feature tiers, and a server with no model at all answers from the
+// throughput map itself (cell mean, then map-wide mean). Responses carry
+// the serving tier so clients can weigh the estimate. The model can be
+// hot-swapped under load (SetChain / ReloadModelFile / WatchModelFile);
+// corrupt or truncated artifacts are rejected while the previous model
+// keeps serving.
 //
 // Every route runs behind panic-recovery, request-timeout, method and
 // request-size middleware; errors are structured JSON ({"error": ...}).
@@ -23,6 +32,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"lumos5g"
@@ -31,10 +41,23 @@ import (
 
 // Server bundles the published artifacts.
 type Server struct {
-	tm   *lumos5g.ThroughputMap
-	pred *lumos5g.Predictor
-	mux  *http.ServeMux
-	h    http.Handler // mux wrapped in the hardening middleware
+	tm  *lumos5g.ThroughputMap
+	mux *http.ServeMux
+	h   http.Handler // mux wrapped in the hardening middleware
+
+	// mapPrior is the sample-weighted map-wide mean throughput: the
+	// last-ditch /predict answer and the last-resort prior handed to
+	// single-predictor artifacts on load.
+	mapPrior float64
+
+	// mu guards the live model and reload bookkeeping. Prediction takes
+	// the read lock; hot swaps take the write lock, so a reload is
+	// atomic with respect to every in-flight query.
+	mu        sync.RWMutex
+	chain     *lumos5g.FallbackChain
+	reloadErr string // last rejected reload ("" when healthy)
+	reloads   uint64 // successful model swaps
+	rejected  uint64 // artifacts refused (model kept serving)
 }
 
 // Option tunes the server's hardening envelope.
@@ -56,24 +79,43 @@ func WithMaxRequestBytes(n int64) Option {
 }
 
 // New creates a handler for the given map and (optionally nil) predictor.
-// Without a predictor the server runs degraded: the map routes work,
-// /model and /predict return 404, and /healthz reports the degradation.
+// The predictor is wrapped into a single-tier fallback chain whose
+// last-resort prior is the map-wide mean. Without a predictor the server
+// runs degraded: /model returns 404 and /predict answers from the map.
 // A non-nil predictor must use the L or L+M feature group: those are the
 // only groups whose features a bare /predict query can supply.
 func New(tm *lumos5g.ThroughputMap, pred *lumos5g.Predictor, opts ...Option) (*Server, error) {
+	if pred == nil {
+		return NewWithChain(tm, nil, opts...)
+	}
+	if g := pred.Group(); g != lumos5g.GroupL && g != lumos5g.GroupLM {
+		return nil, fmt.Errorf("mapserver: /predict supports L or L+M predictors, not %s", g)
+	}
+	s, err := NewWithChain(tm, nil, opts...)
+	if err != nil {
+		return nil, err
+	}
+	chain, err := lumos5g.ChainFromPredictor(pred, s.mapPrior)
+	if err != nil {
+		return nil, err
+	}
+	s.SetChain(chain)
+	return s, nil
+}
+
+// NewWithChain creates a handler serving predictions through the given
+// fallback chain (nil for a model-less, map-only degraded server). Tiers
+// whose features a /predict query cannot supply simply never serve; they
+// still back /model downloads.
+func NewWithChain(tm *lumos5g.ThroughputMap, chain *lumos5g.FallbackChain, opts ...Option) (*Server, error) {
 	if tm == nil {
 		return nil, fmt.Errorf("mapserver: nil throughput map")
-	}
-	if pred != nil {
-		if g := pred.Group(); g != lumos5g.GroupL && g != lumos5g.GroupLM {
-			return nil, fmt.Errorf("mapserver: /predict supports L or L+M predictors, not %s", g)
-		}
 	}
 	o := options{timeout: 10 * time.Second, maxBytes: 1 << 20}
 	for _, opt := range opts {
 		opt(&o)
 	}
-	s := &Server{tm: tm, pred: pred, mux: http.NewServeMux()}
+	s := &Server{tm: tm, mux: http.NewServeMux(), chain: chain, mapPrior: mapMeanMbps(tm)}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/map.svg", s.handleSVG)
 	s.mux.HandleFunc("/cells.json", s.handleCells)
@@ -86,27 +128,106 @@ func New(tm *lumos5g.ThroughputMap, pred *lumos5g.Predictor, opts ...Option) (*S
 	return s, nil
 }
 
+// mapMeanMbps is the sample-weighted mean throughput across all map
+// cells, floored at 1 Mbps so it stays a usable chain prior.
+func mapMeanMbps(tm *lumos5g.ThroughputMap) float64 {
+	var sum float64
+	var n int
+	for _, c := range tm.Cells {
+		if c.N > 0 && !math.IsNaN(c.MeanMbps) {
+			sum += c.MeanMbps * float64(c.N)
+			n += c.N
+		}
+	}
+	if n == 0 || sum <= float64(n) {
+		return 1
+	}
+	return sum / float64(n)
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.h.ServeHTTP(w, r)
 }
 
+// Chain returns the currently serving fallback chain (nil when the
+// server is model-less).
+func (s *Server) Chain() *lumos5g.FallbackChain {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.chain
+}
+
+// SetChain atomically swaps the serving model. In-flight queries finish
+// on the old chain; subsequent ones use the new. A successful manual
+// swap clears any recorded reload failure.
+func (s *Server) SetChain(c *lumos5g.FallbackChain) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.chain = c
+	s.reloadErr = ""
+}
+
+// ReloadModelFile loads a model artifact (chain bundle or single
+// predictor) from path and swaps it in atomically. A damaged artifact is
+// rejected — the error is recorded for /healthz and the previous model
+// keeps serving.
+func (s *Server) ReloadModelFile(path string) error {
+	chain, err := lumos5g.LoadAnyModelFile(path, s.mapPrior)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.rejected++
+		s.reloadErr = err.Error()
+		return fmt.Errorf("mapserver: reload %s rejected (model kept): %w", path, err)
+	}
+	s.chain = chain
+	s.reloads++
+	s.reloadErr = ""
+	return nil
+}
+
+// ReloadStats reports hot-reload health: successful swaps, rejected
+// artifacts, and the last rejection message ("" when healthy).
+func (s *Server) ReloadStats() (reloads, rejected uint64, lastErr string) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.reloads, s.rejected, s.reloadErr
+}
+
 // healthJSON is the /healthz wire form. Degraded means the service is up
-// but missing its predictor, so model-backed routes are unavailable.
+// but not serving with a fully healthy model: it has no model at all, or
+// the newest artifact was rejected and an older model is serving.
 type healthJSON struct {
-	OK       bool `json:"ok"`
-	Degraded bool `json:"degraded"`
-	Cells    int  `json:"cells"`
-	Model    bool `json:"model"`
+	OK              bool     `json:"ok"`
+	Degraded        bool     `json:"degraded"`
+	Cells           int      `json:"cells"`
+	Model           bool     `json:"model"`
+	Tiers           []string `json:"tiers,omitempty"`
+	TiersServed     []uint64 `json:"tiers_served,omitempty"`
+	Reloads         uint64   `json:"reloads"`
+	Rejected        uint64   `json:"rejected"`
+	LastReloadError string   `json:"last_reload_error,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, healthJSON{
-		OK:       true,
-		Degraded: s.pred == nil,
-		Cells:    len(s.tm.Cells),
-		Model:    s.pred != nil,
-	})
+	s.mu.RLock()
+	chain, reloads, rejected, reloadErr := s.chain, s.reloads, s.rejected, s.reloadErr
+	s.mu.RUnlock()
+	h := healthJSON{
+		OK:              true,
+		Degraded:        chain == nil || reloadErr != "",
+		Cells:           len(s.tm.Cells),
+		Model:           chain != nil,
+		Reloads:         reloads,
+		Rejected:        rejected,
+		LastReloadError: reloadErr,
+	}
+	if chain != nil {
+		h.Tiers = chain.TierNames()
+		h.TiersServed = chain.ServedCounts()
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleSVG(w http.ResponseWriter, _ *http.Request) {
@@ -140,22 +261,30 @@ func (s *Server) handleCells(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
-	if s.pred == nil {
+	chain := s.Chain()
+	if chain == nil {
 		writeError(w, http.StatusNotFound, "no model published")
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Disposition", `attachment; filename="lumos5g-model.gob"`)
-	if err := s.pred.Save(w); err != nil {
+	w.Header().Set("Content-Disposition", `attachment; filename="lumos5g-chain.l5g"`)
+	if err := chain.Save(w); err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 	}
 }
 
-// predictResponse is the /predict wire form.
+// predictResponse is the /predict wire form. Tier and Source attribute
+// the serving model tier; Tier is -1 when the map itself answered
+// (Source "map-cell" or "map-mean"). Group mirrors Source for clients of
+// the pre-fallback API.
 type predictResponse struct {
-	Mbps  float64 `json:"mbps"`
-	Class string  `json:"class"`
-	Group string  `json:"group"`
+	Mbps     float64  `json:"mbps"`
+	Class    string   `json:"class"`
+	Group    string   `json:"group"`
+	Source   string   `json:"source"`
+	Tier     int      `json:"tier"`
+	Degraded bool     `json:"degraded"`
+	Missing  []string `json:"missing,omitempty"`
 }
 
 // queryFloat parses a required query parameter as a finite float within
@@ -172,10 +301,6 @@ func queryFloat(q string, name string, lo, hi float64) (float64, error) {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	if s.pred == nil {
-		writeError(w, http.StatusNotFound, "no model published")
-		return
-	}
 	q := r.URL.Query()
 	lat, err := queryFloat(q.Get("lat"), "lat", -90, 90)
 	if err != nil {
@@ -189,42 +314,56 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	px := geo.Pixelize(geo.LatLon{Lat: lat, Lon: lon}, geo.DefaultZoom)
 
-	// Assemble the feature vector by name so the handler stays correct
-	// if the group's column layout evolves.
+	// Assemble the query by feature name. Optional parameters that are
+	// absent are simply omitted — the fallback chain demotes the query
+	// to a tier that does not need them. Present-but-malformed values
+	// are still client errors.
 	vals := map[string]float64{
 		"pixel_x": float64(px.X),
 		"pixel_y": float64(px.Y),
 	}
-	if s.pred.Group() == lumos5g.GroupLM {
-		speed, err := queryFloat(q.Get("speed"), "speed (km/h, required for L+M models)", 0, 500)
+	if raw := q.Get("speed"); raw != "" {
+		speed, err := queryFloat(raw, "speed (km/h)", 0, 500)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		bearing, err := queryFloat(q.Get("bearing"), "bearing (degrees, required for L+M models)", -360, 360)
+		vals["moving_speed"] = speed
+	}
+	if raw := q.Get("bearing"); raw != "" {
+		bearing, err := queryFloat(raw, "bearing (degrees)", -360, 360)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		rad := math.Pi / 180
-		vals["moving_speed"] = speed
 		vals["compass_sin"] = math.Sin(bearing * rad)
 		vals["compass_cos"] = math.Cos(bearing * rad)
 	}
-	names := s.pred.FeatureNames()
-	x := make([]float64, len(names))
-	for i, n := range names {
-		v, ok := vals[n]
-		if !ok {
-			writeError(w, http.StatusInternalServerError, "model requires unsupported feature "+n)
-			return
+
+	chain := s.Chain()
+	if chain == nil {
+		// Model-less degraded serving: the throughput map is itself a
+		// predictor (Fig 3c's whole premise).
+		resp := predictResponse{Tier: -1, Degraded: true}
+		if cell := s.tm.Lookup(px.X, px.Y); cell != nil {
+			resp.Mbps, resp.Source = cell.MeanMbps, "map-cell"
+		} else {
+			resp.Mbps, resp.Source = s.mapPrior, "map-mean"
 		}
-		x[i] = v
+		resp.Class = lumos5g.ClassOf(resp.Mbps).String()
+		resp.Group = resp.Source
+		writeJSON(w, http.StatusOK, resp)
+		return
 	}
-	mbps := s.pred.Predict(x)
+	p := chain.Predict(vals)
 	writeJSON(w, http.StatusOK, predictResponse{
-		Mbps:  mbps,
-		Class: lumos5g.ClassOf(mbps).String(),
-		Group: s.pred.Group().String(),
+		Mbps:     p.Mbps,
+		Class:    p.Class.String(),
+		Group:    p.Source,
+		Source:   p.Source,
+		Tier:     p.Tier,
+		Degraded: p.Degraded,
+		Missing:  p.Missing,
 	})
 }

@@ -138,8 +138,22 @@ func TestPredictValidation(t *testing.T) {
 	if resp, _ := get(t, srv.URL+"/predict?lat=abc&lon=1"); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad lat should 400, got %d", resp.StatusCode)
 	}
-	if resp, _ := get(t, fmt.Sprintf("%s/predict?lat=%f&lon=%f", srv.URL, testLat, testLon)); resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("missing speed should 400 for L+M, got %d", resp.StatusCode)
+	// Present-but-malformed optional parameters are still client errors.
+	if resp, _ := get(t, fmt.Sprintf("%s/predict?lat=%f&lon=%f&speed=abc", srv.URL, testLat, testLon)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed speed should 400, got %d", resp.StatusCode)
+	}
+	// A missing speed is a missing sensor, not an error: the fallback
+	// chain demotes the query instead of rejecting it.
+	resp, body := get(t, fmt.Sprintf("%s/predict?lat=%f&lon=%f", srv.URL, testLat, testLon))
+	if resp.StatusCode != 200 {
+		t.Fatalf("missing speed should degrade, not fail: %d %s", resp.StatusCode, body)
+	}
+	var pr predictResponse
+	if err := json.Unmarshal([]byte(body), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Degraded || pr.Source != lumos5g.LastResortGroup {
+		t.Fatalf("single L+M tier without speed should serve from the last resort: %+v", pr)
 	}
 }
 
@@ -153,19 +167,18 @@ func TestModelDownloadRoundTrip(t *testing.T) {
 	if resp.StatusCode != 200 {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	// The downloaded payload must load into a working predictor — the
-	// §2.3 story end to end.
-	pred, err := lumos5g.LoadPredictor(resp.Body)
+	// The downloaded payload must load into a working chain — the §2.3
+	// story end to end.
+	chain, err := lumos5g.LoadChain(resp.Body)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pred.Group() != lumos5g.GroupLM {
-		t.Fatal("downloaded model group mismatch")
+	tiers := chain.Tiers()
+	if len(tiers) != 1 || tiers[0].Group() != lumos5g.GroupLM {
+		t.Fatalf("downloaded chain shape %s", chain)
 	}
-	names := pred.FeatureNames()
-	x := make([]float64, len(names))
-	if v := pred.Predict(x); v < 0 || v > 1e5 {
-		t.Fatalf("downloaded model predicts nonsense: %v", v)
+	if p := chain.Predict(nil); p.Mbps < 0 || p.Mbps > 1e5 {
+		t.Fatalf("downloaded model predicts nonsense: %+v", p)
 	}
 }
 
@@ -184,7 +197,8 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(tm, tmPred); err == nil {
 		t.Fatal("T+M predictor should be rejected")
 	}
-	// Nil predictor is fine; /model and /predict then 404.
+	// Nil predictor is fine; /model then 404s but /predict still answers
+	// — degraded — from the throughput map itself.
 	s, err := New(tm, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -194,7 +208,15 @@ func TestNewValidation(t *testing.T) {
 	if resp, _ := get(t, srv.URL+"/model"); resp.StatusCode != http.StatusNotFound {
 		t.Fatal("model route should 404 without a predictor")
 	}
-	if resp, _ := get(t, srv.URL+"/predict?lat=1&lon=1"); resp.StatusCode != http.StatusNotFound {
-		t.Fatal("predict route should 404 without a predictor")
+	resp, body := get(t, fmt.Sprintf("%s/predict?lat=%f&lon=%f", srv.URL, testLat, testLon))
+	if resp.StatusCode != 200 {
+		t.Fatalf("predict without a model should serve from the map: %d %s", resp.StatusCode, body)
+	}
+	var pr predictResponse
+	if err := json.Unmarshal([]byte(body), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Degraded || pr.Tier != -1 || (pr.Source != "map-cell" && pr.Source != "map-mean") {
+		t.Fatalf("model-less predict should be map-served and degraded: %+v", pr)
 	}
 }

@@ -1,0 +1,59 @@
+package mapserver
+
+import (
+	"context"
+	"os"
+	"time"
+)
+
+// WatchModelFile polls path every interval and hot-reloads the serving
+// model whenever the file's mtime or size changes, blocking until ctx is
+// cancelled. Artifacts are written atomically (tmp+rename) by
+// SaveFile, so the watcher never observes a half-written model; if it
+// still loads a damaged one, ReloadModelFile rejects it and the previous
+// model keeps serving. onEvent, if non-nil, is invoked after every
+// reload attempt with its outcome (nil on success) — wire it to a
+// logger.
+//
+// Run it in its own goroutine:
+//
+//	go srv.WatchModelFile(ctx, "model.l5g", 5*time.Second, func(err error) { ... })
+func (s *Server) WatchModelFile(ctx context.Context, path string, interval time.Duration, onEvent func(error)) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	var lastMod time.Time
+	var lastSize int64
+	// Prime from the current file state when a model is already being
+	// served, so startup does not trigger a spurious reload of the
+	// artifact the caller just loaded.
+	if s.Chain() != nil {
+		if fi, err := os.Stat(path); err == nil {
+			lastMod, lastSize = fi.ModTime(), fi.Size()
+		}
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			// Absent file: keep serving what we have. Deletion is not a
+			// reload signal — an operator replacing the artifact goes
+			// through rename, which is atomic.
+			continue
+		}
+		if fi.ModTime().Equal(lastMod) && fi.Size() == lastSize {
+			continue
+		}
+		lastMod, lastSize = fi.ModTime(), fi.Size()
+		err = s.ReloadModelFile(path)
+		if onEvent != nil {
+			onEvent(err)
+		}
+	}
+}

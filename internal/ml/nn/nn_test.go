@@ -224,11 +224,17 @@ func TestSeq2SeqDeterministic(t *testing.T) {
 			X = append(X, [][]float64{{v}, {v}})
 			Y = append(Y, []float64{v})
 		}
-		m, _ := NewSeq2Seq(Seq2SeqConfig{InputDim: 1, Hidden: 6, Layers: 1, Epochs: 5, Seed: 9})
-		if err := m.Fit(X, Y); err != nil {
-			panic(err)
+		m, err := NewSeq2Seq(Seq2SeqConfig{InputDim: 1, Hidden: 6, Layers: 1, Epochs: 5, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
 		}
-		out, _ := m.PredictNext([][]float64{{5}, {5}})
+		if err := m.Fit(X, Y); err != nil {
+			t.Fatal(err)
+		}
+		out, err := m.PredictNext([][]float64{{5}, {5}})
+		if err != nil {
+			t.Fatal(err)
+		}
 		return out
 	}
 	if mk() != mk() {

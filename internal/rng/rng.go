@@ -136,3 +136,25 @@ func (s *Source) Shuffle(p []int) {
 		p[i], p[j] = p[j], p[i]
 	}
 }
+
+// State is a serialisable snapshot of a Source — what a long-run
+// checkpoint persists so an interrupted job resumes with an identical
+// random stream.
+type State struct {
+	S        uint64  `json:"s"`
+	Gauss    float64 `json:"gauss,omitempty"`
+	HasGauss bool    `json:"has_gauss,omitempty"`
+}
+
+// State captures the source's full state, including the spare Box-Muller
+// deviate, so Restore continues the exact sequence.
+func (s *Source) State() State {
+	return State{S: s.state, Gauss: s.gauss, HasGauss: s.hasGauss}
+}
+
+// Restore overwrites the source's state with a snapshot taken by State.
+func (s *Source) Restore(st State) {
+	s.state = st.S
+	s.gauss = st.Gauss
+	s.hasGauss = st.HasGauss
+}

@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lumos5g/internal/dataset"
+	"lumos5g/internal/env"
+)
+
+func testResumeCfg() Config {
+	return Config{Seed: 7, WalkPasses: 2, DrivePasses: 2, StationarySessions: 3, BackgroundUEProb: 0.12}
+}
+
+func testResumeAreas(t *testing.T) []*env.Area {
+	t.Helper()
+	var areas []*env.Area
+	for _, name := range []string{"Airport", "Loop"} {
+		a, err := env.AreaByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		areas = append(areas, a)
+	}
+	return areas
+}
+
+// expectedCSV is the ground truth: the non-resumable pipeline's bytes.
+func expectedCSV(t *testing.T, areas []*env.Area, cfg Config, clean bool) []byte {
+	t.Helper()
+	var parts []*dataset.Dataset
+	for _, a := range areas {
+		parts = append(parts, RunArea(a, cfg))
+	}
+	d := dataset.Merge(parts...)
+	if clean {
+		d, _ = d.QualityFilter()
+	}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestResumableUninterruptedMatchesRunArea(t *testing.T) {
+	cfg := testResumeCfg()
+	areas := testResumeAreas(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "campaign.csv")
+	cp := filepath.Join(dir, "campaign.ckpt")
+
+	res, err := RunCampaignResumable(context.Background(), cfg, areas, out, cp, ResumeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Resumed {
+		t.Fatalf("uninterrupted run: %+v", res)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := expectedCSV(t, areas, cfg, false); !bytes.Equal(got, want) {
+		t.Fatalf("resumable output differs from RunArea pipeline (%d vs %d bytes)", len(got), len(want))
+	}
+	if _, err := os.Stat(cp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("checkpoint not removed after completion")
+	}
+}
+
+// killAt runs until stopAt shards are durably written, then cancels — the
+// simulated SIGTERM of a long `lumos5g generate` run.
+func killAt(t *testing.T, cfg Config, areas []*env.Area, out, cp string, stopAt int, clean bool) RunResult {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := RunCampaignResumable(ctx, cfg, areas, out, cp, ResumeOptions{
+		Clean: clean,
+		OnShard: func(done, total int) {
+			if done == stopAt {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatalf("run at stopAt=%d was not interrupted", stopAt)
+	}
+	return res
+}
+
+func TestKillResumeByteIdentical(t *testing.T) {
+	cfg := testResumeCfg()
+	areas := testResumeAreas(t)
+	shards := CampaignShards(areas, cfg)
+	want := expectedCSV(t, areas, cfg, false)
+
+	// Kill points: just after the first shard, mid-way through the second
+	// area, and — the RNG-sensitive case — between two stationary shards,
+	// where the still stream is partially consumed and resume must
+	// restore it rather than replay it.
+	var midStill int
+	for i := 1; i < len(shards); i++ {
+		if shards[i].Kind == "still" && shards[i-1].Kind == "still" {
+			midStill = i
+			break
+		}
+	}
+	if midStill == 0 {
+		t.Fatal("no consecutive stationary shards in test campaign")
+	}
+	kills := []int{1, len(shards) / 2, midStill, len(shards) - 1}
+
+	for _, stopAt := range kills {
+		dir := t.TempDir()
+		out := filepath.Join(dir, "campaign.csv")
+		cp := filepath.Join(dir, "campaign.ckpt")
+
+		killAt(t, cfg, areas, out, cp, stopAt, false)
+
+		// Simulate dying mid-write of the next shard: stray bytes past
+		// the checkpointed offset must be truncated away on resume.
+		f, err := os.OpenFile(out, os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteString("partial,row,from,dying,process"); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		res, err := RunCampaignResumable(context.Background(), cfg, areas, out, cp, ResumeOptions{})
+		if err != nil {
+			t.Fatalf("stopAt=%d resume: %v", stopAt, err)
+		}
+		if !res.Completed || !res.Resumed {
+			t.Fatalf("stopAt=%d resume result: %+v", stopAt, res)
+		}
+		got, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("stopAt=%d: resumed output differs from uninterrupted run (%d vs %d bytes)",
+				stopAt, len(got), len(want))
+		}
+		if _, err := os.Stat(cp); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("stopAt=%d: checkpoint left behind after completion", stopAt)
+		}
+	}
+}
+
+func TestKillResumeCleanMode(t *testing.T) {
+	cfg := testResumeCfg()
+	areas := testResumeAreas(t)
+	want := expectedCSV(t, areas, cfg, true)
+
+	dir := t.TempDir()
+	out := filepath.Join(dir, "campaign.csv")
+	cp := filepath.Join(dir, "campaign.ckpt")
+	killAt(t, cfg, areas, out, cp, 3, true)
+	res, err := RunCampaignResumable(context.Background(), cfg, areas, out, cp, ResumeOptions{Clean: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("clean-mode resumed output differs from whole-dataset QualityFilter")
+	}
+	wantRows := bytes.Count(want, []byte("\n")) - 1
+	if res.Rows != wantRows {
+		t.Fatalf("reported %d rows, file has %d", res.Rows, wantRows)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("clean run should drop warm-up records")
+	}
+}
+
+func TestResumeRejectsMismatchedConfig(t *testing.T) {
+	cfg := testResumeCfg()
+	areas := testResumeAreas(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "campaign.csv")
+	cp := filepath.Join(dir, "campaign.ckpt")
+	killAt(t, cfg, areas, out, cp, 1, false)
+
+	other := cfg
+	other.Seed = 99
+	if _, err := RunCampaignResumable(context.Background(), other, areas, out, cp, ResumeOptions{}); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("seed change: want ErrCheckpointMismatch, got %v", err)
+	}
+	if _, err := RunCampaignResumable(context.Background(), cfg, areas[:1], out, cp, ResumeOptions{}); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("area change: want ErrCheckpointMismatch, got %v", err)
+	}
+	if _, err := RunCampaignResumable(context.Background(), cfg, areas, out, cp, ResumeOptions{Clean: true}); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("clean change: want ErrCheckpointMismatch, got %v", err)
+	}
+}
+
+func TestResumeRejectsCorruptCheckpoint(t *testing.T) {
+	cfg := testResumeCfg()
+	areas := testResumeAreas(t)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "campaign.csv")
+	cp := filepath.Join(dir, "campaign.ckpt")
+	killAt(t, cfg, areas, out, cp, 1, false)
+
+	raw, err := os.ReadFile(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a digit inside the recorded byte count: valid JSON, bad sum.
+	bad := bytes.Replace(raw, []byte(`"out_bytes":`), []byte(`"out_bytes":1`), 1)
+	if err := os.WriteFile(cp, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunCampaignResumable(context.Background(), cfg, areas, out, cp, ResumeOptions{}); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("tampered checkpoint: want ErrCheckpointCorrupt, got %v", err)
+	}
+	if err := os.WriteFile(cp, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunCampaignResumable(context.Background(), cfg, areas, out, cp, ResumeOptions{}); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("mangled checkpoint: want ErrCheckpointCorrupt, got %v", err)
+	}
+
+	// A checkpoint pointing past the real output must be rejected too.
+	if err := os.Remove(cp); err != nil {
+		t.Fatal(err)
+	}
+	killAt(t, cfg, areas, out, cp, 1, false)
+	if err := os.Truncate(out, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunCampaignResumable(context.Background(), cfg, areas, out, cp, ResumeOptions{}); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("short output: want ErrCheckpointMismatch, got %v", err)
+	}
+}

@@ -57,35 +57,112 @@ func SmallConfig() Config {
 	}
 }
 
-// RunArea simulates the campaign for one area and returns its records.
-func RunArea(a *env.Area, cfg Config) *dataset.Dataset {
-	root := rng.New(cfg.Seed).SplitLabeled("area:" + a.Name)
-	envr, lte := a.Realize(cfg.Seed)
+// Shard is one independently runnable unit of a campaign: a single
+// walking/driving pass or stationary session. Shards are the checkpoint
+// granularity of resumable runs — each is regenerated atomically, and a
+// run's shard list is a pure function of its Config.
+type Shard struct {
+	Area string `json:"area"`
+	Kind string `json:"kind"` // "walk", "drive" or "still"
+	Traj string `json:"traj,omitempty"`
+	Pass int    `json:"pass"`
+}
 
-	d := &dataset.Dataset{}
+func (sh Shard) String() string {
+	if sh.Kind == "still" {
+		return sh.Area + "/still/" + itoa(sh.Pass)
+	}
+	return sh.Area + "/" + sh.Traj + "/" + sh.Kind + "/" + itoa(sh.Pass)
+}
+
+// AreaShards enumerates one area's shards in canonical execution order:
+// per trajectory all walking then driving passes, then the stationary
+// sessions. Running them in order through an areaRunner reproduces
+// RunArea exactly.
+func AreaShards(a *env.Area, cfg Config) []Shard {
+	var shards []Shard
 	for _, tr := range a.Trajectories {
 		for pass := 0; pass < cfg.WalkPasses; pass++ {
-			src := root.SplitLabeled(passLabel(tr.Name, "walk", pass))
-			recs := runPass(a, envr, lte, tr, radio.Walking, pass, cfg, src)
-			d.Append(recs...)
+			shards = append(shards, Shard{Area: a.Name, Kind: "walk", Traj: tr.Name, Pass: pass})
 		}
 		if a.DrivingSupported {
 			for pass := 0; pass < cfg.DrivePasses; pass++ {
-				src := root.SplitLabeled(passLabel(tr.Name, "drive", pass))
-				recs := runPass(a, envr, lte, tr, radio.Driving, cfg.WalkPasses+pass, cfg, src)
-				d.Append(recs...)
+				shards = append(shards, Shard{Area: a.Name, Kind: "drive", Traj: tr.Name, Pass: pass})
 			}
 		}
 	}
-	// Stationary sessions at random points along random trajectories.
-	st := root.SplitLabeled("stationary")
 	for s := 0; s < cfg.StationarySessions; s++ {
-		tr := a.Trajectories[st.Intn(len(a.Trajectories))]
-		frac := st.Float64()
+		shards = append(shards, Shard{Area: a.Name, Kind: "still", Pass: s})
+	}
+	return shards
+}
+
+// areaRunner executes one area's shards. Walking and driving shards draw
+// from label-derived streams and can run in any order; stationary shards
+// consume the shared st stream and must run in Pass order (resume
+// restores st from the checkpointed rng.State instead of replaying).
+type areaRunner struct {
+	a    *env.Area
+	cfg  Config
+	envr *radio.Environment
+	lte  *radio.LTEModel
+	root *rng.Source
+	st   *rng.Source
+}
+
+func newAreaRunner(a *env.Area, cfg Config) *areaRunner {
+	root := rng.New(cfg.Seed).SplitLabeled("area:" + a.Name)
+	envr, lte := a.Realize(cfg.Seed)
+	return &areaRunner{
+		a: a, cfg: cfg, envr: envr, lte: lte,
+		root: root,
+		st:   root.SplitLabeled("stationary"),
+	}
+}
+
+// run executes one shard and returns its records.
+func (ar *areaRunner) run(sh Shard) []dataset.Record {
+	switch sh.Kind {
+	case "walk", "drive":
+		var tr *env.Trajectory
+		for i := range ar.a.Trajectories {
+			if ar.a.Trajectories[i].Name == sh.Traj {
+				tr = &ar.a.Trajectories[i]
+				break
+			}
+		}
+		if tr == nil {
+			return nil
+		}
+		if sh.Kind == "drive" {
+			src := ar.root.SplitLabeled(passLabel(tr.Name, "drive", sh.Pass))
+			return runPass(ar.a, ar.envr, ar.lte, *tr, radio.Driving, ar.cfg.WalkPasses+sh.Pass, ar.cfg, src)
+		}
+		src := ar.root.SplitLabeled(passLabel(tr.Name, "walk", sh.Pass))
+		return runPass(ar.a, ar.envr, ar.lte, *tr, radio.Walking, sh.Pass, ar.cfg, src)
+	case "still":
+		tr := ar.a.Trajectories[ar.st.Intn(len(ar.a.Trajectories))]
+		frac := ar.st.Float64()
 		spot := stationaryTrajectory(tr, frac)
-		src := st.SplitLabeled(passLabel(spot.Name, "still", s))
-		recs := runPass(a, envr, lte, spot, radio.Stationary, 100000+s, cfg, src)
-		d.Append(recs...)
+		src := ar.st.SplitLabeled(passLabel(spot.Name, "still", sh.Pass))
+		return runPass(ar.a, ar.envr, ar.lte, spot, radio.Stationary, 100000+sh.Pass, ar.cfg, src)
+	}
+	return nil
+}
+
+// stillState exposes the stationary stream's state for checkpointing.
+func (ar *areaRunner) stillState() rng.State { return ar.st.State() }
+
+// restoreStill rewinds/advances the stationary stream to a checkpointed
+// state.
+func (ar *areaRunner) restoreStill(st rng.State) { ar.st.Restore(st) }
+
+// RunArea simulates the campaign for one area and returns its records.
+func RunArea(a *env.Area, cfg Config) *dataset.Dataset {
+	ar := newAreaRunner(a, cfg)
+	d := &dataset.Dataset{}
+	for _, sh := range AreaShards(a, cfg) {
+		d.Append(ar.run(sh)...)
 	}
 	return d
 }

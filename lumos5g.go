@@ -20,6 +20,7 @@
 package lumos5g
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -57,6 +58,14 @@ type (
 	TransferResult = core.TransferResult
 	// CampaignConfig controls dataset generation.
 	CampaignConfig = sim.Config
+	// ResumeOptions tunes checkpointed campaign generation.
+	ResumeOptions = sim.ResumeOptions
+	// RunResult reports how a checkpointed generation run ended.
+	RunResult = sim.RunResult
+	// LoadReport summarises a lenient CSV load.
+	LoadReport = dataset.LoadReport
+	// RowError is one malformed row quarantined by the lenient loader.
+	RowError = dataset.RowError
 	// Area describes one measurement area.
 	Area = env.Area
 	// Class is a throughput level (low / medium / high).
@@ -125,13 +134,29 @@ func GenerateCampaign(cfg CampaignConfig) *Dataset { return sim.RunCampaign(cfg)
 // GenerateArea simulates the campaign for one area.
 func GenerateArea(a *Area, cfg CampaignConfig) *Dataset { return sim.RunArea(a, cfg) }
 
+// GenerateResumable runs a checkpointed campaign directly into outPath,
+// persisting progress to checkpointPath after every shard. A cancelled
+// run resumes from its checkpoint and yields a byte-identical file; nil
+// areas means the full campaign.
+func GenerateResumable(ctx context.Context, cfg CampaignConfig, areas []*Area,
+	outPath, checkpointPath string, opt ResumeOptions) (RunResult, error) {
+	return sim.RunCampaignResumable(ctx, cfg, areas, outPath, checkpointPath, opt)
+}
+
 // CleanDataset applies the paper's §3.1 data-quality rules and returns
 // the cleaned dataset plus the number of dropped records.
 func CleanDataset(d *Dataset) (*Dataset, int) { return d.QualityFilter() }
 
 // WriteCSV / ReadCSV serialise datasets in the repository's CSV schema.
-func WriteCSV(d *Dataset, w io.Writer) error   { return d.WriteCSV(w) }
-func ReadCSV(r io.Reader) (*Dataset, error)    { return dataset.ReadCSV(r) }
+func WriteCSV(d *Dataset, w io.Writer) error { return d.WriteCSV(w) }
+func ReadCSV(r io.Reader) (*Dataset, error)  { return dataset.ReadCSV(r) }
+
+// ReadCSVLenient parses like ReadCSV but quarantines malformed data rows
+// (counting them and keeping the first few with line numbers) instead of
+// aborting the whole load.
+func ReadCSVLenient(r io.Reader) (*Dataset, *LoadReport, error) {
+	return dataset.ReadCSVLenient(r)
+}
 func MergeDatasets(parts ...*Dataset) *Dataset { return dataset.Merge(parts...) }
 
 // ParseFeatureGroup parses "L", "T+M", "L+M+C", ... (order-insensitive).

@@ -1,6 +1,7 @@
 package lumos5g
 
 import (
+	"errors"
 	"fmt"
 
 	"lumos5g/internal/core"
@@ -22,6 +23,11 @@ type Predictor struct {
 	names []string
 }
 
+// ErrNoUsableRows is returned (wrapped) by Train when the dataset yields
+// no rows under the requested feature group — e.g. a tower group on an
+// area whose panels were never surveyed.
+var ErrNoUsableRows = errors.New("no usable rows")
+
 // Train fits a tabular model (KNN, RF, OK or GDBT) on the whole dataset
 // under the feature group and returns a reusable Predictor. For
 // train/test *evaluation*, use Evaluate instead — Train deliberately uses
@@ -29,7 +35,7 @@ type Predictor struct {
 func Train(d *Dataset, g FeatureGroup, m Model, sc Scale) (*Predictor, error) {
 	mat := features.Build(d, g)
 	if len(mat.X) == 0 {
-		return nil, fmt.Errorf("lumos5g: no usable rows for %s", g)
+		return nil, fmt.Errorf("lumos5g: %w for %s", ErrNoUsableRows, g)
 	}
 	var reg ml.Regressor
 	switch m {
