@@ -9,7 +9,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: tier1 build vet test race race-core bench fmt fuzz
+.PHONY: tier1 build vet test race race-core race-parallel parity bench bench-json fmt fuzz
 
 tier1: ## build + vet + race-enabled test suite (run `make fuzz` too when touching parsers)
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
@@ -31,8 +31,24 @@ race:
 race-core:
 	$(GO) test -race ./internal/netem/... ./internal/mapserver/...
 
+# The deterministic-parallelism layer, race-checked in isolation (fast
+# inner loop while working on the worker pipeline or the ML ensembles).
+race-parallel:
+	$(GO) test -race ./internal/sim/... ./internal/ml/... ./internal/rng/... ./internal/par/...
+
+# The serial-vs-parallel parity audit: byte-identical campaigns, models
+# and batch predictions across worker counts.
+parity:
+	$(GO) test -race -run 'Parallel|Parity|Refit|Batch|Split|CheckpointEncode' ./internal/sim/... ./internal/ml/... ./internal/rng/... ./internal/mapserver/... .
+
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Machine-readable serial-vs-parallel speedup report (generate / train /
+# predict). The JSON records num_cpu and go_max_procs so speedups are
+# auditable against the hardware they ran on.
+bench-json:
+	$(GO) run ./cmd/lumosbench -parbench BENCH_parallel.json
 
 # Short fuzz burst over every fuzz target (one -fuzz per package per
 # invocation is a `go test` restriction).

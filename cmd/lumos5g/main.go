@@ -87,6 +87,7 @@ func cmdGenerate(args []string) error {
 	out := fs.String("out", "", "output CSV path (default stdout)")
 	clean := fs.Bool("clean", true, "apply the §3.1 quality filter")
 	checkpoint := fs.String("checkpoint", "", "checkpoint path for a resumable run (requires -out)")
+	workers := fs.Int("workers", 0, "simulation worker goroutines (0 = one per CPU); output is identical for every worker count")
 	fs.Parse(args)
 
 	cfg := lumos5g.CampaignConfig{
@@ -94,18 +95,17 @@ func cmdGenerate(args []string) error {
 		StationarySessions: 4, BackgroundUEProb: 0.12,
 	}
 	if *checkpoint != "" {
-		return generateResumable(cfg, *areaName, *out, *checkpoint, *clean)
+		return generateResumable(cfg, *areaName, *out, *checkpoint, *clean, *workers)
 	}
-	var d *lumos5g.Dataset
-	if *areaName == "" {
-		d = lumos5g.GenerateCampaign(cfg)
-	} else {
+	var areas []*lumos5g.Area
+	if *areaName != "" {
 		a, err := lumos5g.AreaByName(*areaName)
 		if err != nil {
 			return err
 		}
-		d = lumos5g.GenerateArea(a, cfg)
+		areas = []*lumos5g.Area{a}
 	}
+	d := lumos5g.GenerateCampaignParallel(cfg, areas, *workers)
 	if *clean {
 		var dropped int
 		d, dropped = lumos5g.CleanDataset(d)
@@ -130,7 +130,7 @@ func cmdGenerate(args []string) error {
 // generateResumable runs a checkpointed campaign that survives SIGTERM:
 // interrupting it leaves a checkpoint behind, and re-running the same
 // command resumes where it stopped, producing a byte-identical CSV.
-func generateResumable(cfg lumos5g.CampaignConfig, areaName, out, checkpoint string, clean bool) error {
+func generateResumable(cfg lumos5g.CampaignConfig, areaName, out, checkpoint string, clean bool, workers int) error {
 	if out == "" {
 		return fmt.Errorf("generate: -checkpoint requires -out")
 	}
@@ -145,7 +145,8 @@ func generateResumable(cfg lumos5g.CampaignConfig, areaName, out, checkpoint str
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	res, err := lumos5g.GenerateResumable(ctx, cfg, areas, out, checkpoint, lumos5g.ResumeOptions{
-		Clean: clean,
+		Clean:   clean,
+		Workers: workers,
 		OnShard: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rshard %d/%d", done, total)
 		},

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	lumosbench [-run id[,id...]] [-profile quick|paper] [-seed N] [-values]
+//	lumosbench -parbench BENCH_parallel.json [-parworkers N]
 //
 // With no -run flag every experiment runs in paper order. The quick
 // profile (default) uses a reduced campaign and scaled-down models that
@@ -27,7 +28,17 @@ func main() {
 	seed := flag.Uint64("seed", 1, "campaign seed")
 	values := flag.Bool("values", false, "also print named values")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	parbench := flag.String("parbench", "", "run serial-vs-parallel speedup benchmarks, write JSON to this path, and exit")
+	parworkers := flag.Int("parworkers", 0, "worker count for -parbench (0 = one per CPU)")
 	flag.Parse()
+
+	if *parbench != "" {
+		if err := runParBench(*parbench, *parworkers, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "lumosbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.Registry() {

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"lumos5g/internal/features"
+	"lumos5g/internal/ml"
 	"lumos5g/internal/ml/hm"
 )
 
@@ -196,6 +197,87 @@ func (c *FallbackChain) Predict(q map[string]float64) ChainPrediction {
 		Degraded: len(c.tiers) > 0,
 		Missing:  missingIfDegraded(firstMissing, len(c.tiers) > 0),
 	}
+}
+
+// PredictBatch serves many queries at once, answering exactly as if
+// Predict were called on each in order — same tier attribution, same
+// served-counter totals — but batching each tier's satisfied queries
+// through the model's vectorised fast path. Queries a tier demotes
+// (missing sensors, or a non-finite tier prediction) stay pending for
+// the next tier, mirroring the per-query demotion loop.
+func (c *FallbackChain) PredictBatch(qs []map[string]float64) []ChainPrediction {
+	out := make([]ChainPrediction, len(qs))
+	pending := make([]int, len(qs))
+	for i := range pending {
+		pending[i] = i
+	}
+	firstMissing := make([][]string, len(qs))
+	for ti, p := range c.tiers {
+		if len(pending) == 0 {
+			break
+		}
+		var ready []int
+		var X [][]float64
+		next := pending[:0]
+		for _, qi := range pending {
+			missing := features.MissingFeatures(qs[qi], p.names)
+			if ti == 0 {
+				firstMissing[qi] = missing
+			}
+			if len(missing) > 0 {
+				next = append(next, qi)
+				continue
+			}
+			x := make([]float64, len(p.names))
+			for j, n := range p.names {
+				x[j] = qs[qi][n]
+			}
+			ready = append(ready, qi)
+			X = append(X, x)
+		}
+		if len(ready) > 0 {
+			preds := ml.PredictAll(p.reg, X)
+			for k, qi := range ready {
+				mbps := preds[k]
+				if math.IsNaN(mbps) || math.IsInf(mbps, 0) {
+					next = append(next, qi)
+					continue
+				}
+				if mbps < 0 {
+					mbps = 0
+				}
+				c.served[ti].Add(1)
+				out[qi] = ChainPrediction{
+					Mbps:     mbps,
+					Class:    ClassOf(mbps),
+					Tier:     ti,
+					Source:   p.group.String(),
+					Degraded: ti > 0,
+					Missing:  missingIfDegraded(firstMissing[qi], ti > 0),
+				}
+			}
+		}
+		pending = next
+	}
+	for _, qi := range pending {
+		q := qs[qi]
+		mbps := c.prior
+		if v, ok := usableFeature(q, "past_tput_hmean"); ok {
+			mbps = v
+		} else if v, ok := usableFeature(q, "past_tput_last"); ok {
+			mbps = v
+		}
+		c.served[len(c.tiers)].Add(1)
+		out[qi] = ChainPrediction{
+			Mbps:     mbps,
+			Class:    ClassOf(mbps),
+			Tier:     len(c.tiers),
+			Source:   LastResortGroup,
+			Degraded: len(c.tiers) > 0,
+			Missing:  missingIfDegraded(firstMissing[qi], len(c.tiers) > 0),
+		}
+	}
+	return out
 }
 
 // usableFeature returns q[name] when it is present and inside the

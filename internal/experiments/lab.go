@@ -151,7 +151,9 @@ func (l *Lab) simulateLocked(name string) {
 	if err != nil {
 		panic(err) // programmer error: fixed area names
 	}
-	raw := sim.RunArea(a, l.opt.Campaign())
+	// One worker per CPU; the parallel runner's output is byte-identical
+	// to RunArea, so every cached experiment input is unchanged.
+	raw := sim.RunCampaignParallel(l.opt.Campaign(), []*env.Area{a}, 0)
 	clean, _ := raw.QualityFilter()
 	l.raw[name] = raw
 	l.cleaned[name] = clean

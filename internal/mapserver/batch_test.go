@@ -1,0 +1,159 @@
+package mapserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func postJSON(t *testing.T, url, body string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp, sb.String()
+}
+
+// TestPredictBatchEndpoint: each element of a batch answer must equal
+// the corresponding single-query /predict answer.
+func TestPredictBatchEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+
+	singles := []string{
+		fmt.Sprintf("%s/predict?lat=%f&lon=%f&speed=4.5&bearing=10", srv.URL, testLat, testLon),
+		fmt.Sprintf("%s/predict?lat=%f&lon=%f", srv.URL, testLat, testLon),
+		fmt.Sprintf("%s/predict?lat=0&lon=0", srv.URL),
+	}
+	want := make([]predictResponse, len(singles))
+	for i, u := range singles {
+		resp, body := get(t, u)
+		if resp.StatusCode != 200 {
+			t.Fatalf("single query %d: %d %s", i, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal([]byte(body), &want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	batch := fmt.Sprintf(
+		`[{"lat":%f,"lon":%f,"speed":4.5,"bearing":10},{"lat":%f,"lon":%f},{"lat":0,"lon":0}]`,
+		testLat, testLon, testLat, testLon)
+	resp, body := postJSON(t, srv.URL+"/predict/batch", batch)
+	if resp.StatusCode != 200 {
+		t.Fatalf("batch: %d %s", resp.StatusCode, body)
+	}
+	var got []predictResponse
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("batch returned %d answers for %d queries", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("query %d: batch %+v != single %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPredictBatchValidation(t *testing.T) {
+	srv := newTestServer(t)
+
+	cases := []struct {
+		name, body string
+	}{
+		{"malformed json", `{"lat":`},
+		{"not an array", `{"lat":1,"lon":2}`},
+		{"empty batch", `[]`},
+		{"lat out of range", `[{"lat":91,"lon":0}]`},
+		{"lon out of range", `[{"lat":0,"lon":-181}]`},
+		{"bad speed", `[{"lat":0,"lon":0,"speed":-1}]`},
+		{"bad bearing", `[{"lat":0,"lon":0,"bearing":999}]`},
+	}
+	for _, tc := range cases {
+		if resp, body := postJSON(t, srv.URL+"/predict/batch", tc.body); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: want 400, got %d %s", tc.name, resp.StatusCode, body)
+		}
+	}
+
+	// The batch-size cap is enforced before any prediction runs.
+	var sb strings.Builder
+	sb.WriteString("[")
+	for i := 0; i <= maxBatchQueries; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"lat":0,"lon":0}`)
+	}
+	sb.WriteString("]")
+	if resp, body := postJSON(t, srv.URL+"/predict/batch", sb.String()); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: want 400, got %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestBatchMethodPolicy: POST is allowed only on /predict/batch; the
+// rest of the service stays read-only.
+func TestBatchMethodPolicy(t *testing.T) {
+	srv := newTestServer(t)
+
+	if resp, _ := postJSON(t, srv.URL+"/predict", `[]`); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /predict: want 405, got %d", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, srv.URL+"/healthz", `{}`); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /healthz: want 405, got %d", resp.StatusCode)
+	}
+	resp, err := http.Get(srv.URL + "/predict/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /predict/batch: want 405, got %d", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "POST") {
+		t.Fatalf("GET /predict/batch Allow header %q should advertise POST", allow)
+	}
+}
+
+// TestPredictBatchModelless: a server without a model answers every
+// batch element from the throughput map, like the single endpoint.
+func TestPredictBatchModelless(t *testing.T) {
+	tm, _ := setup(t)
+	s, err := New(tm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	batch := fmt.Sprintf(`[{"lat":%f,"lon":%f},{"lat":0,"lon":0}]`, testLat, testLon)
+	resp, body := postJSON(t, srv.URL+"/predict/batch", batch)
+	if resp.StatusCode != 200 {
+		t.Fatalf("modelless batch: %d %s", resp.StatusCode, body)
+	}
+	var got []predictResponse
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Tier != -1 || got[0].Source != "map-cell" {
+		t.Fatalf("in-map query should answer from its cell: %+v", got[0])
+	}
+	if got[1].Tier != -1 || got[1].Source != "map-mean" {
+		t.Fatalf("off-map query should answer from the map mean: %+v", got[1])
+	}
+}

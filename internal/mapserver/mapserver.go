@@ -12,6 +12,9 @@
 //	GET /model            the downloadable model artifact (chain bundle)
 //	GET /predict?lat=..&lon=..[&speed=..&bearing=..]
 //	                      server-side throughput prediction as JSON
+//	POST /predict/batch   many predictions in one round trip: a JSON
+//	                      array of {lat, lon[, speed][, bearing]} in,
+//	                      an array of prediction objects out
 //
 // Prediction is served through a lumos5g.FallbackChain and degrades
 // instead of failing: queries missing speed/bearing fall to smaller
@@ -121,10 +124,12 @@ func NewWithChain(tm *lumos5g.ThroughputMap, chain *lumos5g.FallbackChain, opts 
 	s.mux.HandleFunc("/cells.json", s.handleCells)
 	s.mux.HandleFunc("/model", s.handleModel)
 	s.mux.HandleFunc("/predict", s.handlePredict)
+	s.mux.HandleFunc("/predict/batch", s.handlePredictBatch)
 	// Recovery sits outermost: http.TimeoutHandler re-raises handler
 	// panics on the caller goroutine, so the recover catches both direct
 	// and timed-out panics.
-	s.h = withRecovery(withTimeout(withReadOnly(withMaxBytes(s.mux, o.maxBytes)), o.timeout))
+	postPaths := map[string]bool{"/predict/batch": true}
+	s.h = withRecovery(withTimeout(withMethodPolicy(withMaxBytes(s.mux, o.maxBytes), postPaths), o.timeout))
 	return s, nil
 }
 
@@ -287,6 +292,15 @@ type predictResponse struct {
 	Missing  []string `json:"missing,omitempty"`
 }
 
+// checkRange rejects non-finite or out-of-range values with a
+// client-facing error message.
+func checkRange(v float64, name string, lo, hi float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < lo || v > hi {
+		return fmt.Errorf("%s must be in [%g, %g]", name, lo, hi)
+	}
+	return nil
+}
+
 // queryFloat parses a required query parameter as a finite float within
 // [lo, hi], returning a client-facing error message otherwise.
 func queryFloat(q string, name string, lo, hi float64) (float64, error) {
@@ -294,10 +308,53 @@ func queryFloat(q string, name string, lo, hi float64) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("%s must be a number", name)
 	}
-	if math.IsNaN(v) || math.IsInf(v, 0) || v < lo || v > hi {
-		return 0, fmt.Errorf("%s must be in [%g, %g]", name, lo, hi)
+	return v, checkRange(v, name, lo, hi)
+}
+
+// predictVals assembles the fallback-chain query from one prediction
+// request. Optional parameters that are absent are simply omitted — the
+// chain demotes the query to a tier that does not need them.
+func predictVals(px geo.Pixel, speed, bearing *float64) map[string]float64 {
+	vals := map[string]float64{
+		"pixel_x": float64(px.X),
+		"pixel_y": float64(px.Y),
 	}
-	return v, nil
+	if speed != nil {
+		vals["moving_speed"] = *speed
+	}
+	if bearing != nil {
+		rad := math.Pi / 180
+		vals["compass_sin"] = math.Sin(*bearing * rad)
+		vals["compass_cos"] = math.Cos(*bearing * rad)
+	}
+	return vals
+}
+
+// mapOnlyResponse answers a prediction from the throughput map alone —
+// model-less degraded serving (Fig 3c's whole premise).
+func (s *Server) mapOnlyResponse(px geo.Pixel) predictResponse {
+	resp := predictResponse{Tier: -1, Degraded: true}
+	if cell := s.tm.Lookup(px.X, px.Y); cell != nil {
+		resp.Mbps, resp.Source = cell.MeanMbps, "map-cell"
+	} else {
+		resp.Mbps, resp.Source = s.mapPrior, "map-mean"
+	}
+	resp.Class = lumos5g.ClassOf(resp.Mbps).String()
+	resp.Group = resp.Source
+	return resp
+}
+
+// chainResponse converts one fallback-chain answer to the wire form.
+func chainResponse(p lumos5g.ChainPrediction) predictResponse {
+	return predictResponse{
+		Mbps:     p.Mbps,
+		Class:    p.Class.String(),
+		Group:    p.Source,
+		Source:   p.Source,
+		Tier:     p.Tier,
+		Degraded: p.Degraded,
+		Missing:  p.Missing,
+	}
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -314,56 +371,105 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	px := geo.Pixelize(geo.LatLon{Lat: lat, Lon: lon}, geo.DefaultZoom)
 
-	// Assemble the query by feature name. Optional parameters that are
-	// absent are simply omitted — the fallback chain demotes the query
-	// to a tier that does not need them. Present-but-malformed values
-	// are still client errors.
-	vals := map[string]float64{
-		"pixel_x": float64(px.X),
-		"pixel_y": float64(px.Y),
-	}
+	// Present-but-malformed optional parameters are still client errors.
+	var speed, bearing *float64
 	if raw := q.Get("speed"); raw != "" {
-		speed, err := queryFloat(raw, "speed (km/h)", 0, 500)
+		v, err := queryFloat(raw, "speed (km/h)", 0, 500)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		vals["moving_speed"] = speed
+		speed = &v
 	}
 	if raw := q.Get("bearing"); raw != "" {
-		bearing, err := queryFloat(raw, "bearing (degrees)", -360, 360)
+		v, err := queryFloat(raw, "bearing (degrees)", -360, 360)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		rad := math.Pi / 180
-		vals["compass_sin"] = math.Sin(bearing * rad)
-		vals["compass_cos"] = math.Cos(bearing * rad)
+		bearing = &v
 	}
 
 	chain := s.Chain()
 	if chain == nil {
-		// Model-less degraded serving: the throughput map is itself a
-		// predictor (Fig 3c's whole premise).
-		resp := predictResponse{Tier: -1, Degraded: true}
-		if cell := s.tm.Lookup(px.X, px.Y); cell != nil {
-			resp.Mbps, resp.Source = cell.MeanMbps, "map-cell"
-		} else {
-			resp.Mbps, resp.Source = s.mapPrior, "map-mean"
-		}
-		resp.Class = lumos5g.ClassOf(resp.Mbps).String()
-		resp.Group = resp.Source
-		writeJSON(w, http.StatusOK, resp)
+		writeJSON(w, http.StatusOK, s.mapOnlyResponse(px))
 		return
 	}
-	p := chain.Predict(vals)
-	writeJSON(w, http.StatusOK, predictResponse{
-		Mbps:     p.Mbps,
-		Class:    p.Class.String(),
-		Group:    p.Source,
-		Source:   p.Source,
-		Tier:     p.Tier,
-		Degraded: p.Degraded,
-		Missing:  p.Missing,
-	})
+	writeJSON(w, http.StatusOK, chainResponse(chain.Predict(predictVals(px, speed, bearing))))
+}
+
+// batchQueryJSON is one query of the POST /predict/batch request body.
+// Optional fields use pointers so "absent" (demote to a smaller tier)
+// stays distinct from zero.
+type batchQueryJSON struct {
+	Lat     float64  `json:"lat"`
+	Lon     float64  `json:"lon"`
+	Speed   *float64 `json:"speed"`
+	Bearing *float64 `json:"bearing"`
+}
+
+// maxBatchQueries bounds one /predict/batch request (the request-size
+// middleware bounds the bytes; this bounds the work).
+const maxBatchQueries = 4096
+
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	var queries []batchQueryJSON
+	if err := json.NewDecoder(r.Body).Decode(&queries); err != nil {
+		writeError(w, http.StatusBadRequest, "body must be a JSON array of {lat, lon[, speed][, bearing]} queries")
+		return
+	}
+	if len(queries) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(queries) > maxBatchQueries {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d exceeds the %d-query limit", len(queries), maxBatchQueries))
+		return
+	}
+
+	pxs := make([]geo.Pixel, len(queries))
+	vals := make([]map[string]float64, len(queries))
+	for i, bq := range queries {
+		if err := checkRange(bq.Lat, "lat", -90, 90); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %s", i, err))
+			return
+		}
+		if err := checkRange(bq.Lon, "lon", -180, 180); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %s", i, err))
+			return
+		}
+		if bq.Speed != nil {
+			if err := checkRange(*bq.Speed, "speed (km/h)", 0, 500); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %s", i, err))
+				return
+			}
+		}
+		if bq.Bearing != nil {
+			if err := checkRange(*bq.Bearing, "bearing (degrees)", -360, 360); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %s", i, err))
+				return
+			}
+		}
+		pxs[i] = geo.Pixelize(geo.LatLon{Lat: bq.Lat, Lon: bq.Lon}, geo.DefaultZoom)
+		vals[i] = predictVals(pxs[i], bq.Speed, bq.Bearing)
+	}
+
+	out := make([]predictResponse, len(queries))
+	chain := s.Chain()
+	if chain == nil {
+		for i := range queries {
+			out[i] = s.mapOnlyResponse(pxs[i])
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	for i, p := range chain.PredictBatch(vals) {
+		out[i] = chainResponse(p)
+	}
+	writeJSON(w, http.StatusOK, out)
 }

@@ -54,12 +54,20 @@ func withTimeout(next http.Handler, d time.Duration) http.Handler {
 	return http.TimeoutHandler(next, d, `{"error":"request timed out"}`)
 }
 
-// withReadOnly rejects anything but GET/HEAD — the service publishes
-// artifacts, it accepts nothing.
-func withReadOnly(next http.Handler) http.Handler {
+// withMethodPolicy rejects anything but GET/HEAD — the service mostly
+// publishes artifacts — except for an allowlist of POST-able paths (the
+// batch prediction endpoint accepts a JSON body).
+func withMethodPolicy(next http.Handler, postPaths map[string]bool) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet && r.Method != http.MethodHead {
-			w.Header().Set("Allow", "GET, HEAD")
+		switch {
+		case r.Method == http.MethodGet || r.Method == http.MethodHead:
+		case r.Method == http.MethodPost && postPaths[r.URL.Path]:
+		default:
+			allow := "GET, HEAD"
+			if postPaths[r.URL.Path] {
+				allow = "GET, HEAD, POST"
+			}
+			w.Header().Set("Allow", allow)
 			writeError(w, http.StatusMethodNotAllowed, "method not allowed")
 			return
 		}

@@ -6,6 +6,7 @@ package forest
 import (
 	"lumos5g/internal/ml"
 	"lumos5g/internal/ml/tree"
+	"lumos5g/internal/par"
 	"lumos5g/internal/rng"
 )
 
@@ -21,6 +22,11 @@ type Config struct {
 	FeatureFrac float64
 	// Seed drives bootstrap and feature sampling.
 	Seed uint64
+	// Workers bounds Fit/PredictBatch concurrency; <=0 means one worker
+	// per CPU. The fitted model is bit-identical for every worker count:
+	// each tree draws from its own pre-split rng stream and the trees
+	// are assembled in index order.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -50,34 +56,53 @@ func New(cfg Config) *Model {
 	return &Model{cfg: cfg.withDefaults()}
 }
 
-// Fit trains the ensemble on bootstrap resamples.
+// Fit trains the ensemble on bootstrap resamples. Refitting an already
+// fitted model behaves exactly like fitting a fresh one: all state from
+// the previous fit is discarded, and on error the previous ensemble is
+// left in place untouched.
+//
+// The bootstrap rows and the per-tree rng streams are drawn serially
+// from the seed stream in tree order — the exact sequence the serial
+// implementation consumed — and only the tree growth itself fans out,
+// so the fitted ensemble is bit-identical for every Workers setting.
 func (m *Model) Fit(X [][]float64, y []float64) error {
 	if err := ml.ValidateXY(X, y); err != nil {
 		return err
 	}
 	cfg := m.cfg
-	m.trees = m.trees[:0]
 	binner := tree.NewBinner(X, tree.MaxBins)
 	binned := binner.BinMatrix(X)
 	src := rng.New(cfg.Seed).SplitLabeled("forest")
 	n := len(y)
+
+	// Pre-draw every tree's bootstrap sample and rng stream in order.
+	boots := make([][]int, cfg.Trees)
+	srcs := make([]*rng.Source, cfg.Trees)
 	for k := 0; k < cfg.Trees; k++ {
-		// Bootstrap sample with replacement.
 		rows := make([]int, n)
 		for i := range rows {
 			rows[i] = src.Intn(n)
 		}
-		t, err := tree.Grow(binned, binner, y, rows, tree.Options{
+		boots[k] = rows
+		srcs[k] = src.Split()
+	}
+
+	trees := make([]*tree.Tree, cfg.Trees)
+	errs := make([]error, cfg.Trees)
+	par.Do(par.Workers(cfg.Workers), cfg.Trees, func(k int) {
+		trees[k], errs[k] = tree.Grow(binned, binner, y, boots[k], tree.Options{
 			MaxDepth:    cfg.MaxDepth,
 			MinLeaf:     cfg.MinLeaf,
 			FeatureFrac: cfg.FeatureFrac,
-			Rng:         src.Split(),
+			Rng:         srcs[k],
 		})
+	})
+	for _, err := range errs {
 		if err != nil {
 			return err
 		}
-		m.trees = append(m.trees, t)
 	}
+	m.trees = trees
 	return nil
 }
 
@@ -92,6 +117,20 @@ func (m *Model) Predict(x []float64) float64 {
 	}
 	return sum / float64(len(m.trees))
 }
+
+// PredictBatch predicts every row of X, fanning the rows out across
+// workers. Each element equals Predict of that row exactly (same
+// tree-summation order per row).
+func (m *Model) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	par.Do(par.Bound(par.Workers(m.cfg.Workers), len(X), batchMinRows), len(X), func(i int) {
+		out[i] = m.Predict(X[i])
+	})
+	return out
+}
+
+// batchMinRows is the minimum rows per worker for batch prediction.
+const batchMinRows = 256
 
 // PredictClass maps the regression output to a throughput class.
 func (m *Model) PredictClass(x []float64) ml.Class {

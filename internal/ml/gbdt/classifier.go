@@ -6,6 +6,7 @@ import (
 
 	"lumos5g/internal/ml"
 	"lumos5g/internal/ml/tree"
+	"lumos5g/internal/par"
 	"lumos5g/internal/rng"
 )
 
@@ -28,7 +29,9 @@ func NewClassifier(cfg Config, classes int) *Classifier {
 	return &Classifier{cfg: cfg.withDefaults(), classes: classes}
 }
 
-// FitLabels trains on integer class labels in [0, classes).
+// FitLabels trains on integer class labels in [0, classes). Refitting an
+// already fitted classifier behaves exactly like fitting a fresh one; on
+// error the previous model is left untouched.
 func (c *Classifier) FitLabels(X [][]float64, labels []int) error {
 	if len(X) == 0 || len(X) != len(labels) {
 		return errors.New("gbdt: bad classification input shape")
@@ -46,17 +49,17 @@ func (c *Classifier) FitLabels(X [][]float64, labels []int) error {
 	cfg := c.cfg
 	n := len(X)
 	K := c.classes
-	c.nFeat = len(X[0])
+	nFeat := len(X[0])
 
 	// Priors.
 	counts := make([]float64, K)
 	for _, l := range labels {
 		counts[l]++
 	}
-	c.base = make([]float64, K)
+	base := make([]float64, K)
 	for k := 0; k < K; k++ {
 		p := (counts[k] + 1) / float64(n+K)
-		c.base[k] = math.Log(p)
+		base[k] = math.Log(p)
 	}
 
 	binner := tree.NewBinner(X, tree.MaxBins)
@@ -65,9 +68,8 @@ func (c *Classifier) FitLabels(X [][]float64, labels []int) error {
 	// Raw scores per sample per class.
 	scores := make([][]float64, n)
 	for i := range scores {
-		scores[i] = append([]float64(nil), c.base...)
+		scores[i] = append([]float64(nil), base...)
 	}
-	probs := make([]float64, K)
 	grad := make([]float64, n)
 	src := rng.New(cfg.Seed).SplitLabeled("gbdt-classifier")
 	nSub := int(cfg.Subsample * float64(n))
@@ -75,23 +77,28 @@ func (c *Classifier) FitLabels(X [][]float64, labels []int) error {
 		nSub = n
 	}
 
-	c.trees = c.trees[:0]
+	workers := par.Bound(par.Workers(cfg.Workers), n, batchMinRows)
+	var trees [][]*tree.Tree
 	for round := 0; round < cfg.Estimators; round++ {
 		roundTrees := make([]*tree.Tree, K)
 		rows := subsampleRows(n, nSub, src)
 		for k := 0; k < K; k++ {
 			// Negative gradient of multinomial deviance: y_k - p_k.
-			for i := 0; i < n; i++ {
-				softmaxInto(scores[i], probs)
-				indicator := 0.0
-				if labels[i] == k {
-					indicator = 1
+			par.Chunks(workers, n, func(lo, hi int) {
+				probs := make([]float64, K)
+				for i := lo; i < hi; i++ {
+					softmaxInto(scores[i], probs)
+					indicator := 0.0
+					if labels[i] == k {
+						indicator = 1
+					}
+					grad[i] = indicator - probs[k]
 				}
-				grad[i] = indicator - probs[k]
-			}
+			})
 			t, err := tree.Grow(binned, binner, grad, rows, tree.Options{
 				MaxDepth: cfg.MaxDepth,
 				MinLeaf:  cfg.MinLeaf,
+				Workers:  par.Workers(cfg.Workers),
 			})
 			if err != nil {
 				return err
@@ -101,12 +108,18 @@ func (c *Classifier) FitLabels(X [][]float64, labels []int) error {
 		// Update all class scores after the round so classes within a
 		// round see consistent probabilities.
 		for k := 0; k < K; k++ {
-			for i := 0; i < n; i++ {
-				scores[i][k] += cfg.LearningRate * roundTrees[k].PredictBinned(binned, i)
-			}
+			tk := roundTrees[k]
+			par.Chunks(workers, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					scores[i][k] += cfg.LearningRate * tk.PredictBinned(binned, i)
+				}
+			})
 		}
-		c.trees = append(c.trees, roundTrees)
+		trees = append(trees, roundTrees)
 	}
+	c.nFeat = nFeat
+	c.base = base
+	c.trees = trees
 	return nil
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"lumos5g/internal/ml"
 	"lumos5g/internal/ml/tree"
+	"lumos5g/internal/par"
 	"lumos5g/internal/rng"
 )
 
@@ -32,6 +33,13 @@ type Config struct {
 	Subsample float64
 	// Seed drives subsampling.
 	Seed uint64
+	// Workers bounds intra-round concurrency (candidate-split scans,
+	// residual and prediction-update row loops, PredictBatch); <=0 means
+	// one worker per CPU. Boosting rounds themselves stay sequential —
+	// round k+1 consumes round k's residuals — and every parallel loop
+	// writes only per-index state, so the fitted model is bit-identical
+	// for every worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -67,29 +75,32 @@ func New(cfg Config) *Model {
 	return &Model{cfg: cfg.withDefaults()}
 }
 
-// Fit trains the boosted ensemble.
+// Fit trains the boosted ensemble. Refitting an already fitted model
+// behaves exactly like fitting a fresh one: all state from the previous
+// fit is discarded, and on error the previous model is left in place
+// untouched.
 func (m *Model) Fit(X [][]float64, y []float64) error {
 	if err := ml.ValidateXY(X, y); err != nil {
 		return err
 	}
 	cfg := m.cfg
-	m.nFeat = len(X[0])
-	m.featGain = make([]float64, m.nFeat)
-	m.trees = m.trees[:0]
+	nFeat := len(X[0])
+	featGain := make([]float64, nFeat)
+	trees := make([]*tree.Tree, 0, cfg.Estimators)
 
 	// Base prediction: the target mean.
 	var sum float64
 	for _, v := range y {
 		sum += v
 	}
-	m.base = sum / float64(len(y))
+	base := sum / float64(len(y))
 
 	binner := tree.NewBinner(X, tree.MaxBins)
 	binned := binner.BinMatrix(X)
 
 	pred := make([]float64, len(y))
 	for i := range pred {
-		pred[i] = m.base
+		pred[i] = base
 	}
 	resid := make([]float64, len(y))
 	src := rng.New(cfg.Seed).SplitLabeled("gbdt")
@@ -98,26 +109,39 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 		nSub = len(y)
 	}
 
+	// Rounds are inherently sequential; the parallelism lives inside a
+	// round. The row loops write only their own element, so chunking
+	// them changes nothing about the floats produced.
+	workers := par.Bound(par.Workers(cfg.Workers), len(y), batchMinRows)
 	for round := 0; round < cfg.Estimators; round++ {
-		for i := range y {
-			resid[i] = y[i] - pred[i]
-		}
+		par.Chunks(workers, len(y), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				resid[i] = y[i] - pred[i]
+			}
+		})
 		rows := subsampleRows(len(y), nSub, src)
 		t, err := tree.Grow(binned, binner, resid, rows, tree.Options{
 			MaxDepth: cfg.MaxDepth,
 			MinLeaf:  cfg.MinLeaf,
+			Workers:  par.Workers(cfg.Workers),
 		})
 		if err != nil {
 			return err
 		}
-		for i := range pred {
-			pred[i] += cfg.LearningRate * t.PredictBinned(binned, i)
-		}
+		par.Chunks(workers, len(y), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				pred[i] += cfg.LearningRate * t.PredictBinned(binned, i)
+			}
+		})
 		for f, g := range t.Gain {
-			m.featGain[f] += g
+			featGain[f] += g
 		}
-		m.trees = append(m.trees, t)
+		trees = append(trees, t)
 	}
+	m.base = base
+	m.nFeat = nFeat
+	m.featGain = featGain
+	m.trees = trees
 	return nil
 }
 
@@ -149,6 +173,21 @@ func (m *Model) Predict(x []float64) float64 {
 		v += m.cfg.LearningRate * t.Predict(x)
 	}
 	return v
+}
+
+// batchMinRows is the minimum rows per worker for the parallel row
+// loops; smaller batches run inline.
+const batchMinRows = 256
+
+// PredictBatch predicts every row of X, fanning the rows out across
+// workers. Each element equals Predict of that row exactly (same
+// tree-summation order per row).
+func (m *Model) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	par.Do(par.Bound(par.Workers(m.cfg.Workers), len(X), batchMinRows), len(X), func(i int) {
+		out[i] = m.Predict(X[i])
+	})
+	return out
 }
 
 // PredictClass maps the regression output to a throughput class.

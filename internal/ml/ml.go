@@ -110,8 +110,20 @@ func ValidateXY(X [][]float64, y []float64) error {
 	return nil
 }
 
-// PredictAll runs Predict over every row.
+// BatchRegressor is implemented by models with a vectorised prediction
+// fast path. PredictBatch must return exactly what Predict would return
+// per row — it may fan rows out across goroutines, but each row's
+// computation is the serial one.
+type BatchRegressor interface {
+	PredictBatch(X [][]float64) []float64
+}
+
+// PredictAll runs Predict over every row, taking the batch fast path
+// when the model offers one. The result is identical either way.
 func PredictAll(r Regressor, X [][]float64) []float64 {
+	if b, ok := r.(BatchRegressor); ok {
+		return b.PredictBatch(X)
+	}
 	out := make([]float64, len(X))
 	for i, row := range X {
 		out[i] = r.Predict(row)

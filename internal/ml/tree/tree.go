@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 
+	"lumos5g/internal/par"
 	"lumos5g/internal/rng"
 )
 
@@ -28,6 +29,13 @@ type Options struct {
 	// Rng supplies randomness for feature subsampling; may be nil when
 	// FeatureFrac covers all features.
 	Rng *rng.Source
+	// Workers enables candidate-split parallelism: at nodes with at
+	// least parallelMinRows samples the per-feature histogram scans run
+	// on up to Workers goroutines. Each feature's best split is computed
+	// independently and the winner is reduced serially in candidate
+	// order, so the grown tree is bit-identical to a serial fit
+	// (including tie-breaks). <=1 means serial.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -170,49 +178,36 @@ func (t *Tree) grow(binned [][]uint8, binner *Binner, y []float64, rows []int, d
 	}
 	parentSSE := sumsq - sum*sum/n
 
+	features := t.pickFeatures(len(binned), opts)
+	splits := make([]splitCandidate, len(features))
+	scan := func(k int) {
+		splits[k] = scanFeature(binned[features[k]], len(binner.Edges[features[k]])+1,
+			rows, y, sum, n, opts.MinLeaf)
+	}
+	w := opts.Workers
+	if len(rows) < parallelMinRows || len(features) < 2 {
+		w = 1
+	}
+	if w > 1 {
+		par.Do(w, len(features), scan)
+	} else {
+		for k := range features {
+			scan(k)
+		}
+	}
+
+	// Serial reduction in candidate order: a strictly greater gain wins,
+	// so ties resolve to the earliest candidate exactly as the serial
+	// scan did.
 	bestFeat, bestBin := -1, 0
 	bestGain := 1e-12
 	var bestLeftCount int
-
-	features := t.pickFeatures(len(binned), opts)
-	// Histogram accumulation per candidate feature.
-	var histSum [MaxBins + 1]float64
-	var histCnt [MaxBins + 1]int
-	for _, f := range features {
-		col := binned[f]
-		nb := len(binner.Edges[f]) + 1
-		if nb < 2 {
-			continue
-		}
-		for b := 0; b < nb; b++ {
-			histSum[b] = 0
-			histCnt[b] = 0
-		}
-		for _, r := range rows {
-			b := col[r]
-			histSum[b] += y[r]
-			histCnt[b]++
-		}
-		var leftSum float64
-		var leftCnt int
-		for b := 0; b < nb-1; b++ {
-			leftSum += histSum[b]
-			leftCnt += histCnt[b]
-			rightCnt := len(rows) - leftCnt
-			if leftCnt < opts.MinLeaf || rightCnt < opts.MinLeaf {
-				continue
-			}
-			rightSum := sum - leftSum
-			// Gain = parent SSE - (left SSE + right SSE); with fixed
-			// sums of squares this reduces to the between-group term.
-			gain := leftSum*leftSum/float64(leftCnt) +
-				rightSum*rightSum/float64(rightCnt) - sum*sum/n
-			if gain > bestGain {
-				bestGain = gain
-				bestFeat = f
-				bestBin = b
-				bestLeftCount = leftCnt
-			}
+	for k, sp := range splits {
+		if sp.gain > bestGain {
+			bestGain = sp.gain
+			bestFeat = features[k]
+			bestBin = sp.bin
+			bestLeftCount = sp.leftCount
 		}
 	}
 
@@ -242,6 +237,56 @@ func (t *Tree) grow(binned [][]uint8, binner *Binner, y []float64, rows []int, d
 	t.nodes[id].left = t.grow(binned, binner, y, left, depth+1, opts)
 	t.nodes[id].right = t.grow(binned, binner, y, right, depth+1, opts)
 	return id
+}
+
+// parallelMinRows is the node size below which the candidate-split scan
+// stays serial: with fewer samples the histogram passes are too cheap to
+// amortise a goroutine handoff.
+const parallelMinRows = 2048
+
+// splitCandidate is one feature's best split: gain <= 0 means the
+// feature offers no admissible split.
+type splitCandidate struct {
+	gain      float64
+	bin       int
+	leftCount int
+}
+
+// scanFeature computes the best split of one binned feature column over
+// rows. It touches only its arguments and its return value, so any
+// number of scans may run concurrently; each produces the same floats as
+// the serial loop did.
+func scanFeature(col []uint8, nb int, rows []int, y []float64, sum, n float64, minLeaf int) splitCandidate {
+	best := splitCandidate{gain: 0}
+	if nb < 2 {
+		return best
+	}
+	var histSum [MaxBins + 1]float64
+	var histCnt [MaxBins + 1]int
+	for _, r := range rows {
+		b := col[r]
+		histSum[b] += y[r]
+		histCnt[b]++
+	}
+	var leftSum float64
+	var leftCnt int
+	for b := 0; b < nb-1; b++ {
+		leftSum += histSum[b]
+		leftCnt += histCnt[b]
+		rightCnt := len(rows) - leftCnt
+		if leftCnt < minLeaf || rightCnt < minLeaf {
+			continue
+		}
+		rightSum := sum - leftSum
+		// Gain = parent SSE - (left SSE + right SSE); with fixed
+		// sums of squares this reduces to the between-group term.
+		gain := leftSum*leftSum/float64(leftCnt) +
+			rightSum*rightSum/float64(rightCnt) - sum*sum/n
+		if gain > best.gain {
+			best = splitCandidate{gain: gain, bin: b, leftCount: leftCnt}
+		}
+	}
+	return best
 }
 
 // pickFeatures returns the candidate feature set for one split.

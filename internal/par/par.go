@@ -1,0 +1,88 @@
+// Package par is the deterministic worker-pool substrate shared by the
+// campaign generator, the ensemble trainers and the batch predictors.
+//
+// Every helper here preserves a simple contract: splitting work across
+// goroutines must not change *what* is computed, only *when*. Callers
+// achieve that by making each task i write only i-indexed state (its own
+// slice element, its own pre-split rng stream) and by performing any
+// order-sensitive reduction serially afterwards. Under that discipline a
+// run with w=8 is bit-identical to w=1 — the property the repository's
+// byte-identical checkpoint/resume and model-artifact contracts depend
+// on.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count knob: n > 0 is used as given, anything
+// else means one worker per available CPU (GOMAXPROCS).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Bound caps a worker count so no worker would receive fewer than min
+// tasks out of n; it never returns less than 1. Use it to avoid spawning
+// goroutines for row loops too small to amortise the handoff.
+func Bound(w, n, min int) int {
+	if min < 1 {
+		min = 1
+	}
+	if maxW := n / min; w > maxW {
+		w = maxW
+	}
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// Do runs fn(i) for every i in [0, n) on up to w goroutines and waits
+// for all of them. Tasks are dealt in contiguous chunks; with w <= 1 (or
+// n <= 1) everything runs inline on the caller's goroutine.
+func Do(w, n int, fn func(i int)) {
+	Chunks(w, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Chunks partitions [0, n) into at most w contiguous [lo, hi) spans, runs
+// fn on each span (concurrently when w > 1), and waits for all spans.
+// Spans differ in length by at most one and cover [0, n) exactly once.
+func Chunks(w, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	// Deal ceil/floor-sized spans so lengths differ by at most one.
+	base := n / w
+	rem := n % w
+	lo := 0
+	for k := 0; k < w; k++ {
+		size := base
+		if k < rem {
+			size++
+		}
+		hi := lo + size
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}

@@ -54,6 +54,11 @@ type ResumeOptions struct {
 	// OnShard, if set, is called after each shard is durably written with
 	// the number of shards done and the total.
 	OnShard func(done, total int)
+	// Workers is the number of shard-simulation goroutines; <=0 means one
+	// per CPU. Shards run concurrently but are written (and checkpointed)
+	// in canonical order, so the output file is byte-identical for every
+	// worker count.
+	Workers int
 }
 
 // RunResult reports how a resumable run ended.
@@ -229,61 +234,49 @@ func RunCampaignResumable(ctx context.Context, cfg Config, areas []*env.Area,
 		}
 	}
 
-	runners := map[string]*areaRunner{}
-	areaByName := map[string]*env.Area{}
-	for _, a := range areas {
-		areaByName[a.Name] = a
-	}
-	runner := func(name string) *areaRunner {
-		ar, ok := runners[name]
-		if !ok {
-			ar = newAreaRunner(areaByName[name], cfg)
-			if st, ok := cp.StillRNG[name]; ok {
-				ar.restoreStill(st)
-			}
-			runners[name] = ar
-		}
-		return ar
-	}
-
 	res.Rows, res.Dropped = cp.Rows, cp.Dropped
-	for i := cp.NextShard; i < len(shards); i++ {
-		if ctx.Err() != nil {
-			return res, nil // checkpoint already covers everything written
-		}
-		sh := shards[i]
-		ar := runner(sh.Area)
-		recs := ar.run(sh)
-		if opt.Clean {
-			shardSet := &dataset.Dataset{Records: recs}
-			clean, dropped := shardSet.QualityFilter()
-			recs = clean.Records
-			res.Dropped += dropped
-		}
-		if err := w.Append(recs...); err != nil {
-			return res, err
-		}
-		if err := w.Flush(); err != nil {
-			return res, err
-		}
-		if err := out.Sync(); err != nil {
-			return res, err
-		}
-		pos, err := out.Seek(0, io.SeekCurrent)
-		if err != nil {
-			return res, err
-		}
-		res.Rows += len(recs)
-		cp.NextShard = i + 1
-		cp.OutBytes = pos
-		cp.Rows, cp.Dropped = res.Rows, res.Dropped
-		cp.StillRNG[sh.Area] = ar.stillState()
-		if err := writeCheckpoint(cpPath, cp); err != nil {
-			return res, err
-		}
-		if opt.OnShard != nil {
-			opt.OnShard(i+1, len(shards))
-		}
+	// Shards simulate on the worker pipeline; this emit callback — always
+	// called in shard order, with the stationary-stream state the shard
+	// left behind — is the serial loop's durable-write step unchanged.
+	completed, err := runShardsOrdered(ctx, areas, cfg, shards, cp.NextShard, cp.StillRNG, opt.Workers,
+		func(i int, sh Shard, recs []dataset.Record, still rng.State) error {
+			if opt.Clean {
+				shardSet := &dataset.Dataset{Records: recs}
+				clean, dropped := shardSet.QualityFilter()
+				recs = clean.Records
+				res.Dropped += dropped
+			}
+			if err := w.Append(recs...); err != nil {
+				return err
+			}
+			if err := w.Flush(); err != nil {
+				return err
+			}
+			if err := out.Sync(); err != nil {
+				return err
+			}
+			pos, err := out.Seek(0, io.SeekCurrent)
+			if err != nil {
+				return err
+			}
+			res.Rows += len(recs)
+			cp.NextShard = i + 1
+			cp.OutBytes = pos
+			cp.Rows, cp.Dropped = res.Rows, res.Dropped
+			cp.StillRNG[sh.Area] = still
+			if err := writeCheckpoint(cpPath, cp); err != nil {
+				return err
+			}
+			if opt.OnShard != nil {
+				opt.OnShard(i+1, len(shards))
+			}
+			return nil
+		})
+	if err != nil {
+		return res, err
+	}
+	if !completed {
+		return res, nil // checkpoint already covers everything written
 	}
 	if err := os.Remove(cpPath); err != nil && !errors.Is(err, os.ErrNotExist) {
 		return res, err

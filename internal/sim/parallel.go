@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"context"
+
+	"lumos5g/internal/dataset"
+	"lumos5g/internal/env"
+	"lumos5g/internal/par"
+	"lumos5g/internal/rng"
+)
+
+// This file is the deterministic worker-pool layer of campaign
+// generation. A campaign is embarrassingly parallel at shard
+// granularity — every walking/driving pass draws from label-derived rng
+// streams that never advance shared state, and the only sequential
+// randomness (the per-area stationary stream) is consumed in a cheap
+// serial dispatch step (areaRunner.drawStill) before the heavy pass
+// simulation fans out. Results are merged back in shard order, so the
+// produced record stream — and therefore the CSV bytes — is identical
+// to the serial RunCampaign for every worker count, which is what keeps
+// the checkpoint/resume byte-identical contract intact.
+
+// shardJob is one dispatched shard: everything a worker needs, plus the
+// post-dispatch stationary-stream state that a checkpoint written after
+// this shard must record.
+type shardJob struct {
+	idx   int
+	sh    Shard
+	ar    *areaRunner
+	still stillDraw // valid only for "still" shards
+	state rng.State // ar.st state after this shard's draws
+}
+
+// shardOut is one executed shard, delivered through its own 1-buffered
+// channel so workers never block on a slow consumer.
+type shardOut struct {
+	recs  []dataset.Record
+	state rng.State
+}
+
+// pipelineWindowPerWorker bounds how many shards may be in flight
+// (dispatched but not yet emitted) per worker, keeping resumable runs'
+// memory footprint flat on campaigns of any length.
+const pipelineWindowPerWorker = 4
+
+// runShardsOrdered executes shards[start:] on `workers` goroutines and
+// calls emit once per shard, in shard order, with the shard's records
+// and the stationary-stream state a checkpoint after that shard must
+// persist. Area runners are created lazily in dispatch order and seeded
+// from restore (a resumed checkpoint's StillRNG) when present.
+//
+// It returns completed=false without error when ctx is cancelled —
+// everything emitted so far was emitted in order, mirroring the serial
+// loop's cancellation contract. An emit error aborts the run.
+func runShardsOrdered(ctx context.Context, areas []*env.Area, cfg Config,
+	shards []Shard, start int, restore map[string]rng.State, workers int,
+	emit func(idx int, sh Shard, recs []dataset.Record, still rng.State) error) (completed bool, err error) {
+
+	if start >= len(shards) {
+		return true, nil
+	}
+	workers = par.Workers(workers)
+	if workers > len(shards)-start {
+		workers = len(shards) - start
+	}
+
+	// done tears the pipeline down on early exit (emit error or ctx
+	// cancellation) without waiting for stragglers.
+	done := make(chan struct{})
+	defer close(done)
+
+	areaByName := make(map[string]*env.Area, len(areas))
+	for _, a := range areas {
+		areaByName[a.Name] = a
+	}
+
+	// Snapshot restore before the dispatcher starts: the caller's emit may
+	// mutate the original map (checkpoint updates) while the dispatcher is
+	// still creating runners for later areas.
+	restoreCopy := make(map[string]rng.State, len(restore))
+	for k, v := range restore {
+		restoreCopy[k] = v
+	}
+	restore = restoreCopy
+
+	// Dispatcher: walks shards in order, performing every sequential-RNG
+	// draw on this single goroutine so stream consumption order is
+	// exactly the serial run's. The window semaphore keeps it at most
+	// workers*pipelineWindowPerWorker shards ahead of the emitter.
+	jobs := make(chan shardJob)
+	window := make(chan struct{}, workers*pipelineWindowPerWorker)
+	go func() {
+		defer close(jobs)
+		runners := map[string]*areaRunner{}
+		for i := start; i < len(shards); i++ {
+			sh := shards[i]
+			ar, ok := runners[sh.Area]
+			if !ok {
+				ar = newAreaRunner(areaByName[sh.Area], cfg)
+				if st, ok := restore[sh.Area]; ok {
+					ar.restoreStill(st)
+				}
+				runners[sh.Area] = ar
+			}
+			job := shardJob{idx: i, sh: sh, ar: ar}
+			if sh.Kind == "still" {
+				job.still = ar.drawStill(sh.Pass)
+			}
+			job.state = ar.stillState()
+			select {
+			case window <- struct{}{}:
+			case <-done:
+				return
+			}
+			select {
+			case jobs <- job:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	// Workers: pure shard execution; each result goes to its own
+	// 1-buffered slot, so sends never block and order is re-imposed by
+	// the emitter alone.
+	outs := make([]chan shardOut, len(shards))
+	for i := start; i < len(shards); i++ {
+		outs[i] = make(chan shardOut, 1)
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				select {
+				case job, ok := <-jobs:
+					if !ok {
+						return
+					}
+					var recs []dataset.Record
+					switch job.sh.Kind {
+					case "still":
+						recs = job.ar.runStill(job.still, job.sh.Pass)
+					default:
+						recs = job.ar.runMobile(job.sh)
+					}
+					outs[job.idx] <- shardOut{recs: recs, state: job.state}
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+
+	// Emitter (caller goroutine): strictly ordered consumption.
+	for i := start; i < len(shards); i++ {
+		if ctx.Err() != nil {
+			return false, nil
+		}
+		var out shardOut
+		select {
+		case out = <-outs[i]:
+		case <-ctx.Done():
+			return false, nil
+		}
+		if err := emit(i, shards[i], out.recs, out.state); err != nil {
+			return false, err
+		}
+		<-window
+	}
+	return true, nil
+}
+
+// RunCampaignParallel simulates the campaign over the given areas (nil
+// means all areas) on the given number of workers (<=0 means one per
+// CPU) and returns the merged raw dataset. The result is byte-identical
+// to RunCampaign for every worker count: shards are executed
+// concurrently but merged in canonical shard order, and each shard's
+// randomness comes from the same streams the serial runner hands it.
+func RunCampaignParallel(cfg Config, areas []*env.Area, workers int) *dataset.Dataset {
+	if areas == nil {
+		areas = env.AllAreas()
+	}
+	shards := CampaignShards(areas, cfg)
+	d := &dataset.Dataset{}
+	// No context, no emit error: the pipeline cannot fail.
+	_, _ = runShardsOrdered(context.Background(), areas, cfg, shards, 0, nil, workers,
+		func(_ int, _ Shard, recs []dataset.Record, _ rng.State) error {
+			d.Append(recs...)
+			return nil
+		})
+	return d
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lumos5g/internal/dataset"
+	"lumos5g/internal/rng"
+)
+
+// csvBytes renders a dataset so runs can be compared byte-for-byte
+// (records carry NaN panel features on the unsurveyed area, so struct
+// equality cannot be used).
+func csvBytes(t *testing.T, d *dataset.Dataset) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelCampaignMatchesSerial is the parity audit of the worker
+// pipeline: the parallel runner must produce byte-identical output to
+// the serial RunCampaign for every worker count, including counts far
+// above the shard count.
+func TestParallelCampaignMatchesSerial(t *testing.T) {
+	cfg := Config{Seed: 5, WalkPasses: 2, DrivePasses: 1, StationarySessions: 2, BackgroundUEProb: 0.12}
+	want := csvBytes(t, RunCampaign(cfg))
+	for _, w := range []int{1, 2, 3, 8, 64} {
+		got := csvBytes(t, RunCampaignParallel(cfg, nil, w))
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: parallel campaign differs from serial (%d vs %d bytes)", w, len(got), len(want))
+		}
+	}
+}
+
+// TestParallelCampaignRepeatable re-runs the parallel pipeline to catch
+// any scheduling-order leak into the output.
+func TestParallelCampaignRepeatable(t *testing.T) {
+	cfg := Config{Seed: 9, WalkPasses: 1, DrivePasses: 1, StationarySessions: 3, BackgroundUEProb: 0.12}
+	first := csvBytes(t, RunCampaignParallel(cfg, nil, 4))
+	for i := 0; i < 3; i++ {
+		if got := csvBytes(t, RunCampaignParallel(cfg, nil, 4)); !bytes.Equal(got, first) {
+			t.Fatalf("run %d: parallel campaign not repeatable", i)
+		}
+	}
+}
+
+// TestParallelResumableByteIdentical runs the checkpointed generator at
+// several explicit worker counts against the serial ground truth.
+func TestParallelResumableByteIdentical(t *testing.T) {
+	cfg := testResumeCfg()
+	areas := testResumeAreas(t)
+	want := expectedCSV(t, areas, cfg, false)
+	for _, w := range []int{1, 3, 7} {
+		dir := t.TempDir()
+		out := filepath.Join(dir, "campaign.csv")
+		cp := filepath.Join(dir, "campaign.ckpt")
+		res, err := RunCampaignResumable(context.Background(), cfg, areas, out, cp, ResumeOptions{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("workers=%d: run did not complete", w)
+		}
+		got, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: resumable output differs from serial (%d vs %d bytes)", w, len(got), len(want))
+		}
+	}
+}
+
+// TestParallelKillResumeByteIdentical kills a parallel run between two
+// stationary shards — the case where the still stream is partially
+// consumed and the checkpoint's rng.State must capture exactly the
+// serial post-shard state even though the dispatcher ran ahead — then
+// resumes with a different worker count.
+func TestParallelKillResumeByteIdentical(t *testing.T) {
+	cfg := testResumeCfg()
+	areas := testResumeAreas(t)
+	shards := CampaignShards(areas, cfg)
+	want := expectedCSV(t, areas, cfg, false)
+
+	var midStill int
+	for i := 1; i < len(shards); i++ {
+		if shards[i].Kind == "still" && shards[i-1].Kind == "still" {
+			midStill = i
+			break
+		}
+	}
+	if midStill == 0 {
+		t.Fatal("no consecutive stationary shards in test campaign")
+	}
+
+	for _, stopAt := range []int{1, midStill, len(shards) - 1} {
+		dir := t.TempDir()
+		out := filepath.Join(dir, "campaign.csv")
+		cp := filepath.Join(dir, "campaign.ckpt")
+
+		ctx, cancel := context.WithCancel(context.Background())
+		res, err := RunCampaignResumable(ctx, cfg, areas, out, cp, ResumeOptions{
+			Workers: 4,
+			OnShard: func(done, total int) {
+				if done == stopAt {
+					cancel()
+				}
+			},
+		})
+		cancel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Completed {
+			t.Fatalf("stopAt=%d: parallel run was not interrupted", stopAt)
+		}
+
+		res, err = RunCampaignResumable(context.Background(), cfg, areas, out, cp, ResumeOptions{Workers: 2})
+		if err != nil {
+			t.Fatalf("stopAt=%d resume: %v", stopAt, err)
+		}
+		if !res.Completed || !res.Resumed {
+			t.Fatalf("stopAt=%d resume result: %+v", stopAt, res)
+		}
+		got, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("stopAt=%d: parallel kill/resume output differs from serial (%d vs %d bytes)",
+				stopAt, len(got), len(want))
+		}
+	}
+}
+
+// TestCheckpointEncodeDeterministic pins down that a checkpoint's
+// encoding is a pure function of its contents — JSON object keys (the
+// per-area StillRNG map) marshal in sorted order, never map iteration
+// order — so identical progress always produces identical checkpoint
+// bytes and checksums.
+func TestCheckpointEncodeDeterministic(t *testing.T) {
+	mk := func() *Checkpoint {
+		return &Checkpoint{
+			Version:   checkpointVersion,
+			ConfigTag: "tag",
+			NextShard: 7,
+			OutBytes:  1234,
+			Rows:      99,
+			StillRNG: map[string]rng.State{
+				"Airport":      {S: 1},
+				"Intersection": {S: 2},
+				"Loop":         {S: 3},
+			},
+		}
+	}
+	first, err := encodeCheckpoint(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		got, err := encodeCheckpoint(mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, first) {
+			t.Fatalf("encoding %d differs:\n%s\n%s", i, got, first)
+		}
+	}
+}
+
+// TestParallelEmitError verifies an emit failure aborts the pipeline
+// without deadlocking or leaking the run.
+func TestParallelEmitError(t *testing.T) {
+	cfg := Config{Seed: 3, WalkPasses: 1, DrivePasses: 1, StationarySessions: 1, BackgroundUEProb: 0.12}
+	areas := testResumeAreas(t)
+	shards := CampaignShards(areas, cfg)
+	bang := os.ErrClosed
+	calls := 0
+	completed, err := runShardsOrdered(context.Background(), areas, cfg, shards, 0, nil, 4,
+		func(idx int, _ Shard, _ []dataset.Record, _ rng.State) error {
+			calls++
+			if idx == 2 {
+				return bang
+			}
+			return nil
+		})
+	if completed || err != bang {
+		t.Fatalf("completed=%t err=%v, want aborted with the emit error", completed, err)
+	}
+	if calls != 3 {
+		t.Fatalf("emit called %d times, want 3 (strictly ordered up to the failure)", calls)
+	}
+}

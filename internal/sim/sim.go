@@ -124,30 +124,60 @@ func newAreaRunner(a *env.Area, cfg Config) *areaRunner {
 func (ar *areaRunner) run(sh Shard) []dataset.Record {
 	switch sh.Kind {
 	case "walk", "drive":
-		var tr *env.Trajectory
-		for i := range ar.a.Trajectories {
-			if ar.a.Trajectories[i].Name == sh.Traj {
-				tr = &ar.a.Trajectories[i]
-				break
-			}
-		}
-		if tr == nil {
-			return nil
-		}
-		if sh.Kind == "drive" {
-			src := ar.root.SplitLabeled(passLabel(tr.Name, "drive", sh.Pass))
-			return runPass(ar.a, ar.envr, ar.lte, *tr, radio.Driving, ar.cfg.WalkPasses+sh.Pass, ar.cfg, src)
-		}
-		src := ar.root.SplitLabeled(passLabel(tr.Name, "walk", sh.Pass))
-		return runPass(ar.a, ar.envr, ar.lte, *tr, radio.Walking, sh.Pass, ar.cfg, src)
+		return ar.runMobile(sh)
 	case "still":
-		tr := ar.a.Trajectories[ar.st.Intn(len(ar.a.Trajectories))]
-		frac := ar.st.Float64()
-		spot := stationaryTrajectory(tr, frac)
-		src := ar.st.SplitLabeled(passLabel(spot.Name, "still", sh.Pass))
-		return runPass(ar.a, ar.envr, ar.lte, spot, radio.Stationary, 100000+sh.Pass, ar.cfg, src)
+		return ar.runStill(ar.drawStill(sh.Pass), sh.Pass)
 	}
 	return nil
+}
+
+// runMobile executes a walking or driving shard. Its randomness derives
+// entirely from label-based splits of the (never advanced) root stream,
+// so it is a pure function of the shard — safe to run from any
+// goroutine, in any order, concurrently with other shards of the same
+// runner.
+func (ar *areaRunner) runMobile(sh Shard) []dataset.Record {
+	var tr *env.Trajectory
+	for i := range ar.a.Trajectories {
+		if ar.a.Trajectories[i].Name == sh.Traj {
+			tr = &ar.a.Trajectories[i]
+			break
+		}
+	}
+	if tr == nil {
+		return nil
+	}
+	if sh.Kind == "drive" {
+		src := ar.root.SplitLabeled(passLabel(tr.Name, "drive", sh.Pass))
+		return runPass(ar.a, ar.envr, ar.lte, *tr, radio.Driving, ar.cfg.WalkPasses+sh.Pass, ar.cfg, src)
+	}
+	src := ar.root.SplitLabeled(passLabel(tr.Name, "walk", sh.Pass))
+	return runPass(ar.a, ar.envr, ar.lte, *tr, radio.Walking, sh.Pass, ar.cfg, src)
+}
+
+// stillDraw holds everything a stationary shard consumes from the shared
+// sequential st stream: the pinned spot and the shard's own child
+// stream. Drawing it advances st by exactly two values, so draws must
+// happen in Pass order; executing the shard afterwards touches no shared
+// randomness at all.
+type stillDraw struct {
+	spot env.Trajectory
+	src  *rng.Source
+}
+
+// drawStill consumes the stationary stream for one still shard. Callers
+// parallelising shard execution call this serially, in shard order, and
+// hand the draw to any worker.
+func (ar *areaRunner) drawStill(pass int) stillDraw {
+	tr := ar.a.Trajectories[ar.st.Intn(len(ar.a.Trajectories))]
+	frac := ar.st.Float64()
+	spot := stationaryTrajectory(tr, frac)
+	return stillDraw{spot: spot, src: ar.st.SplitLabeled(passLabel(spot.Name, "still", pass))}
+}
+
+// runStill executes a stationary shard from its pre-drawn inputs.
+func (ar *areaRunner) runStill(d stillDraw, pass int) []dataset.Record {
+	return runPass(ar.a, ar.envr, ar.lte, d.spot, radio.Stationary, 100000+pass, ar.cfg, d.src)
 }
 
 // stillState exposes the stationary stream's state for checkpointing.

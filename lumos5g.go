@@ -134,6 +134,15 @@ func GenerateCampaign(cfg CampaignConfig) *Dataset { return sim.RunCampaign(cfg)
 // GenerateArea simulates the campaign for one area.
 func GenerateArea(a *Area, cfg CampaignConfig) *Dataset { return sim.RunArea(a, cfg) }
 
+// GenerateCampaignParallel simulates the campaign over the given areas
+// (nil means all) on a pool of workers (<=0 means one per CPU) and
+// returns a dataset byte-identical to GenerateCampaign's — shards run
+// concurrently but merge in canonical order, each on the same random
+// streams the serial runner would hand it.
+func GenerateCampaignParallel(cfg CampaignConfig, areas []*Area, workers int) *Dataset {
+	return sim.RunCampaignParallel(cfg, areas, workers)
+}
+
 // GenerateResumable runs a checkpointed campaign directly into outPath,
 // persisting progress to checkpointPath after every shard. A cancelled
 // run resumes from its checkpoint and yields a byte-identical file; nil

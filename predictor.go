@@ -78,6 +78,13 @@ func (p *Predictor) Predict(x []float64) float64 { return p.reg.Predict(x) }
 // PredictClass maps Predict's output to a throughput class.
 func (p *Predictor) PredictClass(x []float64) Class { return ml.ClassOf(p.reg.Predict(x)) }
 
+// PredictBatch estimates throughput for many raw feature vectors at
+// once, taking the model's vectorised fast path when it has one. Each
+// element equals Predict of that row exactly.
+func (p *Predictor) PredictBatch(X [][]float64) []float64 {
+	return ml.PredictAll(p.reg, X)
+}
+
 // PredictDataset vectorises d under the predictor's feature group and
 // returns the per-row predictions along with the record indices they
 // correspond to.
