@@ -9,10 +9,10 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: tier1 build vet test race race-core race-parallel parity bench bench-json fmt fuzz
+.PHONY: tier1 build vet test race race-core race-parallel parity bench bench-json bench-serve fmt fuzz
 
 tier1: ## build + vet + race-enabled test suite (run `make fuzz` too when touching parsers)
-	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
+	$(GO) build ./... && $(GO) build -o bin/lumosbench ./cmd/lumosbench && $(GO) vet ./... && $(GO) test -race ./...
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,12 @@ bench:
 # auditable against the hardware they ran on.
 bench-json:
 	$(GO) run ./cmd/lumosbench -parbench BENCH_parallel.json
+
+# Serving fast-path report: compiled-vs-interpreted inference kernel
+# (with a bit-identity check), /predict handler allocations cold vs
+# cached, and the pre-PR handler baseline for the alloc comparison.
+bench-serve:
+	$(GO) run ./cmd/lumosbench -servebench BENCH_serve.json
 
 # Short fuzz burst over every fuzz target (one -fuzz per package per
 # invocation is a `go test` restriction).

@@ -5,6 +5,7 @@
 //
 //	lumosbench [-run id[,id...]] [-profile quick|paper] [-seed N] [-values]
 //	lumosbench -parbench BENCH_parallel.json [-parworkers N]
+//	lumosbench -servebench BENCH_serve.json
 //
 // With no -run flag every experiment runs in paper order. The quick
 // profile (default) uses a reduced campaign and scaled-down models that
@@ -30,10 +31,19 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	parbench := flag.String("parbench", "", "run serial-vs-parallel speedup benchmarks, write JSON to this path, and exit")
 	parworkers := flag.Int("parworkers", 0, "worker count for -parbench (0 = one per CPU)")
+	servebench := flag.String("servebench", "", "run serving fast-path benchmarks (compiled kernel, prediction cache, handlers), write JSON to this path, and exit")
 	flag.Parse()
 
 	if *parbench != "" {
 		if err := runParBench(*parbench, *parworkers, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "lumosbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *servebench != "" {
+		if err := runServeBench(*servebench, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "lumosbench:", err)
 			os.Exit(1)
 		}

@@ -27,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // profiling endpoints, served only with -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,6 +50,7 @@ func main() {
 	watch := flag.Duration("watch", 0, "poll -model for changes and hot-reload (0 disables)")
 	reqTimeout := flag.Duration("timeout", 10*time.Second, "per-request handler timeout")
 	grace := flag.Duration("grace", 5*time.Second, "shutdown drain period")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; off by default)")
 	flag.Parse()
 
 	if *watch > 0 && *modelPath == "" {
@@ -110,6 +113,17 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// The profiler listens on its own (normally loopback-only) address so
+	// the serving port never exposes /debug/pprof.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	if *watch > 0 {
 		go srv.WatchModelFile(ctx, *modelPath, *watch, func(err error) {

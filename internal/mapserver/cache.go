@@ -1,0 +1,187 @@
+package mapserver
+
+import (
+	"container/list"
+	"encoding/json"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"lumos5g/internal/geo"
+)
+
+// The prediction cache memoises /predict answers keyed on the quantized
+// query: map cell (the 2 m grid of the throughput map) × speed bucket ×
+// compass sector × which optional sensors the query carried. UEs moving
+// through an area re-ask the same cell-level questions at high QPS, and
+// the model's answer only varies meaningfully at that granularity — two
+// pedestrians in the same cell heading the same way get the same plan.
+//
+// Concurrency model: an LRU (mutex-guarded map + intrusive list) whose
+// entries are filled exactly once. The first goroutine to miss a key
+// becomes its leader and computes the prediction outside the lock;
+// followers arriving meanwhile find the pending entry and block on its
+// ready channel (singleflight — one model walk per key no matter how
+// many UEs ask at once). The close of ready happens-after the leader's
+// writes, so followers read the response race-free.
+//
+// Invalidation is wholesale and atomic: the cache lives next to the
+// serving chain under the Server's lock, and every model swap
+// (SetChain / ReloadModelFile) installs a fresh empty cache, so a
+// response computed by an old model can never be served after the swap.
+// Hit/miss/eviction counters live on the Server and survive swaps; they
+// are surfaced in /healthz.
+
+// predKey is the quantized query identity. Absent optional sensors are
+// encoded as -1 so "no speed" and "speed 0" stay distinct keys — they
+// are served by different chain tiers.
+type predKey struct {
+	col, row int32 // throughput-map grid cell (2 m × 2 m)
+	speedB   int16 // km/h bucket, -1 when the query carried no speed
+	bearingB int16 // 22.5° compass sector, -1 when absent
+}
+
+// speedBucketKmh is the speed quantization step: walking/driving
+// regimes, the distinction the mobility features actually respond to,
+// differ at whole-km/h granularity.
+const speedBucketKmh = 1.0
+
+// bearingSectors divides the compass into 16 sectors of 22.5°.
+const bearingSectors = 16
+
+// quantizeKey buckets one query.
+func quantizeKey(px geo.Pixel, speed, bearing *float64) predKey {
+	k := predKey{col: int32(px.X / 2), row: int32(px.Y / 2), speedB: -1, bearingB: -1}
+	if speed != nil {
+		k.speedB = int16(*speed / speedBucketKmh)
+	}
+	if bearing != nil {
+		deg := math.Mod(*bearing, 360)
+		if deg < 0 {
+			deg += 360
+		}
+		s := int16(deg / (360 / bearingSectors))
+		if s >= bearingSectors {
+			s = bearingSectors - 1
+		}
+		k.bearingB = s
+	}
+	return k
+}
+
+// cacheStats are the Server-lifetime counters (they survive cache swaps
+// on model reload).
+type cacheStats struct {
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// cacheEntry is one memoised prediction. ready is closed by the leader
+// after resp/body are written; a nil body after ready means the leader
+// failed mid-compute (it panicked and the entry was abandoned) and the
+// reader must compute for itself.
+type cacheEntry struct {
+	ready chan struct{}
+	resp  predictResponse
+	body  []byte // marshalled JSON wire form, newline-terminated
+}
+
+type lruItem struct {
+	key predKey
+	e   *cacheEntry
+}
+
+// predCache is the LRU + singleflight store. One instance serves
+// exactly one model generation.
+type predCache struct {
+	stats *cacheStats
+	cap   int
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[predKey]*list.Element
+}
+
+func newPredCache(capacity int, stats *cacheStats) *predCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &predCache{
+		stats: stats,
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[predKey]*list.Element, capacity),
+	}
+}
+
+// len reports the current entry count (tests and /healthz).
+func (c *predCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// getOrCompute returns the cached response and wire body for key,
+// computing and inserting it (once, whatever the concurrency) on a miss.
+func (c *predCache) getOrCompute(key predKey, compute func() predictResponse) (predictResponse, []byte) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*lruItem).e
+		c.mu.Unlock()
+		<-e.ready
+		if e.body != nil {
+			c.stats.hits.Add(1)
+			return e.resp, e.body
+		}
+		// The leader abandoned the entry; answer uncached.
+		resp := compute()
+		return resp, marshalResponse(resp)
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	el := c.ll.PushFront(&lruItem{key: key, e: e})
+	c.items[key] = el
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruItem).key)
+		c.stats.evictions.Add(1)
+	}
+	c.mu.Unlock()
+
+	done := false
+	defer func() {
+		if !done {
+			// compute panicked: drop the entry so followers and future
+			// requests recompute, and unblock anyone already waiting.
+			c.mu.Lock()
+			if cur, ok := c.items[key]; ok && cur == el {
+				c.ll.Remove(el)
+				delete(c.items, key)
+			}
+			c.mu.Unlock()
+			close(e.ready)
+		}
+	}()
+	resp := compute()
+	e.resp = resp
+	e.body = marshalResponse(resp)
+	done = true
+	close(e.ready)
+	c.stats.misses.Add(1)
+	return e.resp, e.body
+}
+
+// marshalResponse renders the wire body exactly as json.Encoder would
+// (trailing newline included) so cached and uncached responses are
+// byte-identical.
+func marshalResponse(resp predictResponse) []byte {
+	b, err := json.Marshal(resp)
+	if err != nil {
+		// predictResponse contains only marshal-safe fields; NaN/Inf
+		// cannot reach here because the chain never returns them.
+		panic(err)
+	}
+	return append(b, '\n')
+}

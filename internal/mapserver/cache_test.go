@@ -1,0 +1,332 @@
+package mapserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"lumos5g"
+	"lumos5g/internal/geo"
+)
+
+func TestQuantizeKey(t *testing.T) {
+	px := geo.Pixel{X: 100, Y: 201}
+	k := quantizeKey(px, nil, nil)
+	if k != (predKey{col: 50, row: 100, speedB: -1, bearingB: -1}) {
+		t.Fatalf("bare key: %+v", k)
+	}
+	// Neighbouring pixels in the same 2 m map cell share a key.
+	if quantizeKey(geo.Pixel{X: 101, Y: 200}, nil, nil) != k {
+		t.Fatal("same-cell pixels must share a key")
+	}
+	sp, b := 3.7, -10.0
+	k = quantizeKey(px, &sp, &b)
+	if k.speedB != 3 {
+		t.Fatalf("speed bucket: %d", k.speedB)
+	}
+	if k.bearingB != 15 { // -10° wraps to 350°, the last 22.5° sector
+		t.Fatalf("wrapped bearing sector: %d", k.bearingB)
+	}
+	north := 0.0
+	if k := quantizeKey(px, nil, &north); k.bearingB != 0 || k.speedB != -1 {
+		t.Fatalf("north, no speed: %+v", k)
+	}
+	// "speed 0" and "no speed" are served by different tiers and must not
+	// share a cache entry.
+	zero := 0.0
+	if quantizeKey(px, &zero, nil) == quantizeKey(px, nil, nil) {
+		t.Fatal("speed 0 must differ from absent speed")
+	}
+}
+
+func TestPredCacheLRUAndCounters(t *testing.T) {
+	var stats cacheStats
+	c := newPredCache(2, &stats)
+	mk := func(i int) predKey { return predKey{col: int32(i)} }
+	val := func(i int) func() predictResponse {
+		return func() predictResponse { return predictResponse{Mbps: float64(i)} }
+	}
+	if r, _ := c.getOrCompute(mk(1), val(1)); r.Mbps != 1 {
+		t.Fatalf("miss compute: %+v", r)
+	}
+	c.getOrCompute(mk(2), val(2))
+	// Hit on 1 refreshes its recency, so inserting 3 must evict 2.
+	c.getOrCompute(mk(1), func() predictResponse {
+		t.Error("hit must not compute")
+		return predictResponse{}
+	})
+	c.getOrCompute(mk(3), val(3))
+	if got := stats.evictions.Load(); got != 1 {
+		t.Fatalf("evictions after first overflow: %d", got)
+	}
+	recomputed := false
+	c.getOrCompute(mk(2), func() predictResponse { recomputed = true; return predictResponse{} })
+	if !recomputed {
+		t.Fatal("LRU evicted the wrong entry (2 should have been dropped)")
+	}
+	// Re-inserting 2 pushed the store over capacity again, evicting the
+	// then-oldest entry (1); 3 must have survived as the other resident.
+	c.getOrCompute(mk(3), func() predictResponse {
+		t.Error("3 must have survived the eviction")
+		return predictResponse{}
+	})
+	if h, m, e := stats.hits.Load(), stats.misses.Load(), stats.evictions.Load(); h != 2 || m != 4 || e != 2 {
+		t.Fatalf("hits %d misses %d evictions %d", h, m, e)
+	}
+	if c.size() != 2 {
+		t.Fatalf("size: %d", c.size())
+	}
+	// Disabled cache is represented as nil, not a zero-capacity store.
+	if newPredCache(0, &stats) != nil {
+		t.Fatal("capacity 0 must disable the cache")
+	}
+}
+
+// TestPredCacheSingleflight holds the leader mid-compute and proves that
+// followers on the same key never run their compute function: once the
+// leader's pending entry is in the map (guaranteed before `started`
+// closes), every later arrival blocks on it.
+func TestPredCacheSingleflight(t *testing.T) {
+	var stats cacheStats
+	c := newPredCache(8, &stats)
+	key := predKey{col: 1, row: 2, speedB: 3, bearingB: 4}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var leaderBody []byte
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, leaderBody = c.getOrCompute(key, func() predictResponse {
+			close(started)
+			<-release
+			return predictResponse{Mbps: 42, Source: "L"}
+		})
+	}()
+	<-started
+
+	const followers = 8
+	bodies := make([][]byte, followers)
+	var fwg sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		fwg.Add(1)
+		go func(i int) {
+			defer fwg.Done()
+			_, bodies[i] = c.getOrCompute(key, func() predictResponse {
+				t.Error("follower compute ran — singleflight broken")
+				return predictResponse{}
+			})
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	fwg.Wait()
+	for i, b := range bodies {
+		if !bytes.Equal(b, leaderBody) {
+			t.Fatalf("follower %d body differs: %s vs %s", i, b, leaderBody)
+		}
+	}
+	if h, m := stats.hits.Load(), stats.misses.Load(); h != followers || m != 1 {
+		t.Fatalf("hits %d misses %d", h, m)
+	}
+}
+
+func TestPredCacheLeaderPanicRecovers(t *testing.T) {
+	var stats cacheStats
+	c := newPredCache(8, &stats)
+	key := predKey{col: 9}
+	func() {
+		defer func() { _ = recover() }()
+		c.getOrCompute(key, func() predictResponse { panic("model exploded") })
+	}()
+	if c.size() != 0 {
+		t.Fatal("abandoned entry must be removed")
+	}
+	// The key is computable again — no wedged pending entry.
+	r, body := c.getOrCompute(key, func() predictResponse { return predictResponse{Mbps: 7} })
+	if r.Mbps != 7 || len(body) == 0 {
+		t.Fatalf("recompute after panic: %+v %q", r, body)
+	}
+}
+
+func TestPredictCacheHitsAndHealth(t *testing.T) {
+	tm, _ := setup(t)
+	s, err := NewWithChain(tm, trainedChain(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	url := fmt.Sprintf("%s/predict?lat=%f&lon=%f&speed=4&bearing=10", srv.URL, testLat, testLon)
+	_, body1 := get(t, url)
+	_, body2 := get(t, url)
+	if body1 != body2 {
+		t.Fatalf("cached body differs:\n%s\n%s", body1, body2)
+	}
+
+	var h healthJSON
+	_, hb := get(t, srv.URL+"/healthz")
+	if err := json.Unmarshal([]byte(hb), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.CacheHits != 1 || h.CacheMisses != 1 || h.CacheEntries != 1 {
+		t.Fatalf("cache counters: %+v", h)
+	}
+	// The hit answered without a model walk: tier counters see one query,
+	// and the audit identity responses = Σ tiers_served + cache_hits holds.
+	var served uint64
+	for _, n := range h.TiersServed {
+		served += n
+	}
+	if served != 1 || served+h.CacheHits != 2 {
+		t.Fatalf("tiers_served %v with %d hits", h.TiersServed, h.CacheHits)
+	}
+
+	// A model swap empties the cache but keeps the lifetime counters.
+	s.SetChain(s.Chain())
+	_, hb = get(t, srv.URL+"/healthz")
+	if err := json.Unmarshal([]byte(hb), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.CacheEntries != 0 || h.CacheHits != 1 {
+		t.Fatalf("after swap: %+v", h)
+	}
+	// The same query now recomputes on the fresh cache.
+	if _, body3 := get(t, url); body3 != body1 {
+		t.Fatalf("same model after swap must answer identically:\n%s\n%s", body3, body1)
+	}
+	_, hb = get(t, srv.URL+"/healthz")
+	if err := json.Unmarshal([]byte(hb), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.CacheMisses != 2 || h.CacheEntries != 1 {
+		t.Fatalf("post-swap recompute: %+v", h)
+	}
+}
+
+func TestPredictCacheDisabled(t *testing.T) {
+	tm, _ := setup(t)
+	s, err := NewWithChain(tm, trainedChain(t), WithPredictCacheSize(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	url := fmt.Sprintf("%s/predict?lat=%f&lon=%f&speed=4&bearing=10", srv.URL, testLat, testLon)
+	_, body1 := get(t, url)
+	_, body2 := get(t, url)
+	if body1 != body2 {
+		t.Fatal("uncached answers must still be deterministic")
+	}
+	var h healthJSON
+	_, hb := get(t, srv.URL+"/healthz")
+	if err := json.Unmarshal([]byte(hb), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.CacheHits != 0 || h.CacheMisses != 0 || h.CacheEntries != 0 {
+		t.Fatalf("disabled cache counted: %+v", h)
+	}
+}
+
+// TestCacheCoherentUnderConcurrentReload is the hot-swap coherence test:
+// goroutines hammer one cached /predict query while the model is
+// concurrently reloaded between two chains with different tier shapes.
+// Because the cache is swapped in the same critical section as the
+// chain, a query issued after a reload returns must always be answered
+// by the new chain's tier — never a stale cached tier from the old one.
+// Run under -race (`make tier1` does).
+func TestCacheCoherentUnderConcurrentReload(t *testing.T) {
+	tm, predLM := setup(t)
+	area, err := lumos5g.AreaByName("Airport")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lumos5g.CampaignConfig{Seed: 1, WalkPasses: 3, BackgroundUEProb: 0.1}
+	clean, _ := lumos5g.CleanDataset(lumos5g.GenerateArea(area, cfg))
+	predL, err := lumos5g.Train(clean, lumos5g.GroupL, lumos5g.ModelGDBT, lumos5g.Scale{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain A serves a full query from its L+M tier; chain B has no L+M
+	// tier at all, so the same query is served by L. The serving tier's
+	// Source is therefore a fingerprint of which model generation answered.
+	chainA, err := lumos5g.NewFallbackChain(250, predLM, predL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainB, err := lumos5g.NewFallbackChain(250, predL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	pathA := filepath.Join(dir, "a.l5g")
+	pathB := filepath.Join(dir, "b.l5g")
+	if err := chainA.SaveFile(pathA); err != nil {
+		t.Fatal(err)
+	}
+	if err := chainB.SaveFile(pathB); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewWithChain(tm, chainA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := fmt.Sprintf("/predict?lat=%f&lon=%f&speed=4&bearing=10", testLat, testLon)
+	ask := func() predictResponse {
+		rr := httptest.NewRecorder()
+		s.ServeHTTP(rr, httptest.NewRequest("GET", query, nil))
+		if rr.Code != 200 {
+			t.Errorf("predict: %d %s", rr.Code, rr.Body.String())
+		}
+		var pr predictResponse
+		if err := json.Unmarshal(rr.Body.Bytes(), &pr); err != nil {
+			t.Errorf("bad body: %v %s", err, rr.Body.String())
+		}
+		return pr
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Hammer goroutines race the swaps, so either generation
+				// may answer — but never anything else.
+				if pr := ask(); pr.Source != "L+M" && pr.Source != "L" {
+					t.Errorf("impossible source %q", pr.Source)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		path, want := pathA, "L+M"
+		if i%2 == 1 {
+			path, want = pathB, "L"
+		}
+		if err := s.ReloadModelFile(path); err != nil {
+			t.Fatalf("reload %s: %v", path, err)
+		}
+		// The swap has returned: the very same (hot, cached) query must
+		// now be answered by the new chain — a stale cached tier here
+		// means invalidation raced the chain swap.
+		if pr := ask(); pr.Source != want {
+			t.Fatalf("swap %d: got tier source %q, want %q (stale cache)", i, pr.Source, want)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -34,7 +34,9 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -53,22 +55,30 @@ type Server struct {
 	// single-predictor artifacts on load.
 	mapPrior float64
 
-	// mu guards the live model and reload bookkeeping. Prediction takes
-	// the read lock; hot swaps take the write lock, so a reload is
-	// atomic with respect to every in-flight query.
+	// mu guards the live model, its prediction cache and reload
+	// bookkeeping. Prediction takes the read lock; hot swaps take the
+	// write lock, so a reload is atomic with respect to every in-flight
+	// query — and because the cache is replaced in the same critical
+	// section as the chain, a swapped-out model's cached answers can
+	// never be served after the swap.
 	mu        sync.RWMutex
 	chain     *lumos5g.FallbackChain
-	reloadErr string // last rejected reload ("" when healthy)
-	reloads   uint64 // successful model swaps
-	rejected  uint64 // artifacts refused (model kept serving)
+	cache     *predCache // nil when caching is disabled or no model serves
+	reloadErr string     // last rejected reload ("" when healthy)
+	reloads   uint64     // successful model swaps
+	rejected  uint64     // artifacts refused (model kept serving)
+
+	cacheSize int        // entries per cache generation (0 = disabled)
+	cstats    cacheStats // hit/miss/eviction counters, cumulative across swaps
 }
 
 // Option tunes the server's hardening envelope.
 type Option func(*options)
 
 type options struct {
-	timeout  time.Duration
-	maxBytes int64
+	timeout   time.Duration
+	maxBytes  int64
+	cacheSize int
 }
 
 // WithRequestTimeout bounds each request's handler time (default 10 s).
@@ -80,6 +90,17 @@ func WithRequestTimeout(d time.Duration) Option {
 func WithMaxRequestBytes(n int64) Option {
 	return func(o *options) { o.maxBytes = n }
 }
+
+// WithPredictCacheSize sets the /predict cache capacity in quantized-key
+// entries (default 4096). n <= 0 disables the cache: every query walks
+// the model.
+func WithPredictCacheSize(n int) Option {
+	return func(o *options) { o.cacheSize = n }
+}
+
+// defaultPredictCacheSize is roughly a 4 km² area at 2 m cells under a
+// handful of speed/bearing buckets — ample for one map's hot set.
+const defaultPredictCacheSize = 4096
 
 // New creates a handler for the given map and (optionally nil) predictor.
 // The predictor is wrapped into a single-tier fallback chain whose
@@ -114,11 +135,14 @@ func NewWithChain(tm *lumos5g.ThroughputMap, chain *lumos5g.FallbackChain, opts 
 	if tm == nil {
 		return nil, fmt.Errorf("mapserver: nil throughput map")
 	}
-	o := options{timeout: 10 * time.Second, maxBytes: 1 << 20}
+	o := options{timeout: 10 * time.Second, maxBytes: 1 << 20, cacheSize: defaultPredictCacheSize}
 	for _, opt := range opts {
 		opt(&o)
 	}
-	s := &Server{tm: tm, mux: http.NewServeMux(), chain: chain, mapPrior: mapMeanMbps(tm)}
+	s := &Server{tm: tm, mux: http.NewServeMux(), chain: chain, mapPrior: mapMeanMbps(tm), cacheSize: o.cacheSize}
+	if chain != nil {
+		s.cache = newPredCache(s.cacheSize, &s.cstats)
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/map.svg", s.handleSVG)
 	s.mux.HandleFunc("/cells.json", s.handleCells)
@@ -164,12 +188,18 @@ func (s *Server) Chain() *lumos5g.FallbackChain {
 }
 
 // SetChain atomically swaps the serving model. In-flight queries finish
-// on the old chain; subsequent ones use the new. A successful manual
-// swap clears any recorded reload failure.
+// on the old chain; subsequent ones use the new. The prediction cache is
+// replaced with a fresh one in the same critical section, so no answer
+// computed by the old model outlives the swap. A successful manual swap
+// clears any recorded reload failure.
 func (s *Server) SetChain(c *lumos5g.FallbackChain) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.chain = c
+	s.cache = nil
+	if c != nil {
+		s.cache = newPredCache(s.cacheSize, &s.cstats)
+	}
 	s.reloadErr = ""
 }
 
@@ -187,6 +217,7 @@ func (s *Server) ReloadModelFile(path string) error {
 		return fmt.Errorf("mapserver: reload %s rejected (model kept): %w", path, err)
 	}
 	s.chain = chain
+	s.cache = newPredCache(s.cacheSize, &s.cstats)
 	s.reloads++
 	s.reloadErr = ""
 	return nil
@@ -213,11 +244,17 @@ type healthJSON struct {
 	Reloads         uint64   `json:"reloads"`
 	Rejected        uint64   `json:"rejected"`
 	LastReloadError string   `json:"last_reload_error,omitempty"`
+	// Prediction-cache health. tiers_served counts model walks only;
+	// total /predict responses = sum(tiers_served) + cache_hits.
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+	CacheEntries   int    `json:"cache_entries"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
-	chain, reloads, rejected, reloadErr := s.chain, s.reloads, s.rejected, s.reloadErr
+	chain, cache, reloads, rejected, reloadErr := s.chain, s.cache, s.reloads, s.rejected, s.reloadErr
 	s.mu.RUnlock()
 	h := healthJSON{
 		OK:              true,
@@ -227,6 +264,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		Reloads:         reloads,
 		Rejected:        rejected,
 		LastReloadError: reloadErr,
+		CacheHits:       s.cstats.hits.Load(),
+		CacheMisses:     s.cstats.misses.Load(),
+		CacheEvictions:  s.cstats.evictions.Load(),
+	}
+	if cache != nil {
+		h.CacheEntries = cache.size()
 	}
 	if chain != nil {
 		h.Tiers = chain.TierNames()
@@ -311,14 +354,51 @@ func queryFloat(q string, name string, lo, hi float64) (float64, error) {
 	return v, checkRange(v, name, lo, hi)
 }
 
+// queryValue scans a raw query string for key and returns its first
+// value — what url.Values.Get would return, minus the per-request
+// url.Values map (numeric parameters come back as substrings, so the
+// hot /predict path parses its query without allocating).
+func queryValue(rawQuery, key string) string {
+	for len(rawQuery) > 0 {
+		pair := rawQuery
+		if i := strings.IndexByte(rawQuery, '&'); i >= 0 {
+			pair, rawQuery = rawQuery[:i], rawQuery[i+1:]
+		} else {
+			rawQuery = ""
+		}
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 || pair[:eq] != key {
+			continue
+		}
+		v := pair[eq+1:]
+		if strings.ContainsAny(v, "%+") {
+			u, err := url.QueryUnescape(v)
+			if err != nil {
+				return "" // url.ParseQuery drops malformed pairs too
+			}
+			return u
+		}
+		return v
+	}
+	return ""
+}
+
+// valsPool recycles the per-query feature maps. The fallback chain
+// copies what it needs into its own feature vector and never retains the
+// query map, so the map can go straight back to the pool after Predict
+// returns — the serving path makes no per-request feature-vector garbage.
+var valsPool = sync.Pool{
+	New: func() any { return make(map[string]float64, 4) },
+}
+
 // predictVals assembles the fallback-chain query from one prediction
 // request. Optional parameters that are absent are simply omitted — the
-// chain demotes the query to a tier that does not need them.
+// chain demotes the query to a tier that does not need them. The map
+// comes from valsPool; release it with putVals once the chain answered.
 func predictVals(px geo.Pixel, speed, bearing *float64) map[string]float64 {
-	vals := map[string]float64{
-		"pixel_x": float64(px.X),
-		"pixel_y": float64(px.Y),
-	}
+	vals := valsPool.Get().(map[string]float64)
+	vals["pixel_x"] = float64(px.X)
+	vals["pixel_y"] = float64(px.Y)
 	if speed != nil {
 		vals["moving_speed"] = *speed
 	}
@@ -328,6 +408,12 @@ func predictVals(px geo.Pixel, speed, bearing *float64) map[string]float64 {
 		vals["compass_cos"] = math.Cos(*bearing * rad)
 	}
 	return vals
+}
+
+// putVals returns a query map to the pool.
+func putVals(vals map[string]float64) {
+	clear(vals)
+	valsPool.Put(vals)
 }
 
 // mapOnlyResponse answers a prediction from the throughput map alone —
@@ -358,13 +444,13 @@ func chainResponse(p lumos5g.ChainPrediction) predictResponse {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	lat, err := queryFloat(q.Get("lat"), "lat", -90, 90)
+	rq := r.URL.RawQuery
+	lat, err := queryFloat(queryValue(rq, "lat"), "lat", -90, 90)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	lon, err := queryFloat(q.Get("lon"), "lon", -180, 180)
+	lon, err := queryFloat(queryValue(rq, "lon"), "lon", -180, 180)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -373,29 +459,47 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 	// Present-but-malformed optional parameters are still client errors.
 	var speed, bearing *float64
-	if raw := q.Get("speed"); raw != "" {
-		v, err := queryFloat(raw, "speed (km/h)", 0, 500)
+	var speedV, bearingV float64
+	if raw := queryValue(rq, "speed"); raw != "" {
+		speedV, err = queryFloat(raw, "speed (km/h)", 0, 500)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		speed = &v
+		speed = &speedV
 	}
-	if raw := q.Get("bearing"); raw != "" {
-		v, err := queryFloat(raw, "bearing (degrees)", -360, 360)
+	if raw := queryValue(rq, "bearing"); raw != "" {
+		bearingV, err = queryFloat(raw, "bearing (degrees)", -360, 360)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		bearing = &v
+		bearing = &bearingV
 	}
 
-	chain := s.Chain()
+	// One read of the (chain, cache) pair: a hot swap replaces both under
+	// the write lock, so a request never mixes an old cache with a new
+	// model. A request that raced a swap finishes on the pair it saw — the
+	// old cache is unreachable afterwards, so its answers die with it.
+	s.mu.RLock()
+	chain, cache := s.chain, s.cache
+	s.mu.RUnlock()
 	if chain == nil {
 		writeJSON(w, http.StatusOK, s.mapOnlyResponse(px))
 		return
 	}
-	writeJSON(w, http.StatusOK, chainResponse(chain.Predict(predictVals(px, speed, bearing))))
+	compute := func() predictResponse {
+		vals := predictVals(px, speed, bearing)
+		p := chain.Predict(vals)
+		putVals(vals)
+		return chainResponse(p)
+	}
+	if cache == nil {
+		writeJSON(w, http.StatusOK, compute())
+		return
+	}
+	_, body := cache.getOrCompute(quantizeKey(px, speed, bearing), compute)
+	writeJSONBytes(w, http.StatusOK, body)
 }
 
 // batchQueryJSON is one query of the POST /predict/batch request body.
@@ -470,6 +574,9 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	for i, p := range chain.PredictBatch(vals) {
 		out[i] = chainResponse(p)
+	}
+	for _, v := range vals {
+		putVals(v)
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -1,8 +1,10 @@
 package mapserver
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
+	"sync"
 	"time"
 )
 
@@ -17,10 +19,36 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
+// encodePool recycles the JSON staging buffers of writeJSON so the hot
+// serving paths do not grow a fresh encoder buffer per response.
+var encodePool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf := encodePool.Get().(*bytes.Buffer)
+	buf.Reset()
+	// Encode into the pooled buffer first: the bytes on the wire are the
+	// same as encoding straight into w (Encoder's trailing newline
+	// included), but a marshal failure can still become a clean 500
+	// instead of a torn body.
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		encodePool.Put(buf)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte(`{"error":"response encoding failed"}` + "\n"))
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	encodePool.Put(buf)
+}
+
+// writeJSONBytes sends a pre-marshalled JSON body (the prediction
+// cache's stored wire form) without re-encoding.
+func writeJSONBytes(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(body)
 }
 
 // writeError sends a structured JSON error with the given status.

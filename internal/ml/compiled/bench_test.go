@@ -1,0 +1,39 @@
+package compiled_test
+
+import (
+	"testing"
+
+	"lumos5g/internal/ml/gbdt"
+)
+
+func benchModel(b *testing.B) (*gbdt.Model, [][]float64) {
+	X, y := synthData(3000, 10, 1)
+	m := gbdt.New(gbdt.Config{Estimators: 60, MaxDepth: 6, Seed: 7})
+	if err := m.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	return m, X
+}
+
+func BenchmarkInterpretedBatch(b *testing.B) {
+	m, X := benchModel(b)
+	out := make([]float64, len(X))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, x := range X {
+			out[j] = m.Predict(x)
+		}
+	}
+	_ = out
+}
+
+func BenchmarkCompiledBatch(b *testing.B) {
+	m, X := benchModel(b)
+	e := m.Compiled()
+	out := make([]float64, len(X))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.PredictInto(X, out, 0, len(X))
+	}
+	_ = out
+}

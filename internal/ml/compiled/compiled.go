@@ -1,0 +1,512 @@
+// Package compiled flattens fitted tree ensembles (random forest, GBDT
+// regressor, GBDT classifier) into a contiguous breadth-first layout and
+// evaluates them with a blocked, branch-free batch kernel — the serving
+// fast path behind ml.BatchRegressor.
+//
+// The interpreted predictors walk per-tree []node slices (about 40 bytes
+// per node) with an unpredictable branch at every split. The compiled
+// form renumbers each tree breadth-first so a node's two children are
+// adjacent (right = left+1, only left is stored), packs the quantized
+// traversal state into 8-byte nodes, and makes leaves loop to themselves
+// with an always-true comparison. A tree of depth D is then evaluated in
+// exactly D data-independent steps
+//
+//	i = left[i] + (q[feat[i]] > bin[i])
+//
+// with no leaf test and no taken/not-taken split branch — the step is
+// computed arithmetically, so deep pipelines never mispredict, and the
+// batch kernel interleaves four rows per tree so their dependent
+// load chains overlap.
+//
+// The quantized traversal bins each query row once against the training
+// Binner's quantile edges and compares uint8 bins. Because every
+// internal node's raw threshold is exactly a bin edge (tree.Grow splits
+// on edges[feature][bin]), the comparison
+//
+//	x[f] <= edges[f][bin]   ⇔   BinValue(f, x[f]) <= bin
+//
+// holds for every input, so the quantized walk reaches the same leaf —
+// and therefore produces the same float — as the raw walk.
+//
+// Equivalence contract: for every input, Predict and PredictInto return
+// bit-identical floats to the interpreted ensemble's Predict — same
+// float operations, applied in the same order. Per-leaf accumulation is
+// acc = init; acc += scale*leaf (tree order); out = acc or acc/div —
+// exactly the interpreted loops of forest.Predict, gbdt.Model.Predict
+// and gbdt.Classifier.Scores. The parity tests in compiled_test.go and
+// the ensemble packages enforce this for forest, GBDT and classifier
+// across single/batch/quantized paths.
+package compiled
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"lumos5g/internal/ml/tree"
+)
+
+// Config describes how leaf values aggregate into a prediction.
+type Config struct {
+	// NumFeatures is the model's feature dimensionality; every node's
+	// split feature must be below it.
+	NumFeatures int
+	// Init is the accumulator's starting value (0 for a forest, the base
+	// prediction for GBDT, the class prior log-odds for a classifier).
+	Init float64
+	// Scale multiplies every leaf value as it is accumulated (1 for a
+	// forest, the learning rate for GBDT).
+	Scale float64
+	// Div, when non-zero, divides the final accumulator (the ensemble
+	// size for a forest's mean; 0 for additive models).
+	Div float64
+	// Edges are the training Binner's per-feature quantile bin edges.
+	// When present they enable the quantized traversal; nil (e.g. a
+	// legacy artifact that did not store edges) compiles the raw-compare
+	// kernel only.
+	Edges [][]float64
+}
+
+// qnode is one node of the quantized kernel: 8 bytes, so a whole
+// depth-6 tree of 127 nodes is ~1 KiB of hot state.
+type qnode struct {
+	feat uint16 // split feature (0 at leaves — any in-range value works)
+	bin  uint8  // go left when q[feat] <= bin; leafBin at leaves
+	_    uint8
+	left int32 // global index of the left child; the node itself at leaves
+}
+
+// leafBin marks leaves in qnodes: quantized values never exceed 254
+// (at most 254 edges per feature), so q <= 255 is always true and a leaf
+// steps to its own left — itself — for the remaining fixed-depth steps.
+const leafBin = 255
+
+// Ensemble is a compiled ensemble: every tree's nodes flattened
+// breadth-first into parallel arrays with global indices, children
+// adjacent (right = left+1), plus per-tree root offsets and depths.
+type Ensemble struct {
+	nFeat int
+	init  float64
+	scale float64
+	div   float64
+
+	treeOff   []int32 // root node index per tree, len == NumTrees
+	treeDepth []int32 // fixed traversal step count per tree
+	feature   []int32 // split feature, -1 for leaves (raw kernel + walkers)
+	thresh    []float64
+	left      []int32   // global left-child index; right = left+1; self at leaves
+	value     []float64 // leaf value (leaves only; internal nodes unused)
+
+	// Quantized traversal state (nil when Edges were not given). qedges
+	// hold the bin edges under the order-preserving uint64 mapping of
+	// orderedBits, so block binning runs on integer compares the compiler
+	// if-converts instead of float compares it branches on.
+	qnodes []qnode
+	edges  [][]float64
+	qedges [][]uint64
+}
+
+// blockRows is the batch kernel's row-block size: large enough to
+// amortise streaming each tree's nodes across the block, small enough
+// that the per-block accumulator and bin buffers stay cache-resident.
+const blockRows = 64
+
+// Compile flattens trees into an Ensemble. Trees must be non-empty and
+// structurally valid (as produced by tree.Grow or tree.Import). With
+// cfg.Edges set, every internal node's threshold must be one of its
+// feature's bin edges — true by construction for trees grown from that
+// Binner — or Compile fails rather than mis-quantize.
+func Compile(trees []*tree.Tree, cfg Config) (*Ensemble, error) {
+	if len(trees) == 0 {
+		return nil, errors.New("compiled: no trees")
+	}
+	if cfg.NumFeatures <= 0 || cfg.NumFeatures > 1<<16 {
+		return nil, errors.New("compiled: feature count out of range")
+	}
+	if cfg.Edges != nil && len(cfg.Edges) < cfg.NumFeatures {
+		return nil, fmt.Errorf("compiled: %d features but %d edge sets", cfg.NumFeatures, len(cfg.Edges))
+	}
+	total := 0
+	for _, t := range trees {
+		total += t.NumNodes()
+	}
+	e := &Ensemble{
+		nFeat:     cfg.NumFeatures,
+		init:      cfg.Init,
+		scale:     cfg.Scale,
+		div:       cfg.Div,
+		treeOff:   make([]int32, len(trees)),
+		treeDepth: make([]int32, len(trees)),
+		feature:   make([]int32, 0, total),
+		thresh:    make([]float64, 0, total),
+		left:      make([]int32, 0, total),
+		value:     make([]float64, 0, total),
+		edges:     cfg.Edges,
+	}
+	if cfg.Edges != nil {
+		e.qnodes = make([]qnode, 0, total)
+		e.qedges = make([][]uint64, cfg.NumFeatures)
+		for f := 0; f < cfg.NumFeatures; f++ {
+			qe := make([]uint64, len(cfg.Edges[f]))
+			for i, v := range cfg.Edges[f] {
+				qe[i] = orderedBits(v)
+			}
+			e.qedges[f] = qe
+		}
+	}
+	for ti, t := range trees {
+		if err := e.compileTree(ti, t.Export(), cfg); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// compileTree renumbers one tree breadth-first and appends it to the
+// flattened arrays. BFS order is what makes the layout branch-free
+// friendly: a parent's two children are enqueued together, so they are
+// assigned consecutive slots and only the left index need be stored.
+func (e *Ensemble) compileTree(ti int, dto tree.TreeDTO, cfg Config) error {
+	n := int32(len(dto.Nodes))
+	if n == 0 {
+		return fmt.Errorf("compiled: tree %d is empty", ti)
+	}
+	off := int32(len(e.feature))
+	e.treeOff[ti] = off
+
+	// BFS pass: assign new ids in dequeue order; children of one parent
+	// land adjacently. The seen guard rejects cyclic or converging node
+	// graphs that would otherwise loop the fixed-depth traversal astray.
+	order := make([]int32, 0, n)   // old ids in BFS order
+	newID := make([]int32, n)      // old id -> BFS position
+	level := make([]int32, 0, n)   // BFS level per order entry
+	seen := make([]bool, n)
+	order = append(order, 0)
+	level = append(level, 0)
+	seen[0] = true
+	depth := int32(0)
+	for head := 0; head < len(order); head++ {
+		old := order[head]
+		newID[old] = int32(head)
+		lv := level[head]
+		if lv > depth {
+			depth = lv
+		}
+		nd := dto.Nodes[old]
+		if nd.Feature < 0 {
+			continue
+		}
+		if int(nd.Feature) >= cfg.NumFeatures {
+			return fmt.Errorf("compiled: tree %d node %d splits feature %d of %d", ti, old, nd.Feature, cfg.NumFeatures)
+		}
+		if nd.Left < 0 || nd.Left >= n || nd.Right < 0 || nd.Right >= n {
+			return fmt.Errorf("compiled: tree %d node %d child out of range", ti, old)
+		}
+		if seen[nd.Left] || seen[nd.Right] || nd.Left == nd.Right {
+			return fmt.Errorf("compiled: tree %d node %d children revisit a node", ti, old)
+		}
+		seen[nd.Left], seen[nd.Right] = true, true
+		order = append(order, nd.Left, nd.Right)
+		level = append(level, lv+1, lv+1)
+	}
+	e.treeDepth[ti] = depth
+
+	for pos, old := range order {
+		nd := dto.Nodes[old]
+		self := off + int32(pos)
+		if nd.Feature < 0 {
+			e.feature = append(e.feature, -1)
+			e.thresh = append(e.thresh, 0)
+			e.left = append(e.left, self)
+			e.value = append(e.value, nd.Value)
+			if e.edges != nil {
+				e.qnodes = append(e.qnodes, qnode{feat: 0, bin: leafBin, left: self})
+			}
+			continue
+		}
+		e.feature = append(e.feature, nd.Feature)
+		e.thresh = append(e.thresh, nd.Threshold)
+		e.left = append(e.left, off+newID[nd.Left])
+		e.value = append(e.value, 0)
+		if e.edges != nil {
+			bt, err := quantizeThreshold(e.edges, nd, ti, int(old))
+			if err != nil {
+				return err
+			}
+			e.qnodes = append(e.qnodes, qnode{feat: uint16(nd.Feature), bin: bt, left: off + newID[nd.Left]})
+		}
+	}
+	return nil
+}
+
+// quantizeThreshold recovers an internal node's bin index from its raw
+// threshold: the threshold is edges[feature][bin] by construction, and
+// the edges are strictly ascending, so binValue inverts it exactly.
+func quantizeThreshold(edges [][]float64, nd tree.NodeDTO, ti, i int) (uint8, error) {
+	fe := edges[nd.Feature]
+	b := binValue(fe, nd.Threshold)
+	if int(b) >= len(fe) || fe[b] != nd.Threshold {
+		return 0, fmt.Errorf("compiled: tree %d node %d threshold %v is not a bin edge of feature %d", ti, i, nd.Threshold, nd.Feature)
+	}
+	return b, nil
+}
+
+// binValue maps a raw value to its quantile bin: the index of the first
+// edge >= v (identical to tree.Binner.BinValue). Used on the rare paths
+// (threshold recovery at compile, single-row Predict).
+func binValue(edges []float64, v float64) uint8 {
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if edges[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint8(lo)
+}
+
+// orderedBits maps a non-NaN float64 to a uint64 such that
+// u(x) < u(y) ⇔ x < y: negatives have all bits flipped, positives only
+// the sign bit, and v+0 first folds -0 into +0 so the two zeros (equal
+// as floats) map to the same integer. Inputs are binned on these
+// integers because integer compares if-convert to branch-free selects.
+func orderedBits(v float64) uint64 {
+	b := math.Float64bits(v + 0)
+	return b ^ (uint64(int64(b)>>63) | 1<<63)
+}
+
+// binValueBits is binValue over order-mapped edges: a branchless lower
+// bound. The compare is bits.Sub64's borrow flag and the interval update
+// a masked add, so a block's binning takes no data-dependent mispredicts
+// — the compiler's own if-conversion does not fire on this shape.
+func binValueBits(qe []uint64, u uint64) uint8 {
+	base, n := uint64(0), uint64(len(qe))
+	for n > 1 {
+		half := n >> 1
+		_, borrow := bits.Sub64(qe[base+half-1], u, 0) // borrow = qe[...] < u
+		base += half & (0 - borrow)
+		n -= half
+	}
+	if n == 1 {
+		_, borrow := bits.Sub64(qe[base], u, 0)
+		base += borrow
+	}
+	return uint8(base)
+}
+
+// NumTrees returns the compiled ensemble size.
+func (e *Ensemble) NumTrees() int { return len(e.treeOff) }
+
+// NumFeatures returns the expected feature vector length.
+func (e *Ensemble) NumFeatures() int { return e.nFeat }
+
+// NumNodes returns the total flattened node count.
+func (e *Ensemble) NumNodes() int { return len(e.feature) }
+
+// Quantized reports whether the uint8 bin-compare kernel is available.
+func (e *Ensemble) Quantized() bool { return e.edges != nil }
+
+// qstep computes one branch-free traversal step: 0 (left) when
+// qv <= bin, 1 (right) otherwise. Both operands are < 2^8, so the
+// subtraction's sign bit is exactly the comparison.
+func qstep(bin uint8, qv uint8) int32 {
+	return int32((uint32(bin) - uint32(qv)) >> 31)
+}
+
+// Predict evaluates one feature vector, traversing trees in order with
+// the same accumulation the interpreted ensembles use.
+func (e *Ensemble) Predict(x []float64) float64 {
+	if e.edges != nil {
+		return e.predictQuantized(x)
+	}
+	acc := e.init
+	feature, thresh, left := e.feature, e.thresh, e.left
+	for _, root := range e.treeOff {
+		i := root
+		for feature[i] >= 0 {
+			if x[feature[i]] <= thresh[i] {
+				i = left[i]
+			} else {
+				i = left[i] + 1
+			}
+		}
+		acc += e.scale * e.value[i]
+	}
+	if e.div != 0 {
+		acc /= e.div
+	}
+	return acc
+}
+
+// predictQuantized bins the row once, then runs every tree's fixed-depth
+// branch-free walk.
+func (e *Ensemble) predictQuantized(x []float64) float64 {
+	var qbuf [64]uint8
+	q := qbuf[:]
+	if e.nFeat > len(qbuf) {
+		q = make([]uint8, e.nFeat)
+	}
+	for f := 0; f < e.nFeat; f++ {
+		q[f] = binValueBits(e.qedges[f], orderedBits(x[f]))
+	}
+	acc := e.init
+	qnodes := e.qnodes
+	for t, root := range e.treeOff {
+		i := root
+		for d := e.treeDepth[t]; d > 0; d-- {
+			nd := qnodes[i]
+			i = nd.left + qstep(nd.bin, q[nd.feat])
+		}
+		acc += e.scale * e.value[i]
+	}
+	if e.div != 0 {
+		acc /= e.div
+	}
+	return acc
+}
+
+// PredictInto evaluates rows X[lo:hi] into out[lo:hi] with the blocked
+// kernel, taking the quantized path when the ensemble has one. Disjoint
+// [lo, hi) ranges may run concurrently (the method reads only shared
+// immutable state and writes only out[lo:hi]).
+func (e *Ensemble) PredictInto(X [][]float64, out []float64, lo, hi int) {
+	if e.edges != nil {
+		e.predictIntoQuantized(X, out, lo, hi)
+		return
+	}
+	e.predictIntoRaw(X, out, lo, hi)
+}
+
+// predictIntoRaw is the float-compare blocked kernel: trees outer,
+// row-blocks inner, so a tree's nodes are streamed once per block. It
+// serves ensembles loaded from legacy artifacts without stored edges.
+func (e *Ensemble) predictIntoRaw(X [][]float64, out []float64, lo, hi int) {
+	feature, thresh, left, value := e.feature, e.thresh, e.left, e.value
+	var acc [blockRows]float64
+	for b := lo; b < hi; b += blockRows {
+		n := hi - b
+		if n > blockRows {
+			n = blockRows
+		}
+		for r := 0; r < n; r++ {
+			acc[r] = e.init
+		}
+		for _, root := range e.treeOff {
+			for r := 0; r < n; r++ {
+				x := X[b+r]
+				i := root
+				for feature[i] >= 0 {
+					if x[feature[i]] <= thresh[i] {
+						i = left[i]
+					} else {
+						i = left[i] + 1
+					}
+				}
+				acc[r] += e.scale * value[i]
+			}
+		}
+		e.flush(acc[:n], out[b:b+n])
+	}
+}
+
+// predictIntoQuantized bins each row once per block, then runs the
+// fixed-depth branch-free walk eight rows abreast: the eight traversal
+// chains are data-independent, so their node and bin loads overlap
+// instead of serialising on load latency.
+func (e *Ensemble) predictIntoQuantized(X [][]float64, out []float64, lo, hi int) {
+	qnodes, value, nf := e.qnodes, e.value, e.nFeat
+	scale := e.scale
+	var acc [blockRows]float64
+	q := make([]uint8, blockRows*nf)
+	for b := lo; b < hi; b += blockRows {
+		n := hi - b
+		if n > blockRows {
+			n = blockRows
+		}
+		rows := X[b : b+n]
+		for r := 0; r < n; r++ {
+			acc[r] = e.init
+		}
+		// Feature-outer binning keeps one feature's edge array hot across
+		// the whole block.
+		for f := 0; f < nf; f++ {
+			qe := e.qedges[f]
+			for r, x := range rows {
+				q[r*nf+f] = binValueBits(qe, orderedBits(x[f]))
+			}
+		}
+		for t, root := range e.treeOff {
+			depth := e.treeDepth[t]
+			r := 0
+			for ; r+8 <= n; r += 8 {
+				o0 := (r + 0) * nf
+				o1 := (r + 1) * nf
+				o2 := (r + 2) * nf
+				o3 := (r + 3) * nf
+				o4 := (r + 4) * nf
+				o5 := (r + 5) * nf
+				o6 := (r + 6) * nf
+				o7 := (r + 7) * nf
+				i0, i1, i2, i3 := root, root, root, root
+				i4, i5, i6, i7 := root, root, root, root
+				for d := depth; d > 0; d-- {
+					n0 := qnodes[i0]
+					n1 := qnodes[i1]
+					n2 := qnodes[i2]
+					n3 := qnodes[i3]
+					i0 = n0.left + qstep(n0.bin, q[o0+int(n0.feat)])
+					i1 = n1.left + qstep(n1.bin, q[o1+int(n1.feat)])
+					i2 = n2.left + qstep(n2.bin, q[o2+int(n2.feat)])
+					i3 = n3.left + qstep(n3.bin, q[o3+int(n3.feat)])
+					n4 := qnodes[i4]
+					n5 := qnodes[i5]
+					n6 := qnodes[i6]
+					n7 := qnodes[i7]
+					i4 = n4.left + qstep(n4.bin, q[o4+int(n4.feat)])
+					i5 = n5.left + qstep(n5.bin, q[o5+int(n5.feat)])
+					i6 = n6.left + qstep(n6.bin, q[o6+int(n6.feat)])
+					i7 = n7.left + qstep(n7.bin, q[o7+int(n7.feat)])
+				}
+				acc[r+0] += scale * value[i0]
+				acc[r+1] += scale * value[i1]
+				acc[r+2] += scale * value[i2]
+				acc[r+3] += scale * value[i3]
+				acc[r+4] += scale * value[i4]
+				acc[r+5] += scale * value[i5]
+				acc[r+6] += scale * value[i6]
+				acc[r+7] += scale * value[i7]
+			}
+			for ; r < n; r++ {
+				row := q[r*nf : (r+1)*nf]
+				i := root
+				for d := depth; d > 0; d-- {
+					nd := qnodes[i]
+					i = nd.left + qstep(nd.bin, row[nd.feat])
+				}
+				acc[r] += scale * value[i]
+			}
+		}
+		e.flush(acc[:n], out[b:b+n])
+	}
+}
+
+// flush finalises one block of accumulators into the output slice.
+func (e *Ensemble) flush(acc, out []float64) {
+	if e.div != 0 {
+		for r := range acc {
+			out[r] = acc[r] / e.div
+		}
+		return
+	}
+	copy(out, acc)
+}
+
+// PredictBatch is the allocate-and-fill convenience over PredictInto.
+func (e *Ensemble) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	e.PredictInto(X, out, 0, len(X))
+	return out
+}

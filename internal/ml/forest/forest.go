@@ -5,6 +5,7 @@ package forest
 
 import (
 	"lumos5g/internal/ml"
+	"lumos5g/internal/ml/compiled"
 	"lumos5g/internal/ml/tree"
 	"lumos5g/internal/par"
 	"lumos5g/internal/rng"
@@ -49,6 +50,10 @@ func (c Config) withDefaults() Config {
 type Model struct {
 	cfg   Config
 	trees []*tree.Tree
+	// comp is the flattened inference kernel built by Fit — bit-identical
+	// to walking trees (see internal/ml/compiled) and used by
+	// PredictBatch as the serving fast path.
+	comp *compiled.Ensemble
 }
 
 // New creates an unfitted forest.
@@ -102,9 +107,23 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 			return err
 		}
 	}
+	comp, err := compiled.Compile(trees, compiled.Config{
+		NumFeatures: len(binned),
+		Scale:       1,
+		Div:         float64(len(trees)),
+		Edges:       binner.Edges,
+	})
+	if err != nil {
+		return err
+	}
 	m.trees = trees
+	m.comp = comp
 	return nil
 }
+
+// Compiled returns the forest's flattened inference kernel (nil before a
+// successful Fit).
+func (m *Model) Compiled() *compiled.Ensemble { return m.comp }
 
 // Predict averages the trees' estimates.
 func (m *Model) Predict(x []float64) float64 {
@@ -118,13 +137,21 @@ func (m *Model) Predict(x []float64) float64 {
 	return sum / float64(len(m.trees))
 }
 
-// PredictBatch predicts every row of X, fanning the rows out across
-// workers. Each element equals Predict of that row exactly (same
-// tree-summation order per row).
+// PredictBatch predicts every row of X through the compiled blocked
+// kernel, fanning row ranges out across workers. Each element equals
+// Predict of that row exactly (same tree-summation order per row) — the
+// compiled kernel's equivalence contract, enforced by parity tests.
 func (m *Model) PredictBatch(X [][]float64) []float64 {
 	out := make([]float64, len(X))
-	par.Do(par.Bound(par.Workers(m.cfg.Workers), len(X), batchMinRows), len(X), func(i int) {
-		out[i] = m.Predict(X[i])
+	if m.comp == nil {
+		par.Do(par.Bound(par.Workers(m.cfg.Workers), len(X), batchMinRows), len(X), func(i int) {
+			out[i] = m.Predict(X[i])
+		})
+		return out
+	}
+	w := par.Bound(par.Workers(m.cfg.Workers), len(X), batchMinRows)
+	par.Chunks(w, len(X), func(lo, hi int) {
+		m.comp.PredictInto(X, out, lo, hi)
 	})
 	return out
 }

@@ -10,6 +10,7 @@ import (
 	"errors"
 
 	"lumos5g/internal/ml"
+	"lumos5g/internal/ml/compiled"
 	"lumos5g/internal/ml/tree"
 	"lumos5g/internal/par"
 	"lumos5g/internal/rng"
@@ -68,6 +69,14 @@ type Model struct {
 	trees    []*tree.Tree
 	nFeat    int
 	featGain []float64
+	// edges are the training Binner's quantile bin edges, retained (and
+	// serialised) so the compiled kernel can traverse on uint8 bin
+	// compares at serving time. nil for legacy artifacts.
+	edges [][]float64
+	// comp is the flattened inference kernel built by Fit/Load —
+	// bit-identical to walking trees (see internal/ml/compiled) and used
+	// by PredictBatch as the serving fast path.
+	comp *compiled.Ensemble
 }
 
 // New creates an unfitted model.
@@ -138,12 +147,34 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 		}
 		trees = append(trees, t)
 	}
+	comp, err := compileModel(trees, nFeat, base, cfg.LearningRate, binner.Edges)
+	if err != nil {
+		return err
+	}
 	m.base = base
 	m.nFeat = nFeat
 	m.featGain = featGain
 	m.trees = trees
+	m.edges = binner.Edges
+	m.comp = comp
 	return nil
 }
+
+// compileModel flattens a fitted boosting ensemble into its serving
+// kernel: acc = base; acc += lr*leaf per tree — the exact float sequence
+// of Predict.
+func compileModel(trees []*tree.Tree, nFeat int, base, lr float64, edges [][]float64) (*compiled.Ensemble, error) {
+	return compiled.Compile(trees, compiled.Config{
+		NumFeatures: nFeat,
+		Init:        base,
+		Scale:       lr,
+		Edges:       edges,
+	})
+}
+
+// Compiled returns the model's flattened inference kernel (nil before a
+// successful Fit or Load).
+func (m *Model) Compiled() *compiled.Ensemble { return m.comp }
 
 // subsampleRows draws n distinct rows without replacement (partial
 // Fisher-Yates on a fresh index slice).
@@ -179,13 +210,21 @@ func (m *Model) Predict(x []float64) float64 {
 // loops; smaller batches run inline.
 const batchMinRows = 256
 
-// PredictBatch predicts every row of X, fanning the rows out across
-// workers. Each element equals Predict of that row exactly (same
-// tree-summation order per row).
+// PredictBatch predicts every row of X through the compiled blocked
+// kernel, fanning row ranges out across workers. Each element equals
+// Predict of that row exactly (same tree-summation order per row) — the
+// compiled kernel's equivalence contract, enforced by parity tests.
 func (m *Model) PredictBatch(X [][]float64) []float64 {
 	out := make([]float64, len(X))
-	par.Do(par.Bound(par.Workers(m.cfg.Workers), len(X), batchMinRows), len(X), func(i int) {
-		out[i] = m.Predict(X[i])
+	if m.comp == nil {
+		par.Do(par.Bound(par.Workers(m.cfg.Workers), len(X), batchMinRows), len(X), func(i int) {
+			out[i] = m.Predict(X[i])
+		})
+		return out
+	}
+	w := par.Bound(par.Workers(m.cfg.Workers), len(X), batchMinRows)
+	par.Chunks(w, len(X), func(lo, hi int) {
+		m.comp.PredictInto(X, out, lo, hi)
 	})
 	return out
 }

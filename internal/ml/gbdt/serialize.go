@@ -18,6 +18,10 @@ type modelDTO struct {
 	NFeat        int
 	FeatGain     []float64
 	Trees        []tree.TreeDTO
+	// Edges are the training Binner's quantile bin edges — optional
+	// (gob omits/ignores unknown fields, so pre-edge artifacts still
+	// load, with the quantized serving kernel simply unavailable).
+	Edges [][]float64
 }
 
 // wireVersion guards against loading incompatible payloads.
@@ -35,6 +39,7 @@ func (m *Model) Save(w io.Writer) error {
 		NFeat:        m.nFeat,
 		FeatGain:     m.featGain,
 		Trees:        make([]tree.TreeDTO, len(m.trees)),
+		Edges:        m.edges,
 	}
 	for i, t := range m.trees {
 		dto.Trees[i] = t.Export()
@@ -68,6 +73,19 @@ func Load(r io.Reader) (*Model, error) {
 		}
 		m.trees = append(m.trees, t)
 	}
+	// Rebuild the serving kernel. Artifacts written before edges were
+	// stored (or whose edges fail validation against the trees) compile
+	// the raw-compare kernel instead of failing the load.
+	comp, err := compileModel(m.trees, m.nFeat, m.base, m.cfg.LearningRate, dto.Edges)
+	if err != nil {
+		comp, err = compileModel(m.trees, m.nFeat, m.base, m.cfg.LearningRate, nil)
+		if err != nil {
+			return nil, fmt.Errorf("gbdt: compile: %w", err)
+		}
+	} else {
+		m.edges = dto.Edges
+	}
+	m.comp = comp
 	return m, nil
 }
 

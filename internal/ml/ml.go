@@ -112,8 +112,10 @@ func ValidateXY(X [][]float64, y []float64) error {
 
 // BatchRegressor is implemented by models with a vectorised prediction
 // fast path. PredictBatch must return exactly what Predict would return
-// per row — it may fan rows out across goroutines, but each row's
-// computation is the serial one.
+// per row, bit for bit — it may fan rows out across goroutines or run a
+// compiled kernel (the tree ensembles flatten into
+// internal/ml/compiled's structure-of-arrays layout), but every row's
+// floats must match the interpreted Predict exactly.
 type BatchRegressor interface {
 	PredictBatch(X [][]float64) []float64
 }

@@ -142,7 +142,10 @@ func Grow(binned [][]uint8, binner *Binner, y []float64, rows []int, opts Option
 	opts = opts.withDefaults()
 	t := &Tree{Gain: make([]float64, len(binned))}
 	work := append([]int(nil), rows...)
-	t.grow(binned, binner, y, work, 0, opts)
+	// One scratch buffer serves every node's partition: grow recurses on
+	// a single goroutine (only the candidate scans fan out), so the
+	// buffer is never used by two partitions at once.
+	t.grow(binned, binner, y, work, 0, opts, make([]int, len(work)))
 	return t, nil
 }
 
@@ -162,7 +165,9 @@ func Fit(X [][]float64, y []float64, opts Options) (*Tree, *Binner, error) {
 }
 
 // grow recursively builds the subtree over rows and returns its node id.
-func (t *Tree) grow(binned [][]uint8, binner *Binner, y []float64, rows []int, depth int, opts Options) int32 {
+// scratch is a shared buffer (cap >= len(rows)) used to stage the
+// right-hand rows during the stable in-place partition.
+func (t *Tree) grow(binned [][]uint8, binner *Binner, y []float64, rows []int, depth int, opts Options, scratch []int) int32 {
 	var sum, sumsq float64
 	for _, r := range rows {
 		sum += y[r]
@@ -201,13 +206,11 @@ func (t *Tree) grow(binned [][]uint8, binner *Binner, y []float64, rows []int, d
 	// scan did.
 	bestFeat, bestBin := -1, 0
 	bestGain := 1e-12
-	var bestLeftCount int
 	for k, sp := range splits {
 		if sp.gain > bestGain {
 			bestGain = sp.gain
 			bestFeat = features[k]
 			bestBin = sp.bin
-			bestLeftCount = sp.leftCount
 		}
 	}
 
@@ -215,27 +218,35 @@ func (t *Tree) grow(binned [][]uint8, binner *Binner, y []float64, rows []int, d
 		return id
 	}
 
-	// Partition rows in place.
+	// Stable in-place partition: left rows compact forward into rows
+	// itself (the write index never passes the read index), right rows
+	// are staged in the shared scratch buffer and copied back after the
+	// lefts. Row order within each side is exactly what the old
+	// two-append loop produced, so the grown tree is unchanged — but the
+	// per-node left/right allocations are gone.
 	col := binned[bestFeat]
-	left := make([]int, 0, bestLeftCount)
-	right := make([]int, 0, len(rows)-bestLeftCount)
+	nl, nr := 0, 0
 	for _, r := range rows {
 		if int(col[r]) <= bestBin {
-			left = append(left, r)
+			rows[nl] = r
+			nl++
 		} else {
-			right = append(right, r)
+			scratch[nr] = r
+			nr++
 		}
 	}
-	if len(left) == 0 || len(right) == 0 {
+	if nl == 0 || nr == 0 {
 		return id
 	}
+	copy(rows[nl:], scratch[:nr])
+	left, right := rows[:nl], rows[nl:]
 
 	t.Gain[bestFeat] += bestGain
 	t.nodes[id].feature = bestFeat
 	t.nodes[id].binThresh = uint8(bestBin)
 	t.nodes[id].threshold = binner.Edges[bestFeat][bestBin]
-	t.nodes[id].left = t.grow(binned, binner, y, left, depth+1, opts)
-	t.nodes[id].right = t.grow(binned, binner, y, right, depth+1, opts)
+	t.nodes[id].left = t.grow(binned, binner, y, left, depth+1, opts, scratch)
+	t.nodes[id].right = t.grow(binned, binner, y, right, depth+1, opts, scratch)
 	return id
 }
 
@@ -247,9 +258,8 @@ const parallelMinRows = 2048
 // splitCandidate is one feature's best split: gain <= 0 means the
 // feature offers no admissible split.
 type splitCandidate struct {
-	gain      float64
-	bin       int
-	leftCount int
+	gain float64
+	bin  int
 }
 
 // scanFeature computes the best split of one binned feature column over
@@ -283,7 +293,7 @@ func scanFeature(col []uint8, nb int, rows []int, y []float64, sum, n float64, m
 		gain := leftSum*leftSum/float64(leftCnt) +
 			rightSum*rightSum/float64(rightCnt) - sum*sum/n
 		if gain > best.gain {
-			best = splitCandidate{gain: gain, bin: b, leftCount: leftCnt}
+			best = splitCandidate{gain: gain, bin: b}
 		}
 	}
 	return best
@@ -339,23 +349,32 @@ func (t *Tree) PredictBinned(binned [][]uint8, row int) float64 {
 // NumNodes returns the number of nodes (for tests and size accounting).
 func (t *Tree) NumNodes() int { return len(t.nodes) }
 
-// Depth returns the maximum depth of the tree.
+// Depth returns the maximum depth of the tree. The walk is iterative
+// with an explicit stack: imported trees are only validated structurally,
+// so a pathologically deep chain must not blow the goroutine stack, and
+// the explicit stack costs one allocation instead of a closure per call.
 func (t *Tree) Depth() int {
-	var rec func(i int32) int
-	rec = func(i int32) int {
-		nd := &t.nodes[i]
-		if nd.feature < 0 {
-			return 0
-		}
-		l := rec(nd.left)
-		r := rec(nd.right)
-		if l > r {
-			return l + 1
-		}
-		return r + 1
-	}
 	if len(t.nodes) == 0 {
 		return 0
 	}
-	return rec(0)
+	type frame struct {
+		id    int32
+		depth int
+	}
+	stack := make([]frame, 1, 64)
+	stack[0] = frame{id: 0, depth: 0}
+	max := 0
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := &t.nodes[f.id]
+		if nd.feature < 0 {
+			if f.depth > max {
+				max = f.depth
+			}
+			continue
+		}
+		stack = append(stack, frame{nd.left, f.depth + 1}, frame{nd.right, f.depth + 1})
+	}
+	return max
 }
