@@ -12,7 +12,7 @@ FUZZTIME ?= 5s
 .PHONY: tier1 build vet test race race-core race-parallel parity bench bench-json bench-serve fmt fuzz
 
 tier1: ## build + vet + race-enabled test suite (run `make fuzz` too when touching parsers)
-	$(GO) build ./... && $(GO) build -o bin/lumosbench ./cmd/lumosbench && $(GO) vet ./... && $(GO) test -race ./...
+	$(GO) build ./... && $(GO) build -o bin/lumosbench ./cmd/lumosbench && $(GO) vet ./... && $(GO) test -race ./internal/obs/... ./internal/mapserver/... && $(GO) test -race ./...
 
 build:
 	$(GO) build ./...
@@ -26,10 +26,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The packages the fault-injection layer touches, race-checked in
-# isolation (fast inner loop while working on netem/mapserver).
+# The packages the fault-injection and observability layers touch,
+# race-checked in isolation (fast inner loop while working on
+# netem/mapserver/obs).
 race-core:
-	$(GO) test -race ./internal/netem/... ./internal/mapserver/...
+	$(GO) test -race ./internal/netem/... ./internal/mapserver/... ./internal/obs/...
 
 # The deterministic-parallelism layer, race-checked in isolation (fast
 # inner loop while working on the worker pipeline or the ML ensembles).

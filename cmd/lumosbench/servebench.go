@@ -13,8 +13,8 @@ import (
 
 	"lumos5g"
 	"lumos5g/internal/features"
-	"lumos5g/internal/ml/gbdt"
 	"lumos5g/internal/mapserver"
+	"lumos5g/internal/ml/gbdt"
 	"lumos5g/internal/par"
 )
 
@@ -65,6 +65,12 @@ type serveBenchReport struct {
 	Handlers []handlerBenchEntry `json:"handlers"`
 	// CachedSpeedup is cold /predict ns over cached /predict ns.
 	CachedSpeedup float64 `json:"cached_speedup"`
+	// PredictP50Ms/PredictP99Ms come from the server's own /predict
+	// latency histogram accumulated over the handler benchmarks — the
+	// same instrument /metrics exports, so the bench doubles as a check
+	// that the observability layer prices requests sanely.
+	PredictP50Ms float64 `json:"predict_p50_ms"`
+	PredictP99Ms float64 `json:"predict_p99_ms"`
 	// BaselinePrePR is the /predict handler before the compiled kernel,
 	// cache and allocation work landed, measured with this same
 	// methodology — the reference for the allocs_per_op reduction.
@@ -266,6 +272,8 @@ func runServeBench(path string, seed uint64) error {
 	rCached := benchGet(sCached, url)
 	rep.Handlers = append(rep.Handlers, handlerEntry("predict_cached", 1, rCached))
 	rep.CachedSpeedup = float64(rCold.NsPerOp()) / float64(rCached.NsPerOp())
+	rep.PredictP50Ms = sCached.RouteLatencyQuantile("/predict", 0.5) * 1000
+	rep.PredictP99Ms = sCached.RouteLatencyQuantile("/predict", 0.99) * 1000
 
 	// Batch handler: one POST carrying batchN distinct queries (distinct
 	// coordinates, so the batch path exercises the kernel, not the cache).
@@ -306,6 +314,8 @@ func runServeBench(path string, seed uint64) error {
 	}
 	fmt.Printf("cached speedup: %.2fx  (pre-PR baseline: %d allocs/op, %.0f ns/op)\n",
 		rep.CachedSpeedup, rep.BaselinePrePR.AllocsPerOp, rep.BaselinePrePR.NsPerOp)
+	fmt.Printf("/predict latency (server histogram): p50 %.3f ms, p99 %.3f ms\n",
+		rep.PredictP50Ms, rep.PredictP99Ms)
 	fmt.Printf("wrote %s\n", path)
 
 	if !rep.Identical {

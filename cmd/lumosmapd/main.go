@@ -9,7 +9,7 @@
 //	lumosmapd -area Airport -nomodel                  # degraded: map only
 //	lumosmapd -in airport.csv -model chain.l5g -watch 5s
 //
-// Routes: /healthz, /map.svg, /cells.json, /model, /predict?lat=..&lon=..&speed=..&bearing=..
+// Routes: /healthz, /metrics, /map.svg, /cells.json, /model, /predict?lat=..&lon=..&speed=..&bearing=..
 //
 // The model is a fallback chain (L+M+C → L+M → L → harmonic mean): a
 // query missing kinematics or history is demoted to the best tier its
@@ -49,6 +49,8 @@ func main() {
 	modelPath := flag.String("model", "", "load the model from a saved artifact instead of training")
 	watch := flag.Duration("watch", 0, "poll -model for changes and hot-reload (0 disables)")
 	reqTimeout := flag.Duration("timeout", 10*time.Second, "per-request handler timeout")
+	metrics := flag.Bool("metrics", true, "serve Prometheus text metrics on /metrics")
+	logRequests := flag.Bool("log-requests", false, "write one JSON access-log line per request to stderr")
 	grace := flag.Duration("grace", 5*time.Second, "shutdown drain period")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; off by default)")
 	flag.Parse()
@@ -106,7 +108,14 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	srv, err := mapserver.NewWithChain(tm, chain, mapserver.WithRequestTimeout(*reqTimeout))
+	opts := []mapserver.Option{
+		mapserver.WithRequestTimeout(*reqTimeout),
+		mapserver.WithMetricsRoute(*metrics),
+	}
+	if *logRequests {
+		opts = append(opts, mapserver.WithRequestLog(os.Stderr))
+	}
+	srv, err := mapserver.NewWithChain(tm, chain, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"math"
 	"sync"
-	"sync/atomic"
 
 	"lumos5g/internal/geo"
 )
@@ -29,8 +28,12 @@ import (
 // serving chain under the Server's lock, and every model swap
 // (SetChain / ReloadModelFile) installs a fresh empty cache, so a
 // response computed by an old model can never be served after the swap.
-// Hit/miss/eviction counters live on the Server and survive swaps; they
-// are surfaced in /healthz.
+//
+// The cache holds no counters of its own. getOrCompute reports what
+// happened as a cacheOutcome and the handler — the single owner of the
+// serving counters — records it; only the two events the handler cannot
+// see (LRU evictions, leader-abandoned entries) surface through the
+// onEvict/onAbandon hooks.
 
 // predKey is the quantized query identity. Absent optional sensors are
 // encoded as -1 so "no speed" and "speed 0" stay distinct keys — they
@@ -60,7 +63,9 @@ func quantizeKey(px geo.Pixel, speed, bearing *float64) predKey {
 		if deg < 0 {
 			deg += 360
 		}
-		s := int16(deg / (360 / bearingSectors))
+		// 360.0: the untyped-int form 360/16 would divide to 22, skewing
+		// every sector boundary and widening the last sector to 30°.
+		s := int16(deg / (360.0 / bearingSectors))
 		if s >= bearingSectors {
 			s = bearingSectors - 1
 		}
@@ -69,18 +74,37 @@ func quantizeKey(px geo.Pixel, speed, bearing *float64) predKey {
 	return k
 }
 
-// cacheStats are the Server-lifetime counters (they survive cache swaps
-// on model reload).
-type cacheStats struct {
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
+// cacheOutcome says how getOrCompute answered, so the handler can keep
+// the counting identity responses = Σ tiers_served + hits + uncached
+// exact: a miss is the one case where the handler also published a
+// model walk; a hit served without one; uncached recomputed behind an
+// abandoned entry; invalid produced a value with no JSON encoding.
+type cacheOutcome uint8
+
+const (
+	outcomeHit cacheOutcome = iota
+	outcomeMiss
+	outcomeUncached
+	outcomeInvalid
+)
+
+func (o cacheOutcome) String() string {
+	switch o {
+	case outcomeHit:
+		return "hit"
+	case outcomeMiss:
+		return "miss"
+	case outcomeUncached:
+		return "uncached"
+	default:
+		return "invalid"
+	}
 }
 
 // cacheEntry is one memoised prediction. ready is closed by the leader
 // after resp/body are written; a nil body after ready means the leader
-// failed mid-compute (it panicked and the entry was abandoned) and the
-// reader must compute for itself.
+// failed mid-compute (it panicked, or produced a wire-unsafe value) and
+// the reader must compute for itself.
 type cacheEntry struct {
 	ready chan struct{}
 	resp  predictResponse
@@ -95,23 +119,25 @@ type lruItem struct {
 // predCache is the LRU + singleflight store. One instance serves
 // exactly one model generation.
 type predCache struct {
-	stats *cacheStats
-	cap   int
+	cap       int
+	onEvict   func() // LRU eviction (may be nil)
+	onAbandon func() // leader abandoned a pending entry (may be nil)
 
 	mu    sync.Mutex
 	ll    *list.List // front = most recently used
 	items map[predKey]*list.Element
 }
 
-func newPredCache(capacity int, stats *cacheStats) *predCache {
+func newPredCache(capacity int, onEvict, onAbandon func()) *predCache {
 	if capacity <= 0 {
 		return nil
 	}
 	return &predCache{
-		stats: stats,
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[predKey]*list.Element, capacity),
+		cap:       capacity,
+		onEvict:   onEvict,
+		onAbandon: onAbandon,
+		ll:        list.New(),
+		items:     make(map[predKey]*list.Element, capacity),
 	}
 }
 
@@ -122,9 +148,21 @@ func (c *predCache) size() int {
 	return c.ll.Len()
 }
 
-// getOrCompute returns the cached response and wire body for key,
-// computing and inserting it (once, whatever the concurrency) on a miss.
-func (c *predCache) getOrCompute(key predKey, compute func() predictResponse) (predictResponse, []byte) {
+// dropEntry removes key if it still maps to el (the leader's own entry).
+func (c *predCache) dropEntry(key predKey, el *list.Element) {
+	c.mu.Lock()
+	if cur, ok := c.items[key]; ok && cur == el {
+		c.ll.Remove(el)
+		delete(c.items, key)
+	}
+	c.mu.Unlock()
+}
+
+// getOrCompute returns the response and wire body for key, computing
+// and inserting it (once, whatever the concurrency) on a miss. A nil
+// body (outcomeInvalid) means the computed response has no JSON wire
+// form and must not be served.
+func (c *predCache) getOrCompute(key predKey, compute func() predictResponse) (predictResponse, []byte, cacheOutcome) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -132,12 +170,15 @@ func (c *predCache) getOrCompute(key predKey, compute func() predictResponse) (p
 		c.mu.Unlock()
 		<-e.ready
 		if e.body != nil {
-			c.stats.hits.Add(1)
-			return e.resp, e.body
+			return e.resp, e.body, outcomeHit
 		}
 		// The leader abandoned the entry; answer uncached.
 		resp := compute()
-		return resp, marshalResponse(resp)
+		body := marshalResponse(resp)
+		if body == nil {
+			return resp, nil, outcomeInvalid
+		}
+		return resp, body, outcomeUncached
 	}
 	e := &cacheEntry{ready: make(chan struct{})}
 	el := c.ll.PushFront(&lruItem{key: key, e: e})
@@ -146,7 +187,9 @@ func (c *predCache) getOrCompute(key predKey, compute func() predictResponse) (p
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruItem).key)
-		c.stats.evictions.Add(1)
+		if c.onEvict != nil {
+			c.onEvict()
+		}
 	}
 	c.mu.Unlock()
 
@@ -155,33 +198,53 @@ func (c *predCache) getOrCompute(key predKey, compute func() predictResponse) (p
 		if !done {
 			// compute panicked: drop the entry so followers and future
 			// requests recompute, and unblock anyone already waiting.
-			c.mu.Lock()
-			if cur, ok := c.items[key]; ok && cur == el {
-				c.ll.Remove(el)
-				delete(c.items, key)
-			}
-			c.mu.Unlock()
+			c.dropEntry(key, el)
 			close(e.ready)
+			if c.onAbandon != nil {
+				c.onAbandon()
+			}
 		}
 	}()
 	resp := compute()
-	e.resp = resp
-	e.body = marshalResponse(resp)
+	body := marshalResponse(resp)
 	done = true
+	if body == nil {
+		// Wire-unsafe value: never publish it. Drop the entry so the key
+		// stays computable, unblock waiters (they recompute for
+		// themselves), and report the abandonment.
+		c.dropEntry(key, el)
+		close(e.ready)
+		if c.onAbandon != nil {
+			c.onAbandon()
+		}
+		return resp, nil, outcomeInvalid
+	}
+	e.resp = resp
+	e.body = body
 	close(e.ready)
-	c.stats.misses.Add(1)
-	return e.resp, e.body
+	return e.resp, e.body, outcomeMiss
+}
+
+// wireSafe reports whether a response can be encoded to JSON at all:
+// encoding/json has no representation for NaN or ±Inf, and the chain's
+// "never returns them" guarantee does not survive hostile model
+// artifacts or degenerate maps, so the serving path checks instead of
+// trusting.
+func wireSafe(resp predictResponse) bool {
+	return !math.IsNaN(resp.Mbps) && !math.IsInf(resp.Mbps, 0)
 }
 
 // marshalResponse renders the wire body exactly as json.Encoder would
 // (trailing newline included) so cached and uncached responses are
-// byte-identical.
+// byte-identical. Returns nil — never panics — when the response has no
+// JSON encoding; the caller turns that into a clean 500.
 func marshalResponse(resp predictResponse) []byte {
+	if !wireSafe(resp) {
+		return nil
+	}
 	b, err := json.Marshal(resp)
 	if err != nil {
-		// predictResponse contains only marshal-safe fields; NaN/Inf
-		// cannot reach here because the chain never returns them.
-		panic(err)
+		return nil
 	}
 	return append(b, '\n')
 }

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http/httptest"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"lumos5g"
@@ -43,24 +45,77 @@ func TestQuantizeKey(t *testing.T) {
 	}
 }
 
-func TestPredCacheLRUAndCounters(t *testing.T) {
-	var stats cacheStats
-	c := newPredCache(2, &stats)
+// TestQuantizeKeyEdges pins the boundary behaviour of the quantizer:
+// the compass seam, the speed-bucket edges, and the guarantee that the
+// -1 absent-sensor sentinels cannot collide with any valid reading.
+func TestQuantizeKeyEdges(t *testing.T) {
+	px := geo.Pixel{X: 10, Y: 10}
+	sector := func(deg float64) int16 {
+		return quantizeKey(px, nil, &deg).bearingB
+	}
+	// -360°, 0° and 360° are the same heading and must share sector 0
+	// (math.Mod(-360, 360) is -0, which must not wrap to the top sector).
+	if s0, sNeg, sPos := sector(0), sector(-360), sector(360); s0 != 0 || sNeg != 0 || sPos != 0 {
+		t.Fatalf("north aliases: 0°→%d -360°→%d 360°→%d", s0, sNeg, sPos)
+	}
+	// Sector boundaries: 22.5° opens sector 1; just below stays in 0.
+	if s := sector(22.5); s != 1 {
+		t.Fatalf("22.5° sector: %d", s)
+	}
+	if s := sector(22.4999); s != 0 {
+		t.Fatalf("22.4999° sector: %d", s)
+	}
+	if s := sector(359.9999); s != 15 {
+		t.Fatalf("359.9999° sector: %d", s)
+	}
+	// Speed buckets truncate: [0,1) → 0, [1,2) → 1; the range cap (500)
+	// stays within int16.
+	speed := func(v float64) int16 {
+		return quantizeKey(px, &v, nil).speedB
+	}
+	if b := speed(0.999); b != 0 {
+		t.Fatalf("0.999 km/h bucket: %d", b)
+	}
+	if b := speed(1.0); b != 1 {
+		t.Fatalf("1.0 km/h bucket: %d", b)
+	}
+	if b := speed(500); b != 500 {
+		t.Fatalf("500 km/h bucket: %d", b)
+	}
+	// No valid reading can produce the -1 sentinels: speeds are
+	// non-negative (bucket ≥ 0) and bearing sectors land in [0, 15].
+	for _, v := range []float64{0, 0.5, 42, 500} {
+		if b := speed(v); b < 0 {
+			t.Fatalf("valid speed %v hit the absent sentinel: %d", v, b)
+		}
+	}
+	for deg := -360.0; deg <= 360; deg += 7.5 {
+		if s := sector(deg); s < 0 || s > 15 {
+			t.Fatalf("bearing %v° out of sector range: %d", deg, s)
+		}
+	}
+}
+
+func TestPredCacheLRUAndOutcomes(t *testing.T) {
+	var evictions, abandoned atomic.Uint64
+	c := newPredCache(2, func() { evictions.Add(1) }, func() { abandoned.Add(1) })
 	mk := func(i int) predKey { return predKey{col: int32(i)} }
 	val := func(i int) func() predictResponse {
 		return func() predictResponse { return predictResponse{Mbps: float64(i)} }
 	}
-	if r, _ := c.getOrCompute(mk(1), val(1)); r.Mbps != 1 {
-		t.Fatalf("miss compute: %+v", r)
+	if r, _, o := c.getOrCompute(mk(1), val(1)); r.Mbps != 1 || o != outcomeMiss {
+		t.Fatalf("miss compute: %+v %v", r, o)
 	}
 	c.getOrCompute(mk(2), val(2))
 	// Hit on 1 refreshes its recency, so inserting 3 must evict 2.
-	c.getOrCompute(mk(1), func() predictResponse {
+	if _, _, o := c.getOrCompute(mk(1), func() predictResponse {
 		t.Error("hit must not compute")
 		return predictResponse{}
-	})
+	}); o != outcomeHit {
+		t.Fatalf("outcome: %v", o)
+	}
 	c.getOrCompute(mk(3), val(3))
-	if got := stats.evictions.Load(); got != 1 {
+	if got := evictions.Load(); got != 1 {
 		t.Fatalf("evictions after first overflow: %d", got)
 	}
 	recomputed := false
@@ -74,14 +129,14 @@ func TestPredCacheLRUAndCounters(t *testing.T) {
 		t.Error("3 must have survived the eviction")
 		return predictResponse{}
 	})
-	if h, m, e := stats.hits.Load(), stats.misses.Load(), stats.evictions.Load(); h != 2 || m != 4 || e != 2 {
-		t.Fatalf("hits %d misses %d evictions %d", h, m, e)
+	if e, a := evictions.Load(), abandoned.Load(); e != 2 || a != 0 {
+		t.Fatalf("evictions %d abandoned %d", e, a)
 	}
 	if c.size() != 2 {
 		t.Fatalf("size: %d", c.size())
 	}
 	// Disabled cache is represented as nil, not a zero-capacity store.
-	if newPredCache(0, &stats) != nil {
+	if newPredCache(0, nil, nil) != nil {
 		t.Fatal("capacity 0 must disable the cache")
 	}
 }
@@ -91,8 +146,7 @@ func TestPredCacheLRUAndCounters(t *testing.T) {
 // leader's pending entry is in the map (guaranteed before `started`
 // closes), every later arrival blocks on it.
 func TestPredCacheSingleflight(t *testing.T) {
-	var stats cacheStats
-	c := newPredCache(8, &stats)
+	c := newPredCache(8, nil, nil)
 	key := predKey{col: 1, row: 2, speedB: 3, bearingB: 4}
 	started := make(chan struct{})
 	release := make(chan struct{})
@@ -101,22 +155,27 @@ func TestPredCacheSingleflight(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		_, leaderBody = c.getOrCompute(key, func() predictResponse {
+		var o cacheOutcome
+		_, leaderBody, o = c.getOrCompute(key, func() predictResponse {
 			close(started)
 			<-release
 			return predictResponse{Mbps: 42, Source: "L"}
 		})
+		if o != outcomeMiss {
+			t.Errorf("leader outcome: %v", o)
+		}
 	}()
 	<-started
 
 	const followers = 8
 	bodies := make([][]byte, followers)
+	outcomes := make([]cacheOutcome, followers)
 	var fwg sync.WaitGroup
 	for i := 0; i < followers; i++ {
 		fwg.Add(1)
 		go func(i int) {
 			defer fwg.Done()
-			_, bodies[i] = c.getOrCompute(key, func() predictResponse {
+			_, bodies[i], outcomes[i] = c.getOrCompute(key, func() predictResponse {
 				t.Error("follower compute ran — singleflight broken")
 				return predictResponse{}
 			})
@@ -129,15 +188,15 @@ func TestPredCacheSingleflight(t *testing.T) {
 		if !bytes.Equal(b, leaderBody) {
 			t.Fatalf("follower %d body differs: %s vs %s", i, b, leaderBody)
 		}
-	}
-	if h, m := stats.hits.Load(), stats.misses.Load(); h != followers || m != 1 {
-		t.Fatalf("hits %d misses %d", h, m)
+		if outcomes[i] != outcomeHit {
+			t.Fatalf("follower %d outcome: %v", i, outcomes[i])
+		}
 	}
 }
 
 func TestPredCacheLeaderPanicRecovers(t *testing.T) {
-	var stats cacheStats
-	c := newPredCache(8, &stats)
+	var abandoned atomic.Uint64
+	c := newPredCache(8, nil, func() { abandoned.Add(1) })
 	key := predKey{col: 9}
 	func() {
 		defer func() { _ = recover() }()
@@ -146,10 +205,53 @@ func TestPredCacheLeaderPanicRecovers(t *testing.T) {
 	if c.size() != 0 {
 		t.Fatal("abandoned entry must be removed")
 	}
+	if abandoned.Load() != 1 {
+		t.Fatalf("abandoned hook: %d", abandoned.Load())
+	}
 	// The key is computable again — no wedged pending entry.
-	r, body := c.getOrCompute(key, func() predictResponse { return predictResponse{Mbps: 7} })
-	if r.Mbps != 7 || len(body) == 0 {
-		t.Fatalf("recompute after panic: %+v %q", r, body)
+	r, body, o := c.getOrCompute(key, func() predictResponse { return predictResponse{Mbps: 7} })
+	if r.Mbps != 7 || len(body) == 0 || o != outcomeMiss {
+		t.Fatalf("recompute after panic: %+v %q %v", r, body, o)
+	}
+}
+
+// TestPredCacheNonFiniteLeader pins the non-panicking marshal contract:
+// a leader whose compute produces NaN/Inf must not poison the cache —
+// the entry is dropped, the outcome is invalid (nil body), followers
+// recompute uncached, and the key stays computable afterwards.
+func TestPredCacheNonFiniteLeader(t *testing.T) {
+	var abandoned atomic.Uint64
+	c := newPredCache(8, nil, func() { abandoned.Add(1) })
+	key := predKey{col: 11}
+	_, body, o := c.getOrCompute(key, func() predictResponse {
+		return predictResponse{Mbps: math.NaN()}
+	})
+	if body != nil || o != outcomeInvalid {
+		t.Fatalf("NaN leader: body %q outcome %v", body, o)
+	}
+	if c.size() != 0 {
+		t.Fatal("invalid entry must not be cached")
+	}
+	if abandoned.Load() != 1 {
+		t.Fatalf("abandoned hook: %d", abandoned.Load())
+	}
+	r, body, o := c.getOrCompute(key, func() predictResponse { return predictResponse{Mbps: 5} })
+	if r.Mbps != 5 || body == nil || o != outcomeMiss {
+		t.Fatalf("recompute after invalid: %+v %q %v", r, body, o)
+	}
+}
+
+// TestMarshalResponseNonFinite is the regression for the panic that
+// lived here: marshalResponse must return nil — not panic — for every
+// non-finite Mbps.
+func TestMarshalResponseNonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if b := marshalResponse(predictResponse{Mbps: v}); b != nil {
+			t.Fatalf("Mbps=%v must have no wire form, got %q", v, b)
+		}
+	}
+	if b := marshalResponse(predictResponse{Mbps: 12}); b == nil || b[len(b)-1] != '\n' {
+		t.Fatalf("finite response must marshal newline-terminated: %q", b)
 	}
 }
 
@@ -178,13 +280,14 @@ func TestPredictCacheHitsAndHealth(t *testing.T) {
 		t.Fatalf("cache counters: %+v", h)
 	}
 	// The hit answered without a model walk: tier counters see one query,
-	// and the audit identity responses = Σ tiers_served + cache_hits holds.
+	// and the audit identity
+	// responses = Σ tiers_served + cache_hits + cache_uncached holds.
 	var served uint64
 	for _, n := range h.TiersServed {
 		served += n
 	}
-	if served != 1 || served+h.CacheHits != 2 {
-		t.Fatalf("tiers_served %v with %d hits", h.TiersServed, h.CacheHits)
+	if served != 1 || served+h.CacheHits+h.CacheUncached != 2 {
+		t.Fatalf("tiers_served %v with %d hits %d uncached", h.TiersServed, h.CacheHits, h.CacheUncached)
 	}
 
 	// A model swap empties the cache but keeps the lifetime counters.

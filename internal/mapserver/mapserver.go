@@ -32,6 +32,7 @@ package mapserver
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/url"
@@ -65,20 +66,28 @@ type Server struct {
 	chain     *lumos5g.FallbackChain
 	cache     *predCache // nil when caching is disabled or no model serves
 	reloadErr string     // last rejected reload ("" when healthy)
-	reloads   uint64     // successful model swaps
-	rejected  uint64     // artifacts refused (model kept serving)
 
-	cacheSize int        // entries per cache generation (0 = disabled)
-	cstats    cacheStats // hit/miss/eviction counters, cumulative across swaps
+	cacheSize int // entries per cache generation (0 = disabled)
+
+	// m owns every serving counter (the single-bookkeeping rule:
+	// /healthz reads these same instruments back; see metrics.go).
+	m *serverMetrics
+
+	// Structured request logging (nil = disabled). logmu serialises
+	// concurrent log lines onto logw.
+	logw  io.Writer
+	logmu sync.Mutex
 }
 
 // Option tunes the server's hardening envelope.
 type Option func(*options)
 
 type options struct {
-	timeout   time.Duration
-	maxBytes  int64
-	cacheSize int
+	timeout      time.Duration
+	maxBytes     int64
+	cacheSize    int
+	metricsRoute bool
+	requestLog   io.Writer
 }
 
 // WithRequestTimeout bounds each request's handler time (default 10 s).
@@ -96,6 +105,21 @@ func WithMaxRequestBytes(n int64) Option {
 // the model.
 func WithPredictCacheSize(n int) Option {
 	return func(o *options) { o.cacheSize = n }
+}
+
+// WithMetricsRoute controls whether GET /metrics is mounted (default
+// on). The registry is always live — /healthz reads it — this only
+// gates the Prometheus exposition route.
+func WithMetricsRoute(on bool) Option {
+	return func(o *options) { o.metricsRoute = on }
+}
+
+// WithRequestLog enables structured request logging: one JSON line per
+// request on w, carrying the request ID also returned to the client in
+// X-Request-Id. Lines are serialised; w need not be safe for concurrent
+// use.
+func WithRequestLog(w io.Writer) Option {
+	return func(o *options) { o.requestLog = w }
 }
 
 // defaultPredictCacheSize is roughly a 4 km² area at 2 m cells under a
@@ -135,13 +159,14 @@ func NewWithChain(tm *lumos5g.ThroughputMap, chain *lumos5g.FallbackChain, opts 
 	if tm == nil {
 		return nil, fmt.Errorf("mapserver: nil throughput map")
 	}
-	o := options{timeout: 10 * time.Second, maxBytes: 1 << 20, cacheSize: defaultPredictCacheSize}
+	o := options{timeout: 10 * time.Second, maxBytes: 1 << 20, cacheSize: defaultPredictCacheSize, metricsRoute: true}
 	for _, opt := range opts {
 		opt(&o)
 	}
-	s := &Server{tm: tm, mux: http.NewServeMux(), chain: chain, mapPrior: mapMeanMbps(tm), cacheSize: o.cacheSize}
+	s := &Server{tm: tm, mux: http.NewServeMux(), chain: chain, mapPrior: mapMeanMbps(tm), cacheSize: o.cacheSize, logw: o.requestLog}
+	s.m = newServerMetrics(s)
 	if chain != nil {
-		s.cache = newPredCache(s.cacheSize, &s.cstats)
+		s.cache = s.newCache()
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/map.svg", s.handleSVG)
@@ -149,26 +174,38 @@ func NewWithChain(tm *lumos5g.ThroughputMap, chain *lumos5g.FallbackChain, opts 
 	s.mux.HandleFunc("/model", s.handleModel)
 	s.mux.HandleFunc("/predict", s.handlePredict)
 	s.mux.HandleFunc("/predict/batch", s.handlePredictBatch)
-	// Recovery sits outermost: http.TimeoutHandler re-raises handler
-	// panics on the caller goroutine, so the recover catches both direct
-	// and timed-out panics.
+	if o.metricsRoute {
+		s.mux.HandleFunc("/metrics", s.handleMetrics)
+	}
+	// withObs sits outermost so it observes the final status of every
+	// request, including the 500s and 503s the layers beneath it
+	// manufacture. Recovery comes next: http.TimeoutHandler re-raises
+	// handler panics on the caller goroutine, so the recover catches both
+	// direct and timed-out panics.
 	postPaths := map[string]bool{"/predict/batch": true}
-	s.h = withRecovery(withTimeout(withMethodPolicy(withMaxBytes(s.mux, o.maxBytes), postPaths), o.timeout))
+	s.h = s.withObs(withRecovery(withTimeout(withMethodPolicy(withMaxBytes(s.mux, o.maxBytes), postPaths), o.timeout)))
 	return s, nil
 }
 
+// newCache builds one cache generation wired to the server's counters.
+func (s *Server) newCache() *predCache {
+	return newPredCache(s.cacheSize, s.m.cacheEvictions.Inc, s.m.cacheAbandoned.Inc)
+}
+
 // mapMeanMbps is the sample-weighted mean throughput across all map
-// cells, floored at 1 Mbps so it stays a usable chain prior.
+// cells, floored at 1 Mbps so it stays a usable chain prior. Cells with
+// non-finite means are skipped — a NaN check alone would still let +Inf
+// through the sum and out as an Inf prior, which has no JSON encoding.
 func mapMeanMbps(tm *lumos5g.ThroughputMap) float64 {
 	var sum float64
 	var n int
 	for _, c := range tm.Cells {
-		if c.N > 0 && !math.IsNaN(c.MeanMbps) {
+		if c.N > 0 && !math.IsNaN(c.MeanMbps) && !math.IsInf(c.MeanMbps, 0) {
 			sum += c.MeanMbps * float64(c.N)
 			n += c.N
 		}
 	}
-	if n == 0 || sum <= float64(n) {
+	if n == 0 || sum <= float64(n) || math.IsInf(sum, 0) {
 		return 1
 	}
 	return sum / float64(n)
@@ -198,7 +235,7 @@ func (s *Server) SetChain(c *lumos5g.FallbackChain) {
 	s.chain = c
 	s.cache = nil
 	if c != nil {
-		s.cache = newPredCache(s.cacheSize, &s.cstats)
+		s.cache = s.newCache()
 	}
 	s.reloadErr = ""
 }
@@ -212,13 +249,13 @@ func (s *Server) ReloadModelFile(path string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err != nil {
-		s.rejected++
+		s.m.reloadsRejected.Inc()
 		s.reloadErr = err.Error()
 		return fmt.Errorf("mapserver: reload %s rejected (model kept): %w", path, err)
 	}
 	s.chain = chain
-	s.cache = newPredCache(s.cacheSize, &s.cstats)
-	s.reloads++
+	s.cache = s.newCache()
+	s.m.reloads.Inc()
 	s.reloadErr = ""
 	return nil
 }
@@ -227,8 +264,9 @@ func (s *Server) ReloadModelFile(path string) error {
 // artifacts, and the last rejection message ("" when healthy).
 func (s *Server) ReloadStats() (reloads, rejected uint64, lastErr string) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.reloads, s.rejected, s.reloadErr
+	lastErr = s.reloadErr
+	s.mu.RUnlock()
+	return s.m.reloads.Value(), s.m.reloadsRejected.Value(), lastErr
 }
 
 // healthJSON is the /healthz wire form. Degraded means the service is up
@@ -244,36 +282,46 @@ type healthJSON struct {
 	Reloads         uint64   `json:"reloads"`
 	Rejected        uint64   `json:"rejected"`
 	LastReloadError string   `json:"last_reload_error,omitempty"`
-	// Prediction-cache health. tiers_served counts model walks only;
-	// total /predict responses = sum(tiers_served) + cache_hits.
+	// Prediction-cache health. tiers_served counts published model
+	// walks only; successful /predict responses
+	// = sum(tiers_served) + cache_hits + cache_uncached.
 	CacheHits      uint64 `json:"cache_hits"`
 	CacheMisses    uint64 `json:"cache_misses"`
 	CacheEvictions uint64 `json:"cache_evictions"`
+	CacheUncached  uint64 `json:"cache_uncached"`
 	CacheEntries   int    `json:"cache_entries"`
 }
 
+// handleHealth reports serving health. Every number here is read back
+// from the same obs instruments /metrics renders — there is no second
+// bookkeeping path to drift from the exposition.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
-	chain, cache, reloads, rejected, reloadErr := s.chain, s.cache, s.reloads, s.rejected, s.reloadErr
+	chain, cache, reloadErr := s.chain, s.cache, s.reloadErr
 	s.mu.RUnlock()
+	m := s.m
 	h := healthJSON{
 		OK:              true,
 		Degraded:        chain == nil || reloadErr != "",
 		Cells:           len(s.tm.Cells),
 		Model:           chain != nil,
-		Reloads:         reloads,
-		Rejected:        rejected,
+		Reloads:         m.reloads.Value(),
+		Rejected:        m.reloadsRejected.Value(),
 		LastReloadError: reloadErr,
-		CacheHits:       s.cstats.hits.Load(),
-		CacheMisses:     s.cstats.misses.Load(),
-		CacheEvictions:  s.cstats.evictions.Load(),
+		CacheHits:       m.cacheHits.Value(),
+		CacheMisses:     m.cacheMisses.Value(),
+		CacheEvictions:  m.cacheEvictions.Value(),
+		CacheUncached:   m.cacheUncached.Value(),
 	}
 	if cache != nil {
 		h.CacheEntries = cache.size()
 	}
 	if chain != nil {
 		h.Tiers = chain.TierNames()
-		h.TiersServed = chain.ServedCounts()
+		h.TiersServed = make([]uint64, len(h.Tiers))
+		for i, name := range h.Tiers {
+			h.TiersServed[i] = m.tierServed.Total(map[string]string{"tier": name})
+		}
 	}
 	writeJSON(w, http.StatusOK, h)
 }
@@ -420,7 +468,9 @@ func putVals(vals map[string]float64) {
 // model-less degraded serving (Fig 3c's whole premise).
 func (s *Server) mapOnlyResponse(px geo.Pixel) predictResponse {
 	resp := predictResponse{Tier: -1, Degraded: true}
-	if cell := s.tm.Lookup(px.X, px.Y); cell != nil {
+	// A degenerate cell (non-finite mean) falls through to the map-wide
+	// prior rather than putting an unencodable value on the wire.
+	if cell := s.tm.Lookup(px.X, px.Y); cell != nil && !math.IsNaN(cell.MeanMbps) && !math.IsInf(cell.MeanMbps, 0) {
 		resp.Mbps, resp.Source = cell.MeanMbps, "map-cell"
 	} else {
 		resp.Mbps, resp.Source = s.mapPrior, "map-mean"
@@ -484,21 +534,57 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	chain, cache := s.chain, s.cache
 	s.mu.RUnlock()
+	const route = "/predict"
 	if chain == nil {
-		writeJSON(w, http.StatusOK, s.mapOnlyResponse(px))
+		resp := s.mapOnlyResponse(px)
+		if !wireSafe(resp) {
+			s.m.nonFinite.Inc()
+			writeError(w, http.StatusInternalServerError, "prediction is not finite")
+			return
+		}
+		s.m.tierServed.With(route, resp.Source).Inc()
+		annotatePredict(r.Context(), resp.Tier, resp.Source, "off")
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	compute := func() predictResponse {
 		vals := predictVals(px, speed, bearing)
+		start := time.Now()
 		p := chain.Predict(vals)
+		s.m.tierLatency.With(p.Source).Observe(time.Since(start).Seconds())
 		putVals(vals)
 		return chainResponse(p)
 	}
 	if cache == nil {
-		writeJSON(w, http.StatusOK, compute())
+		resp := compute()
+		if !wireSafe(resp) {
+			s.m.nonFinite.Inc()
+			writeError(w, http.StatusInternalServerError, "prediction is not finite")
+			return
+		}
+		s.m.tierServed.With(route, resp.Source).Inc()
+		annotatePredict(r.Context(), resp.Tier, resp.Source, "off")
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	_, body := cache.getOrCompute(quantizeKey(px, speed, bearing), compute)
+	resp, body, outcome := cache.getOrCompute(quantizeKey(px, speed, bearing), compute)
+	if outcome == outcomeInvalid || body == nil {
+		s.m.nonFinite.Inc()
+		writeError(w, http.StatusInternalServerError, "prediction is not finite")
+		return
+	}
+	// The handler owns the counting identity: a 200 is exactly one of a
+	// published model walk (miss), a hit, or an uncached recompute.
+	switch outcome {
+	case outcomeHit:
+		s.m.cacheHits.Inc()
+	case outcomeMiss:
+		s.m.cacheMisses.Inc()
+		s.m.tierServed.With(route, resp.Source).Inc()
+	case outcomeUncached:
+		s.m.cacheUncached.Inc()
+	}
+	annotatePredict(r.Context(), resp.Tier, resp.Source, outcome.String())
 	writeJSONBytes(w, http.StatusOK, body)
 }
 
@@ -569,7 +655,7 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		for i := range queries {
 			out[i] = s.mapOnlyResponse(pxs[i])
 		}
-		writeJSON(w, http.StatusOK, out)
+		s.finishBatch(w, out)
 		return
 	}
 	for i, p := range chain.PredictBatch(vals) {
@@ -577,6 +663,23 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, v := range vals {
 		putVals(v)
+	}
+	s.finishBatch(w, out)
+}
+
+// finishBatch validates and publishes one batch answer. Per-query tier
+// counters are incremented only once the whole batch is known to be
+// servable, so counters never include predictions that were never sent.
+func (s *Server) finishBatch(w http.ResponseWriter, out []predictResponse) {
+	for i := range out {
+		if !wireSafe(out[i]) {
+			s.m.nonFinite.Inc()
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("query %d: prediction is not finite", i))
+			return
+		}
+	}
+	for i := range out {
+		s.m.tierServed.With("/predict/batch", out[i].Source).Inc()
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -74,12 +74,23 @@ func withRecovery(next http.Handler) http.Handler {
 
 // withTimeout bounds one request's handler time. http.TimeoutHandler
 // buffers the response and handles the writer race safely; the body it
-// writes on expiry is our JSON error shape.
+// writes on expiry is our JSON error shape, newline-terminated like
+// every other writeJSON response.
 func withTimeout(next http.Handler, d time.Duration) http.Handler {
 	if d <= 0 {
 		return next
 	}
-	return http.TimeoutHandler(next, d, `{"error":"request timed out"}`)
+	th := http.TimeoutHandler(next, d, `{"error":"request timed out"}`+"\n")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// TimeoutHandler writes its expiry body with whatever headers are
+		// already on the outer writer, so the JSON content type must be
+		// preset here for the 503 to match the rest of the API. On the
+		// success path the inner handler's headers are merged over these
+		// without deleting preset keys, and every route sets its own
+		// Content-Type, so this never leaks onto non-JSON responses.
+		w.Header().Set("Content-Type", "application/json")
+		th.ServeHTTP(w, r)
+	})
 }
 
 // withMethodPolicy rejects anything but GET/HEAD — the service mostly

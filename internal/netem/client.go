@@ -39,6 +39,11 @@ type Client struct {
 	StallTimeout time.Duration
 	// Seed makes the backoff jitter deterministic (0 means 1).
 	Seed uint64
+	// Metrics, when non-nil, receives process-lifetime counters (retries,
+	// stalls, outage seconds) and the per-interval throughput histogram
+	// for every measurement this client runs. The per-run MeasureReport
+	// is unaffected.
+	Metrics *Metrics
 }
 
 // dialTimeout bounds one TCP connection attempt.
@@ -182,6 +187,7 @@ func (c *Client) MeasureFull(ctx context.Context, addr string, samples int) (*Me
 		if err != nil {
 			rep.Conns[i].DialErrors++
 			rep.Conns[i].note(err)
+			c.Metrics.countDialError()
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -196,7 +202,7 @@ func (c *Client) MeasureFull(ctx context.Context, addr string, samples int) (*Me
 	}
 
 	sup := superviseParams{
-		addr: addr, base: base, max: maxBackoff, stall: stall,
+		addr: addr, base: base, max: maxBackoff, stall: stall, metrics: c.Metrics,
 	}
 	var wg sync.WaitGroup
 	boxes := make([]*connBox, conns)
@@ -231,6 +237,7 @@ func (c *Client) MeasureFull(ctx context.Context, addr string, samples int) (*Me
 			n := atomic.SwapInt64(&bytesRead, 0)
 			mbps := float64(n) * 8 / interval.Seconds() / 1e6
 			out = append(out, mbps)
+			c.Metrics.observeSample(mbps)
 		}
 	}
 	cancel()
@@ -271,10 +278,11 @@ func (b *connBox) close() {
 }
 
 type superviseParams struct {
-	addr  string
-	base  time.Duration
-	max   time.Duration
-	stall time.Duration
+	addr    string
+	base    time.Duration
+	max     time.Duration
+	stall   time.Duration
+	metrics *Metrics // nil-safe; shared across the connection slots
 }
 
 // supervise owns one connection slot: it reads until the connection
@@ -298,11 +306,13 @@ func supervise(ctx context.Context, wg *sync.WaitGroup, conn net.Conn, box *conn
 				delay = p.max
 			}
 			st.Retries++
+			p.metrics.countRetry()
 			var err error
 			conn, err = (&net.Dialer{Timeout: dialTimeout}).DialContext(ctx, "tcp", p.addr)
 			if err != nil {
 				st.DialErrors++
 				st.note(err)
+				p.metrics.countDialError()
 				conn = nil
 				if ctx.Err() != nil {
 					return
@@ -330,8 +340,10 @@ func supervise(ctx context.Context, wg *sync.WaitGroup, conn net.Conn, box *conn
 				}
 				if ne, ok := err.(net.Error); ok && ne.Timeout() {
 					st.Stalls++
+					p.metrics.countStall()
 				} else {
 					st.ReadErrors++
+					p.metrics.countReadError()
 				}
 				st.note(err)
 				break

@@ -1,0 +1,73 @@
+package netem
+
+import "lumos5g/internal/obs"
+
+// Metrics is the measurement pipeline's optional instrument set:
+// process-lifetime counters across every measurement a Client (or
+// Platform) runs, alongside — not instead of — the per-run MeasureReport
+// bookkeeping. A nil *Metrics disables reporting; every method is safe
+// on a nil receiver so call sites stay unconditional.
+type Metrics struct {
+	Retries       *obs.Counter   // reconnect attempts after the initial dial round
+	DialErrors    *obs.Counter   // failed dial attempts (initial round included)
+	ReadErrors    *obs.Counter   // mid-run read failures
+	Stalls        *obs.Counter   // per-read deadline expiries
+	OutageSeconds *obs.Counter   // sample intervals that delivered zero bytes
+	Throughput    *obs.Histogram // per-interval application-layer Mbps
+}
+
+// NewMetrics registers the pipeline's instruments on r. Call once per
+// registry; a second call panics on the duplicate names.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Retries: r.NewCounter("netem_retries_total",
+			"Reconnect attempts after the initial dial round."),
+		DialErrors: r.NewCounter("netem_dial_errors_total",
+			"Failed TCP dial attempts."),
+		ReadErrors: r.NewCounter("netem_read_errors_total",
+			"Mid-measurement read failures (resets, EOF, refusals)."),
+		Stalls: r.NewCounter("netem_stalls_total",
+			"Reads that hit the stall deadline without delivering bytes."),
+		OutageSeconds: r.NewCounter("netem_outage_seconds_total",
+			"Sample intervals recorded as 0 Mbps — outage seconds kept as data."),
+		Throughput: r.NewHistogram("netem_throughput_mbps",
+			"Per-interval application-layer throughput in Mbps.",
+			obs.DefThroughputBuckets),
+	}
+}
+
+func (m *Metrics) countRetry() {
+	if m != nil {
+		m.Retries.Inc()
+	}
+}
+
+func (m *Metrics) countDialError() {
+	if m != nil {
+		m.DialErrors.Inc()
+	}
+}
+
+func (m *Metrics) countReadError() {
+	if m != nil {
+		m.ReadErrors.Inc()
+	}
+}
+
+func (m *Metrics) countStall() {
+	if m != nil {
+		m.Stalls.Inc()
+	}
+}
+
+// observeSample records one per-interval throughput value, counting
+// zero-byte intervals as outage seconds.
+func (m *Metrics) observeSample(mbps float64) {
+	if m == nil {
+		return
+	}
+	m.Throughput.Observe(mbps)
+	if mbps == 0 {
+		m.OutageSeconds.Inc()
+	}
+}

@@ -1,0 +1,111 @@
+package netem
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"lumos5g/internal/obs"
+)
+
+// TestNilMetricsAreSafe: a nil *Metrics must be a no-op on every hook,
+// because the Client/Platform call sites are unconditional.
+func TestNilMetricsAreSafe(t *testing.T) {
+	var m *Metrics
+	m.countRetry()
+	m.countDialError()
+	m.countReadError()
+	m.countStall()
+	m.observeSample(0)
+	m.observeSample(42)
+}
+
+func TestMetricsObserveSample(t *testing.T) {
+	m := NewMetrics(obs.NewRegistry())
+	m.observeSample(0)
+	m.observeSample(120)
+	m.observeSample(0)
+	if got := m.OutageSeconds.Value(); got != 2 {
+		t.Fatalf("outage seconds: %d", got)
+	}
+	if got := m.Throughput.Count(); got != 3 {
+		t.Fatalf("histogram count: %d", got)
+	}
+}
+
+// TestClientMetricsAgreeWithReport runs a fault-injected measurement
+// with instruments attached and checks that the registry counters agree
+// event-for-event with the per-run MeasureReport — the two bookkeeping
+// scopes must not drift, they witness the same events.
+func TestClientMetricsAgreeWithReport(t *testing.T) {
+	r := obs.NewRegistry()
+	m := NewMetrics(r)
+	plan := NewFaultPlan(FaultEvent{Kind: FaultDial, At: 0})
+	srv, err := NewServerWithFaults(NewShaper(50e6), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := &Client{Connections: 2, SampleInterval: 50 * time.Millisecond, Seed: 3, Metrics: m}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rep, err := c.MeasureFull(ctx, srv.Addr(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var readErrs, stalls uint64
+	for _, st := range rep.Conns {
+		readErrs += uint64(st.ReadErrors)
+		stalls += uint64(st.Stalls)
+	}
+	if got := m.Retries.Value(); got != uint64(rep.Retries) {
+		t.Fatalf("retries: metrics %d vs report %d", got, rep.Retries)
+	}
+	if got := m.DialErrors.Value(); got != uint64(rep.DialErrors) {
+		t.Fatalf("dial errors: metrics %d vs report %d", got, rep.DialErrors)
+	}
+	if got := m.ReadErrors.Value(); got != readErrs {
+		t.Fatalf("read errors: metrics %d vs report %d", got, readErrs)
+	}
+	if got := m.Stalls.Value(); got != stalls {
+		t.Fatalf("stalls: metrics %d vs report %d", got, stalls)
+	}
+	if got := m.Throughput.Count(); got != uint64(len(rep.Samples)) {
+		t.Fatalf("throughput observations: %d vs %d samples", got, len(rep.Samples))
+	}
+	if got := m.OutageSeconds.Value(); got != uint64(rep.Zeros) {
+		t.Fatalf("outage seconds: metrics %d vs report zeros %d", got, rep.Zeros)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"netem_retries_total",
+		"netem_throughput_mbps_bucket",
+		"netem_outage_seconds_total",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("exposition missing %s:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestClientMetricsCountFailedDialRound: when the target is unreachable
+// the fail-fast path must still record the initial dial failures.
+func TestClientMetricsCountFailedDialRound(t *testing.T) {
+	m := NewMetrics(obs.NewRegistry())
+	c := &Client{Connections: 3, SampleInterval: 20 * time.Millisecond, Metrics: m}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// A closed port on loopback: dials fail fast.
+	if _, err := c.MeasureFull(ctx, "127.0.0.1:1", 2); err == nil {
+		t.Fatal("measuring a dead target must fail")
+	}
+	if got := m.DialErrors.Value(); got != 3 {
+		t.Fatalf("dial errors: %d", got)
+	}
+}

@@ -28,6 +28,10 @@ type Platform struct {
 	// transfer, so the TCP side experiences the outages the radio model
 	// produced instead of only their shaped rates.
 	InjectFaults bool
+	// Metrics, when non-nil, is handed to the internal measurement
+	// client: retries, stalls, outage seconds and the throughput
+	// histogram accumulate across passes.
+	Metrics *Metrics
 }
 
 // LiveSample pairs the radio model's offered rate with the throughput the
@@ -97,7 +101,7 @@ func (p *Platform) RunPassReport(ctx context.Context, a *env.Area, trajIdx int, 
 
 	// The client samples once per tick; we adjust the shaper just before
 	// each sample window opens.
-	client := &Client{Connections: conns, SampleInterval: tick, Seed: seed}
+	client := &Client{Connections: conns, SampleInterval: tick, Seed: seed, Metrics: p.Metrics}
 	type measured struct {
 		rep *MeasureReport
 		err error

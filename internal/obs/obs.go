@@ -1,0 +1,204 @@
+// Package obs is the dependency-free observability core of the serving
+// stack: atomic counters, gauges and fixed-bucket latency/throughput
+// histograms, optionally fanned out into labeled vectors, collected in a
+// Registry that renders the Prometheus text exposition format.
+//
+// The paper's contribution is measurement — per-second throughput,
+// percentiles, per-factor breakdowns (§3–4) — and the serving system
+// built around it needs the same distributional visibility at runtime:
+// a mean hides exactly the p99 tail that makes a 5G serving stack
+// debuggable at scale. Histograms here therefore carry quantile
+// estimation (Histogram.Quantile) whose rank semantics match
+// internal/stats.Quantile, so offline analysis and live metrics agree
+// on what "p95" means.
+//
+// Design rules:
+//
+//   - Hot-path operations (Inc, Add, Observe, With on an existing label
+//     set) are lock-free or take only a short read lock; they never
+//     allocate after the first call for a given label set.
+//   - Every value lives in exactly one place. Consumers that need the
+//     same number elsewhere (e.g. a JSON health endpoint) read it back
+//     from the instrument instead of keeping a second copy — the
+//     single-bookkeeping rule that keeps /healthz and /metrics from
+//     drifting apart.
+//   - Registration errors (duplicate or malformed names) panic: they
+//     are programmer errors, caught by the first test that touches the
+//     package.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// A collector is anything the registry can render: a bare instrument or
+// a labeled vector of instruments.
+type collector interface {
+	// samples appends one sample per time series, in deterministic
+	// order, to dst.
+	samples(dst []sample) []sample
+}
+
+// sample is one rendered time series value. For histograms, buckets
+// carries the cumulative bucket counts and sum/count the summary pair;
+// for counters and gauges only value is set.
+type sample struct {
+	labels string // rendered {k="v",...} body, "" when unlabeled
+	value  float64
+	isHist bool
+	bounds []float64 // histogram upper bounds (excluding +Inf)
+	counts []uint64  // cumulative counts per bound, then +Inf
+	sum    float64
+	count  uint64
+}
+
+// family is one registered metric name with its help text and type.
+type family struct {
+	name string
+	help string
+	typ  string // "counter" | "gauge" | "histogram"
+	c    collector
+}
+
+// Registry holds registered metrics in registration order.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+func (r *Registry) register(name, help, typ string, c collector) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	f := &family{name: name, help: help, typ: typ, c: c}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+}
+
+// validMetricName enforces the Prometheus metric name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName enforces [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(s string) bool {
+	if s == "" || s[0] == ':' {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) samples(dst []sample) []sample {
+	return append(dst, sample{value: float64(c.v.Load())})
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", c)
+	return c
+}
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (CAS loop; safe for concurrent use).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		niu := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, niu) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) samples(dst []sample) []sample {
+	return append(dst, sample{value: g.Value()})
+}
+
+// NewGauge registers and returns a gauge (initial value 0).
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", g)
+	return g
+}
+
+// gaugeFunc renders a callback at scrape time — the adapter for values
+// whose single source of truth lives elsewhere (a cache's entry count,
+// a chain's tier shape) and must not be double-booked.
+type gaugeFunc struct {
+	fn func() float64
+}
+
+func (g gaugeFunc) samples(dst []sample) []sample {
+	return append(dst, sample{value: g.fn()})
+}
+
+// NewGaugeFunc registers a gauge whose value is fn(), evaluated at every
+// scrape. fn must be safe for concurrent use.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, "gauge", gaugeFunc{fn: fn})
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// ContentType is the exposition-format content type /metrics should be
+// served with.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4), families in registration
+// order and series within a family in deterministic label order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	var scratch []sample
+	for _, f := range fams {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ)
+		bw.WriteByte('\n')
+		scratch = f.c.samples(scratch[:0])
+		for _, s := range scratch {
+			if s.isHist {
+				writeHistogram(bw, f.name, s)
+				continue
+			}
+			bw.WriteString(f.name)
+			if s.labels != "" {
+				bw.WriteByte('{')
+				bw.WriteString(s.labels)
+				bw.WriteByte('}')
+			}
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(s.value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders the cumulative _bucket series plus _sum and
+// _count, merging any vector labels with the le label.
+func writeHistogram(bw *bufio.Writer, name string, s sample) {
+	writeBucket := func(le string, v uint64) {
+		bw.WriteString(name)
+		bw.WriteString("_bucket{")
+		if s.labels != "" {
+			bw.WriteString(s.labels)
+			bw.WriteByte(',')
+		}
+		bw.WriteString(`le="`)
+		bw.WriteString(le)
+		bw.WriteString("\"} ")
+		bw.WriteString(strconv.FormatUint(v, 10))
+		bw.WriteByte('\n')
+	}
+	for i, b := range s.bounds {
+		writeBucket(formatValue(b), s.counts[i])
+	}
+	writeBucket("+Inf", s.counts[len(s.counts)-1])
+	suffix := func(sfx, val string) {
+		bw.WriteString(name)
+		bw.WriteString(sfx)
+		if s.labels != "" {
+			bw.WriteByte('{')
+			bw.WriteString(s.labels)
+			bw.WriteByte('}')
+		}
+		bw.WriteByte(' ')
+		bw.WriteString(val)
+		bw.WriteByte('\n')
+	}
+	suffix("_sum", formatValue(s.sum))
+	suffix("_count", strconv.FormatUint(s.count, 10))
+}
+
+// formatValue renders a float the way the exposition format expects:
+// shortest round-trip representation, integers without an exponent.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp applies the HELP-line escapes (backslash and newline).
+func escapeHelp(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// vec is the shared machinery of labeled metric vectors: a lazily
+// populated map from label values to child instruments. Lookups on an
+// existing label set take only a read lock; a new label set allocates
+// its child exactly once under the write lock.
+type vec[T collector] struct {
+	labels   []string
+	mu       sync.RWMutex
+	children map[string]*vecChild[T]
+	order    []string // child keys in first-seen order (stable export)
+	make     func() T
+}
+
+type vecChild[T collector] struct {
+	values   []string
+	rendered string // `k1="v1",k2="v2"` label body
+	inst     T
+}
+
+func newVec[T collector](labels []string, mk func() T) *vec[T] {
+	if len(labels) == 0 {
+		panic("obs: labeled vector needs at least one label")
+	}
+	for _, l := range labels {
+		if !validLabelName(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q", l))
+		}
+	}
+	return &vec[T]{
+		labels:   append([]string(nil), labels...),
+		children: map[string]*vecChild[T]{},
+		make:     mk,
+	}
+}
+
+// with returns the child for the given label values, creating it on
+// first use.
+func (v *vec[T]) with(values ...string) T {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: got %d label values for %d labels %v", len(values), len(v.labels), v.labels))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.RLock()
+	ch, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return ch.inst
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if ch, ok = v.children[key]; ok {
+		return ch.inst
+	}
+	var b strings.Builder
+	for i, l := range v.labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	ch = &vecChild[T]{
+		values:   append([]string(nil), values...),
+		rendered: b.String(),
+		inst:     v.make(),
+	}
+	v.children[key] = ch
+	v.order = append(v.order, key)
+	return ch.inst
+}
+
+// snapshotChildren returns the children sorted by rendered label body,
+// for deterministic exposition.
+func (v *vec[T]) snapshotChildren() []*vecChild[T] {
+	v.mu.RLock()
+	out := make([]*vecChild[T], 0, len(v.order))
+	for _, k := range v.order {
+		out = append(out, v.children[k])
+	}
+	v.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].rendered < out[j].rendered })
+	return out
+}
+
+func (v *vec[T]) samples(dst []sample) []sample {
+	for _, ch := range v.snapshotChildren() {
+		n := len(dst)
+		dst = ch.inst.samples(dst)
+		for i := n; i < len(dst); i++ {
+			dst[i].labels = ch.rendered
+		}
+	}
+	return dst
+}
+
+// escapeLabelValue applies the exposition-format escapes for label
+// values: backslash, double quote and newline.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// CounterVec is a counter fanned out over label values.
+type CounterVec struct {
+	*vec[*Counter]
+}
+
+// NewCounterVec registers and returns a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{vec: newVec(labels, func() *Counter { return &Counter{} })}
+	r.register(name, help, "counter", v)
+	return v
+}
+
+// With returns the counter for the given label values (created on first
+// use).
+func (v *CounterVec) With(values ...string) *Counter { return v.with(values...) }
+
+// Total sums the counters of every child whose label values match all
+// the given label=value constraints (an empty match sums everything).
+// This is how a JSON health endpoint reads back an aggregate without a
+// second bookkeeping path.
+func (v *CounterVec) Total(match map[string]string) uint64 {
+	var total uint64
+	for _, ch := range v.snapshotChildren() {
+		ok := true
+		for name, want := range match {
+			idx := -1
+			for i, l := range v.labels {
+				if l == name {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 || ch.values[idx] != want {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			total += ch.inst.Value()
+		}
+	}
+	return total
+}
+
+// GaugeVec is a gauge fanned out over label values.
+type GaugeVec struct {
+	*vec[*Gauge]
+}
+
+// NewGaugeVec registers and returns a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := &GaugeVec{vec: newVec(labels, func() *Gauge { return &Gauge{} })}
+	r.register(name, help, "gauge", v)
+	return v
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.with(values...) }
+
+// HistogramVec is a histogram fanned out over label values; every child
+// shares the same bucket bounds.
+type HistogramVec struct {
+	*vec[*Histogram]
+}
+
+// NewHistogramVec registers and returns a labeled histogram family with
+// the given upper bucket bounds.
+func (r *Registry) NewHistogramVec(name, help string, upper []float64, labels ...string) *HistogramVec {
+	bounds := append([]float64(nil), upper...)
+	v := &HistogramVec{vec: newVec(labels, func() *Histogram { return newHistogram(bounds) })}
+	r.register(name, help, "histogram", v)
+	return v
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.with(values...) }
