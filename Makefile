@@ -9,10 +9,10 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: tier1 build vet test race race-core race-parallel parity bench bench-json bench-serve fmt fuzz
+.PHONY: tier1 build vet test race race-core race-parallel race-fleet parity bench bench-json bench-serve bench-fleet fmt fuzz
 
 tier1: ## build + vet + race-enabled test suite (run `make fuzz` too when touching parsers)
-	$(GO) build ./... && $(GO) build -o bin/lumosbench ./cmd/lumosbench && $(GO) vet ./... && $(GO) test -race ./internal/obs/... ./internal/mapserver/... && $(GO) test -race ./...
+	$(GO) build ./... && $(GO) build -o bin/lumosbench ./cmd/lumosbench && $(GO) vet ./... && $(GO) test -race ./internal/obs/... ./internal/mapserver/... && $(MAKE) race-fleet && $(GO) test -race ./...
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,11 @@ race-core:
 race-parallel:
 	$(GO) test -race ./internal/sim/... ./internal/ml/... ./internal/rng/... ./internal/par/...
 
+# The sharded serving fleet's chaos suite, race-checked: replicas
+# killed/stalled/drained mid-load while the router must keep answering.
+race-fleet:
+	$(GO) test -race ./internal/fleet/...
+
 # The serial-vs-parallel parity audit: byte-identical campaigns, models
 # and batch predictions across worker counts.
 parity:
@@ -56,6 +61,11 @@ bench-json:
 # cached, and the pre-PR handler baseline for the alloc comparison.
 bench-serve:
 	$(GO) run ./cmd/lumosbench -servebench BENCH_serve.json
+
+# Fleet routing report: QPS and p50/p99 through the router for 1 shard
+# vs N shards, and with one replica hard-killed mid-run.
+bench-fleet:
+	$(GO) run ./cmd/lumosbench -fleetbench BENCH_fleet.json
 
 # Short fuzz burst over every fuzz target (one -fuzz per package per
 # invocation is a `go test` restriction).

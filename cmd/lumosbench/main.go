@@ -6,6 +6,7 @@
 //	lumosbench [-run id[,id...]] [-profile quick|paper] [-seed N] [-values]
 //	lumosbench -parbench BENCH_parallel.json [-parworkers N]
 //	lumosbench -servebench BENCH_serve.json
+//	lumosbench -fleetbench BENCH_fleet.json
 //
 // With no -run flag every experiment runs in paper order. The quick
 // profile (default) uses a reduced campaign and scaled-down models that
@@ -32,7 +33,16 @@ func main() {
 	parbench := flag.String("parbench", "", "run serial-vs-parallel speedup benchmarks, write JSON to this path, and exit")
 	parworkers := flag.Int("parworkers", 0, "worker count for -parbench (0 = one per CPU)")
 	servebench := flag.String("servebench", "", "run serving fast-path benchmarks (compiled kernel, prediction cache, handlers), write JSON to this path, and exit")
+	fleetbench := flag.String("fleetbench", "", "run sharded-fleet routing benchmarks (1 vs N shards, replica killed mid-run), write JSON to this path, and exit")
 	flag.Parse()
+
+	if *fleetbench != "" {
+		if err := runFleetBench(*fleetbench, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "lumosbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *parbench != "" {
 		if err := runParBench(*parbench, *parworkers, *seed); err != nil {

@@ -49,6 +49,7 @@ func main() {
 	modelPath := flag.String("model", "", "load the model from a saved artifact instead of training")
 	watch := flag.Duration("watch", 0, "poll -model for changes and hot-reload (0 disables)")
 	reqTimeout := flag.Duration("timeout", 10*time.Second, "per-request handler timeout")
+	maxInFlight := flag.Int("max-inflight", 0, "in-flight request bound; excess is shed with 503 + Retry-After (0 = unbounded)")
 	metrics := flag.Bool("metrics", true, "serve Prometheus text metrics on /metrics")
 	logRequests := flag.Bool("log-requests", false, "write one JSON access-log line per request to stderr")
 	grace := flag.Duration("grace", 5*time.Second, "shutdown drain period")
@@ -111,6 +112,7 @@ func main() {
 	opts := []mapserver.Option{
 		mapserver.WithRequestTimeout(*reqTimeout),
 		mapserver.WithMetricsRoute(*metrics),
+		mapserver.WithMaxInFlight(*maxInFlight),
 	}
 	if *logRequests {
 		opts = append(opts, mapserver.WithRequestLog(os.Stderr))
@@ -135,13 +137,16 @@ func main() {
 	}
 
 	if *watch > 0 {
-		go srv.WatchModelFile(ctx, *modelPath, *watch, func(err error) {
+		stopWatch := srv.StartModelWatch(*modelPath, *watch, func(err error) {
 			if err != nil {
 				log.Printf("model reload rejected: %v", err)
 			} else {
 				log.Printf("model reloaded from %s: %s", *modelPath, srv.Chain())
 			}
 		})
+		// Join the watcher goroutine on shutdown so the drain leaves
+		// nothing running behind the process's back.
+		defer stopWatch()
 	}
 
 	if chain != nil {

@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"math"
+
+	"lumos5g/internal/geo"
+)
+
+// Key is the quantized identity of one prediction query: map cell (the
+// 2 m grid of the throughput map) × speed bucket × compass sector ×
+// which optional sensors the query carried. UEs moving through an area
+// re-ask the same cell-level questions at high QPS, and the model's
+// answer only varies meaningfully at that granularity — two pedestrians
+// in the same cell heading the same way get the same plan.
+//
+// The key does double duty across the serving stack: it is the
+// prediction-cache key inside one server, and its cell portion is the
+// partition key the fleet router consistent-hashes to pick the owning
+// shard (internal/fleet). Absent optional sensors are encoded as -1 so
+// "no speed" and "speed 0" stay distinct keys — they are served by
+// different chain tiers.
+type Key struct {
+	Col, Row int32 // throughput-map grid cell (2 m × 2 m)
+	SpeedB   int16 // km/h bucket, -1 when the query carried no speed
+	BearingB int16 // 22.5° compass sector, -1 when absent
+}
+
+// SpeedBucketKmh is the speed quantization step: walking/driving
+// regimes, the distinction the mobility features actually respond to,
+// differ at whole-km/h granularity.
+const SpeedBucketKmh = 1.0
+
+// BearingSectors divides the compass into 16 sectors of 22.5°.
+const BearingSectors = 16
+
+// Quantize buckets one query. It is total: a non-finite speed or
+// bearing is a broken sensor and quantizes like an absent one (-1), and
+// out-of-range magnitudes saturate instead of overflowing, so hostile
+// inputs still map to exactly one key deterministically. For the
+// validated ranges the serving path accepts (speed 0–500 km/h, bearing
+// ±360°) the buckets are exact.
+func Quantize(px geo.Pixel, speed, bearing *float64) Key {
+	k := Key{Col: int32(px.X / 2), Row: int32(px.Y / 2), SpeedB: -1, BearingB: -1}
+	if speed != nil && !math.IsNaN(*speed) && !math.IsInf(*speed, 0) {
+		k.SpeedB = saturateInt16(*speed / SpeedBucketKmh)
+	}
+	if bearing != nil && !math.IsNaN(*bearing) && !math.IsInf(*bearing, 0) {
+		deg := math.Mod(*bearing, 360)
+		if deg < 0 {
+			deg += 360
+		}
+		// 360.0: the untyped-int form 360/16 would divide to 22, skewing
+		// every sector boundary and widening the last sector to 30°.
+		s := int16(deg / (360.0 / BearingSectors))
+		if s >= BearingSectors {
+			s = BearingSectors - 1
+		}
+		k.BearingB = s
+	}
+	return k
+}
+
+// saturateInt16 converts with clamping: float-to-int conversion of an
+// out-of-range value is implementation-defined in Go, and the key must
+// be deterministic for any input.
+func saturateInt16(v float64) int16 {
+	if v > math.MaxInt16 {
+		return math.MaxInt16
+	}
+	if v < math.MinInt16 {
+		return math.MinInt16
+	}
+	return int16(v)
+}

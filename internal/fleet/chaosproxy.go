@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// ChaosProxy is a mode-switchable TCP proxy the chaos tests put in
+// front of a replica to inject the network's favorite failures:
+//
+//	ModePass      — transparent bidirectional forwarding
+//	ModeStall     — accept and hold connections, answer nothing (the
+//	                hung-replica case hedging exists for)
+//	ModeBlackhole — reset every connection immediately (hard-down)
+//
+// Switching modes kills every existing connection, including ones the
+// HTTP client has pooled — without that, a pooled keep-alive connection
+// established during ModePass would tunnel straight past a later stall.
+type ChaosProxy struct {
+	ln      net.Listener
+	backend string
+	mode    atomic.Int32
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// ProxyMode selects the proxy's failure behavior.
+type ProxyMode int32
+
+const (
+	ModePass ProxyMode = iota
+	ModeStall
+	ModeBlackhole
+)
+
+// NewChaosProxy listens on loopback and forwards to backend
+// (host:port) in ModePass.
+func NewChaosProxy(backend string) (*ChaosProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &ChaosProxy{ln: ln, backend: backend, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (host:port).
+func (p *ChaosProxy) Addr() string { return p.ln.Addr().String() }
+
+// URL returns the proxy's base URL.
+func (p *ChaosProxy) URL() string { return "http://" + p.Addr() }
+
+// SetMode switches failure behavior and kills every live connection so
+// the new mode applies to pooled connections too.
+func (p *ChaosProxy) SetMode(m ProxyMode) {
+	p.mode.Store(int32(m))
+	p.killConns()
+}
+
+// Mode reads the current failure behavior.
+func (p *ChaosProxy) Mode() ProxyMode { return ProxyMode(p.mode.Load()) }
+
+// Close stops the proxy and kills every connection.
+func (p *ChaosProxy) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	_ = p.ln.Close()
+	p.killConns()
+	p.wg.Wait()
+}
+
+func (p *ChaosProxy) killConns() {
+	p.mu.Lock()
+	for c := range p.conns {
+		_ = c.Close()
+	}
+	p.mu.Unlock()
+}
+
+func (p *ChaosProxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed.Load() {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *ChaosProxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *ChaosProxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !p.track(c) {
+			_ = c.Close()
+			return
+		}
+		p.wg.Add(1)
+		go p.handle(c)
+	}
+}
+
+func (p *ChaosProxy) handle(c net.Conn) {
+	defer p.wg.Done()
+	defer p.untrack(c)
+	defer c.Close()
+	switch p.Mode() {
+	case ModeBlackhole:
+		return // immediate close: connection reset from the client's view
+	case ModeStall:
+		// Swallow whatever the client writes, answer nothing. The read
+		// returns when SetMode/Close kills the connection or the client
+		// gives up.
+		_, _ = io.Copy(io.Discard, c)
+		return
+	default:
+		b, err := net.Dial("tcp", p.backend)
+		if err != nil {
+			return
+		}
+		if !p.track(b) {
+			_ = b.Close()
+			return
+		}
+		defer p.untrack(b)
+		defer b.Close()
+		done := make(chan struct{}, 2)
+		go func() { _, _ = io.Copy(b, c); done <- struct{}{} }()
+		go func() { _, _ = io.Copy(c, b); done <- struct{}{} }()
+		// Either direction closing tears down both: half-open proxied
+		// connections are not a failure mode the tests need.
+		<-done
+	}
+}

@@ -1,0 +1,52 @@
+package fleet
+
+import (
+	"sync"
+	"testing"
+
+	"lumos5g"
+	"lumos5g/internal/engine"
+)
+
+// Shared test fixture: one generated campaign, its throughput map, and
+// a trained fallback chain. Built once; every fleet in the suite serves
+// slices of the same map through the same chain (the chain is
+// read-only at serving time, so sharing the pointer is safe).
+var (
+	fixOnce   sync.Once
+	fixTM     *lumos5g.ThroughputMap
+	fixChain  *lumos5g.FallbackChain
+	fixPoints [][2]float64 // lat/lon spread across the campaign area
+)
+
+func fixture(t *testing.T) (*lumos5g.ThroughputMap, *lumos5g.FallbackChain, [][2]float64) {
+	t.Helper()
+	fixOnce.Do(func() {
+		area, err := lumos5g.AreaByName("Airport")
+		if err != nil {
+			panic(err)
+		}
+		cfg := lumos5g.CampaignConfig{Seed: 1, WalkPasses: 3, BackgroundUEProb: 0.1}
+		clean, _ := lumos5g.CleanDataset(lumos5g.GenerateArea(area, cfg))
+		fixTM = lumos5g.BuildThroughputMap(clean, 2)
+		pred, err := lumos5g.Train(clean, lumos5g.GroupLM, lumos5g.ModelGDBT, lumos5g.Scale{Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		fixChain, err = lumos5g.ChainFromPredictor(pred, engine.MapMean(fixTM))
+		if err != nil {
+			panic(err)
+		}
+		// Sample query points across the whole walk so load spreads over
+		// every shard's key range.
+		step := len(clean.Records) / 64
+		if step == 0 {
+			step = 1
+		}
+		for i := 0; i < len(clean.Records); i += step {
+			r := clean.Records[i]
+			fixPoints = append(fixPoints, [2]float64{r.Latitude, r.Longitude})
+		}
+	})
+	return fixTM, fixChain, fixPoints
+}

@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Fleet-level /metrics rollup: scrape every replica's Prometheus text
+// exposition, sum series point-wise by (name, labels), and append the
+// merged lumos_* series after the router's own fleet_* registry.
+// Summing is exact for counters and for histogram _bucket/_sum/_count
+// series (a histogram summed across replicas is the fleet histogram);
+// for gauges it yields fleet totals (e.g. lumos_model_serving becomes
+// "replicas currently serving a model"), which is the useful reading at
+// this level.
+
+// rollup accumulates expositions. Not safe for concurrent use; the
+// metrics handler builds one per scrape.
+type rollup struct {
+	vals  map[string]float64 // series line (name{labels}) → summed value
+	order []string           // first-seen order of series
+	meta  map[string][]string
+	names []string // first-seen order of metric names (for meta)
+}
+
+func newRollup() *rollup {
+	return &rollup{vals: make(map[string]float64), meta: make(map[string][]string)}
+}
+
+// seriesName extracts the metric name from a series key ("name{...}" or
+// bare "name").
+func seriesName(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i]
+	}
+	return series
+}
+
+// add parses one exposition and folds it into the accumulator.
+// Malformed lines are skipped — a half-written scrape must not poison
+// the rollup.
+func (ru *rollup) add(exposition io.Reader) error {
+	sc := bufio.NewScanner(exposition)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			// Keep HELP/TYPE from the first replica that declares them.
+			fields := strings.Fields(line)
+			if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				name := fields[2]
+				if _, seen := ru.meta[name]; !seen {
+					ru.names = append(ru.names, name)
+				}
+				ru.meta[name] = append(ru.meta[name], line)
+			}
+			continue
+		}
+		// Series line: "name{labels} value" or "name value". The value is
+		// the last space-separated field; the series key is everything
+		// before it (label values may themselves contain spaces).
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			continue
+		}
+		series, raw := line[:i], line[i+1:]
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			continue
+		}
+		if _, seen := ru.vals[series]; !seen {
+			ru.order = append(ru.order, series)
+		}
+		ru.vals[series] += v
+	}
+	return sc.Err()
+}
+
+// write renders the merged exposition: per metric name, its HELP/TYPE
+// (from the first replica that declared them) followed by its summed
+// series in first-seen order.
+func (ru *rollup) write(w io.Writer) error {
+	byName := make(map[string][]string, len(ru.names))
+	for _, series := range ru.order {
+		n := seriesName(series)
+		byName[n] = append(byName[n], series)
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	// Deterministic output: meta-declared names first in declaration
+	// order, then any stray undeclared names sorted.
+	rank := make(map[string]int, len(ru.names))
+	for i, n := range ru.names {
+		rank[n] = i + 1
+	}
+	sort.SliceStable(names, func(i, j int) bool {
+		ri, rj := rank[names[i]], rank[names[j]]
+		if ri != rj {
+			if ri == 0 {
+				return false
+			}
+			if rj == 0 {
+				return true
+			}
+			return ri < rj
+		}
+		return names[i] < names[j]
+	})
+	for _, n := range names {
+		for _, metaLine := range ru.meta[n] {
+			if _, err := fmt.Fprintln(w, metaLine); err != nil {
+				return err
+			}
+		}
+		for _, series := range byName[n] {
+			if _, err := fmt.Fprintf(w, "%s %s\n", series, formatValue(ru.vals[series])); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatValue renders a float the way the obs package does: integers
+// without a decimal point, everything else in 'g' form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

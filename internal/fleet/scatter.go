@@ -1,0 +1,408 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"lumos5g/internal/obs"
+)
+
+// Fan-out routes. The contract that matters here is explicit
+// partiality: a batch or map-wide query touching a dead shard comes
+// back with that shard's portion marked failed — per-row provenance,
+// a top-level partial flag — and everything else served. Never a
+// silent hole (a row quietly missing), never a hang (every sub-request
+// is bounded by the attempt timeout), and no cross-shard failover for
+// shard-owned data: a fallback shard does not hold the dead shard's
+// map slice, so pretending it can answer would be a wrong answer with
+// a healthy status code.
+
+// batchQuery is one row of the /predict/batch request body, identical
+// to the replica wire form so sub-batches forward without re-encoding
+// semantics.
+type batchQuery struct {
+	Lat     float64  `json:"lat"`
+	Lon     float64  `json:"lon"`
+	Speed   *float64 `json:"speed,omitempty"`
+	Bearing *float64 `json:"bearing,omitempty"`
+}
+
+// replicaRow is the slice of a replica's batch answer the router
+// forwards.
+type replicaRow struct {
+	Mbps     float64  `json:"mbps"`
+	Class    string   `json:"class"`
+	Source   string   `json:"source"`
+	Tier     int      `json:"tier"`
+	Degraded bool     `json:"degraded"`
+	Missing  []string `json:"missing,omitempty"`
+}
+
+// BatchRow is one row of the fleet batch answer: the replica's
+// prediction plus shard provenance, or an explicit failure marker.
+// Mbps is a pointer so a failed row is a JSON null — absence you can
+// see — rather than a fake zero.
+type BatchRow struct {
+	Mbps     *float64 `json:"mbps"`
+	Class    string   `json:"class,omitempty"`
+	Source   string   `json:"source,omitempty"`
+	Tier     int      `json:"tier"`
+	Degraded bool     `json:"degraded"`
+	Missing  []string `json:"missing,omitempty"`
+	Shard    string   `json:"shard"`
+	Error    string   `json:"error,omitempty"`
+}
+
+// BatchResponse is the fleet /predict/batch wire form.
+type BatchResponse struct {
+	Partial bool       `json:"partial"`
+	Rows    []BatchRow `json:"rows"`
+}
+
+// shardTry walks one shard's replicas in candidate order until one
+// serves, with the same backoff discipline as the single-query path but
+// no cross-shard failover.
+func (rt *Router) shardTry(ctx context.Context, sh *Shard, attempt func(candidate) attemptResult) attemptResult {
+	cands := sh.candidates()
+	if len(cands) == 0 {
+		return attemptResult{err: fmt.Errorf("shard %s has no replicas", sh.ID)}
+	}
+	delay := rt.cfg.RetryBase
+	var last attemptResult
+	for i, rep := range cands {
+		if i > 0 {
+			if !sleepCtx(ctx, rt.jitter(delay)) {
+				return last
+			}
+			if delay *= 2; delay > rt.cfg.RetryMax {
+				delay = rt.cfg.RetryMax
+			}
+		}
+		last = attempt(candidate{shard: sh, rep: rep})
+		if last.ok() || last.definitive() {
+			return last
+		}
+	}
+	return last
+}
+
+// sleepCtx sleeps d unless ctx ends first; reports whether it slept out.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// handleBatch scatters the batch across owning shards and gathers an
+// explicitly-partial answer.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	topo := rt.Topology()
+	if topo == nil || len(topo.Shards) == 0 {
+		writeError(w, http.StatusServiceUnavailable, "no shards in topology")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, 16<<20)
+	var queries []batchQuery
+	if err := json.NewDecoder(r.Body).Decode(&queries); err != nil {
+		writeError(w, http.StatusBadRequest, "body must be a JSON array of {lat, lon[, speed][, bearing]} queries")
+		return
+	}
+	if len(queries) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(queries) > rt.cfg.MaxBatchRows {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch too large: %d queries (max %d)", len(queries), rt.cfg.MaxBatchRows))
+		return
+	}
+	// Validate every row up front with the replicas' own ranges, so a
+	// bad row rejects the batch here instead of poisoning one shard's
+	// whole sub-batch downstream.
+	for i, q := range queries {
+		if err := validateQuery(q); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
+			return
+		}
+	}
+
+	// Group row indices by owning shard (rendezvous on the cell).
+	byShard := make(map[*Shard][]int)
+	for i, q := range queries {
+		k := RouteKey(q.Lat, q.Lon, q.Speed, q.Bearing)
+		sh := topo.Owner(k)
+		byShard[sh] = append(byShard[sh], i)
+	}
+
+	rows := make([]BatchRow, len(queries))
+	var mu sync.Mutex // guards partial; rows are index-disjoint per shard
+	partial := false
+	var wg sync.WaitGroup
+	for sh, idxs := range byShard {
+		wg.Add(1)
+		go func(sh *Shard, idxs []int) {
+			defer wg.Done()
+			sub := make([]batchQuery, len(idxs))
+			for j, i := range idxs {
+				sub[j] = queries[i]
+			}
+			body, _ := json.Marshal(sub)
+			res := rt.shardTry(r.Context(), sh, func(c candidate) attemptResult {
+				return rt.tryPOST(r.Context(), c, "/predict/batch", body)
+			})
+			var served []replicaRow
+			ok := res.ok()
+			if ok {
+				if err := json.Unmarshal(res.body, &served); err != nil || len(served) != len(idxs) {
+					ok = false
+				}
+			}
+			if !ok {
+				reason := shardFailureReason(sh, res)
+				for _, i := range idxs {
+					rows[i] = BatchRow{
+						Tier:     -1,
+						Degraded: true,
+						Missing:  []string{"shard:" + sh.ID},
+						Shard:    sh.ID,
+						Error:    reason,
+					}
+					rt.m.batchRows.With("failed").Inc()
+				}
+				mu.Lock()
+				partial = true
+				mu.Unlock()
+				return
+			}
+			for j, i := range idxs {
+				sr := served[j]
+				mbps := sr.Mbps
+				rows[i] = BatchRow{
+					Mbps: &mbps, Class: sr.Class, Source: sr.Source,
+					Tier: sr.Tier, Degraded: sr.Degraded, Missing: sr.Missing,
+					Shard: sh.ID,
+				}
+				rt.m.batchRows.With("served").Inc()
+			}
+		}(sh, idxs)
+	}
+	wg.Wait()
+
+	if partial {
+		rt.m.partials.Inc()
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Partial: partial, Rows: rows})
+}
+
+func shardFailureReason(sh *Shard, res attemptResult) string {
+	switch {
+	case res.err != nil:
+		return fmt.Sprintf("shard %s unavailable: %v", sh.ID, res.err)
+	case res.status != 0 && res.status != http.StatusOK:
+		return fmt.Sprintf("shard %s answered %d", sh.ID, res.status)
+	default:
+		return fmt.Sprintf("shard %s returned an unusable answer", sh.ID)
+	}
+}
+
+func validateQuery(q batchQuery) error {
+	if err := checkRange(q.Lat, "lat", -90, 90); err != nil {
+		return err
+	}
+	if err := checkRange(q.Lon, "lon", -180, 180); err != nil {
+		return err
+	}
+	if q.Speed != nil {
+		if err := checkRange(*q.Speed, "speed (km/h)", 0, 500); err != nil {
+			return err
+		}
+	}
+	if q.Bearing != nil {
+		if err := checkRange(*q.Bearing, "bearing (degrees)", -360, 360); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkRange(v float64, name string, lo, hi float64) error {
+	if v != v || v < lo || v > hi { // v != v catches NaN; ±Inf fails the bounds
+		return fmt.Errorf("%s must be in [%g, %g]", name, lo, hi)
+	}
+	return nil
+}
+
+// cellJSON mirrors one replica /cells.json element; the router merges
+// without reinterpreting, so raw messages suffice.
+type cellJSON = json.RawMessage
+
+// CellsResponse is the fleet map-wide query: every live shard's cells
+// merged, with the shards that could not answer listed instead of
+// silently absent.
+type CellsResponse struct {
+	Partial bool       `json:"partial"`
+	Missing []string   `json:"missing,omitempty"`
+	Cells   []cellJSON `json:"cells"`
+}
+
+// handleCells scatters the map-wide cell dump to every shard and merges.
+func (rt *Router) handleCells(w http.ResponseWriter, r *http.Request) {
+	topo := rt.Topology()
+	if topo == nil || len(topo.Shards) == 0 {
+		writeError(w, http.StatusServiceUnavailable, "no shards in topology")
+		return
+	}
+	type shardCells struct {
+		id    string
+		cells []cellJSON
+		err   error
+	}
+	out := make([]shardCells, len(topo.Shards))
+	var wg sync.WaitGroup
+	for i, sh := range topo.Shards {
+		wg.Add(1)
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			res := rt.shardTry(r.Context(), sh, func(c candidate) attemptResult {
+				return rt.tryGET(r.Context(), c, "/cells.json", "")
+			})
+			if !res.ok() {
+				out[i] = shardCells{id: sh.ID, err: fmt.Errorf("%s", shardFailureReason(sh, res))}
+				return
+			}
+			var cells []cellJSON
+			if err := json.Unmarshal(res.body, &cells); err != nil {
+				out[i] = shardCells{id: sh.ID, err: fmt.Errorf("shard %s: undecodable cells", sh.ID)}
+				return
+			}
+			out[i] = shardCells{id: sh.ID, cells: cells}
+		}(i, sh)
+	}
+	wg.Wait()
+
+	resp := CellsResponse{Cells: []cellJSON{}}
+	for _, sc := range out {
+		if sc.err != nil {
+			resp.Partial = true
+			resp.Missing = append(resp.Missing, sc.id)
+			continue
+		}
+		resp.Cells = append(resp.Cells, sc.cells...)
+	}
+	sort.Strings(resp.Missing)
+	if resp.Partial {
+		rt.m.partials.Inc()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// fleetHealth is the router /healthz wire form.
+type fleetHealth struct {
+	OK     bool          `json:"ok"`
+	Shards []shardHealth `json:"shards"`
+}
+
+type shardHealth struct {
+	ID       string          `json:"id"`
+	Draining bool            `json:"draining"`
+	OK       bool            `json:"ok"` // at least one replica not down
+	Replicas []replicaHealth `json:"replicas"`
+}
+
+type replicaHealth struct {
+	ID    string `json:"id"`
+	URL   string `json:"url"`
+	State string `json:"state"`
+}
+
+// handleHealth reports the router's view of the fleet: ok while every
+// non-draining shard still has a routable replica.
+func (rt *Router) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	topo := rt.Topology()
+	h := fleetHealth{OK: true}
+	if topo == nil {
+		h.OK = false
+		writeJSON(w, http.StatusOK, h)
+		return
+	}
+	for _, sh := range topo.Shards {
+		shh := shardHealth{ID: sh.ID, Draining: sh.Draining()}
+		for _, rep := range sh.Replicas {
+			shh.Replicas = append(shh.Replicas, replicaHealth{ID: rep.ID, URL: rep.URL, State: rep.State().String()})
+			if rep.State() != StateDown {
+				shh.OK = true
+			}
+		}
+		if !shh.OK && !shh.Draining {
+			h.OK = false
+		}
+		h.Shards = append(h.Shards, shh)
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// handleMetrics serves the router's own fleet_* registry followed by
+// the live rollup of every replica's lumos_* exposition, summed
+// point-wise by series. Replicas that fail to scrape are skipped and
+// counted (fleet_rollup_scrape_failures_total) — a partial rollup over
+// a half-dead fleet is still a rollup.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	_ = rt.m.reg.WritePrometheus(w)
+
+	topo := rt.Topology()
+	if topo == nil {
+		return
+	}
+	type scrape struct {
+		body []byte
+		err  error
+	}
+	var reps []*Replica
+	for _, sh := range topo.Shards {
+		reps = append(reps, sh.Replicas...)
+	}
+	scrapes := make([]scrape, len(reps))
+	var wg sync.WaitGroup
+	for i, rep := range reps {
+		wg.Add(1)
+		go func(i int, rep *Replica) {
+			defer wg.Done()
+			res := rt.tryGET(r.Context(), candidate{rep: rep, shard: &Shard{}}, "/metrics", "")
+			if !res.ok() {
+				scrapes[i] = scrape{err: res.err}
+				if res.err == nil {
+					scrapes[i].err = fmt.Errorf("status %d", res.status)
+				}
+				return
+			}
+			scrapes[i] = scrape{body: res.body}
+		}(i, rep)
+	}
+	wg.Wait()
+
+	ru := newRollup()
+	for _, sc := range scrapes {
+		if sc.err != nil {
+			rt.m.rollupErrors.Inc()
+			continue
+		}
+		_ = ru.add(bytes.NewReader(sc.body))
+	}
+	_ = ru.write(w)
+}

@@ -6,15 +6,14 @@ import (
 	"math"
 	"sync"
 
+	"lumos5g/internal/engine"
 	"lumos5g/internal/geo"
 )
 
 // The prediction cache memoises /predict answers keyed on the quantized
-// query: map cell (the 2 m grid of the throughput map) × speed bucket ×
-// compass sector × which optional sensors the query carried. UEs moving
-// through an area re-ask the same cell-level questions at high QPS, and
-// the model's answer only varies meaningfully at that granularity — two
-// pedestrians in the same cell heading the same way get the same plan.
+// query (engine.Key: map cell × speed bucket × compass sector × which
+// optional sensors the query carried — the same quantization the fleet
+// router partitions on, see internal/engine/key.go).
 //
 // Concurrency model: an LRU (mutex-guarded map + intrusive list) whose
 // entries are filled exactly once. The first goroutine to miss a key
@@ -35,43 +34,17 @@ import (
 // see (LRU evictions, leader-abandoned entries) surface through the
 // onEvict/onAbandon hooks.
 
-// predKey is the quantized query identity. Absent optional sensors are
-// encoded as -1 so "no speed" and "speed 0" stay distinct keys — they
-// are served by different chain tiers.
-type predKey struct {
-	col, row int32 // throughput-map grid cell (2 m × 2 m)
-	speedB   int16 // km/h bucket, -1 when the query carried no speed
-	bearingB int16 // 22.5° compass sector, -1 when absent
-}
+// predKey is the quantized query identity, owned by internal/engine so
+// the cache key and the fleet partition key can never drift apart.
+type predKey = engine.Key
 
-// speedBucketKmh is the speed quantization step: walking/driving
-// regimes, the distinction the mobility features actually respond to,
-// differ at whole-km/h granularity.
-const speedBucketKmh = 1.0
+// bearingSectors mirrors the engine's compass quantization for the edge
+// tests in cache_test.go.
+const bearingSectors = engine.BearingSectors
 
-// bearingSectors divides the compass into 16 sectors of 22.5°.
-const bearingSectors = 16
-
-// quantizeKey buckets one query.
+// quantizeKey buckets one query (see engine.Quantize).
 func quantizeKey(px geo.Pixel, speed, bearing *float64) predKey {
-	k := predKey{col: int32(px.X / 2), row: int32(px.Y / 2), speedB: -1, bearingB: -1}
-	if speed != nil {
-		k.speedB = int16(*speed / speedBucketKmh)
-	}
-	if bearing != nil {
-		deg := math.Mod(*bearing, 360)
-		if deg < 0 {
-			deg += 360
-		}
-		// 360.0: the untyped-int form 360/16 would divide to 22, skewing
-		// every sector boundary and widening the last sector to 30°.
-		s := int16(deg / (360.0 / bearingSectors))
-		if s >= bearingSectors {
-			s = bearingSectors - 1
-		}
-		k.bearingB = s
-	}
-	return k
+	return engine.Quantize(px, speed, bearing)
 }
 
 // cacheOutcome says how getOrCompute answered, so the handler can keep

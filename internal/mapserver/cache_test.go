@@ -18,7 +18,7 @@ import (
 func TestQuantizeKey(t *testing.T) {
 	px := geo.Pixel{X: 100, Y: 201}
 	k := quantizeKey(px, nil, nil)
-	if k != (predKey{col: 50, row: 100, speedB: -1, bearingB: -1}) {
+	if k != (predKey{Col: 50, Row: 100, SpeedB: -1, BearingB: -1}) {
 		t.Fatalf("bare key: %+v", k)
 	}
 	// Neighbouring pixels in the same 2 m map cell share a key.
@@ -27,14 +27,14 @@ func TestQuantizeKey(t *testing.T) {
 	}
 	sp, b := 3.7, -10.0
 	k = quantizeKey(px, &sp, &b)
-	if k.speedB != 3 {
-		t.Fatalf("speed bucket: %d", k.speedB)
+	if k.SpeedB != 3 {
+		t.Fatalf("speed bucket: %d", k.SpeedB)
 	}
-	if k.bearingB != 15 { // -10° wraps to 350°, the last 22.5° sector
-		t.Fatalf("wrapped bearing sector: %d", k.bearingB)
+	if k.BearingB != 15 { // -10° wraps to 350°, the last 22.5° sector
+		t.Fatalf("wrapped bearing sector: %d", k.BearingB)
 	}
 	north := 0.0
-	if k := quantizeKey(px, nil, &north); k.bearingB != 0 || k.speedB != -1 {
+	if k := quantizeKey(px, nil, &north); k.BearingB != 0 || k.SpeedB != -1 {
 		t.Fatalf("north, no speed: %+v", k)
 	}
 	// "speed 0" and "no speed" are served by different tiers and must not
@@ -51,7 +51,7 @@ func TestQuantizeKey(t *testing.T) {
 func TestQuantizeKeyEdges(t *testing.T) {
 	px := geo.Pixel{X: 10, Y: 10}
 	sector := func(deg float64) int16 {
-		return quantizeKey(px, nil, &deg).bearingB
+		return quantizeKey(px, nil, &deg).BearingB
 	}
 	// -360°, 0° and 360° are the same heading and must share sector 0
 	// (math.Mod(-360, 360) is -0, which must not wrap to the top sector).
@@ -71,7 +71,7 @@ func TestQuantizeKeyEdges(t *testing.T) {
 	// Speed buckets truncate: [0,1) → 0, [1,2) → 1; the range cap (500)
 	// stays within int16.
 	speed := func(v float64) int16 {
-		return quantizeKey(px, &v, nil).speedB
+		return quantizeKey(px, &v, nil).SpeedB
 	}
 	if b := speed(0.999); b != 0 {
 		t.Fatalf("0.999 km/h bucket: %d", b)
@@ -99,7 +99,7 @@ func TestQuantizeKeyEdges(t *testing.T) {
 func TestPredCacheLRUAndOutcomes(t *testing.T) {
 	var evictions, abandoned atomic.Uint64
 	c := newPredCache(2, func() { evictions.Add(1) }, func() { abandoned.Add(1) })
-	mk := func(i int) predKey { return predKey{col: int32(i)} }
+	mk := func(i int) predKey { return predKey{Col: int32(i)} }
 	val := func(i int) func() predictResponse {
 		return func() predictResponse { return predictResponse{Mbps: float64(i)} }
 	}
@@ -147,7 +147,7 @@ func TestPredCacheLRUAndOutcomes(t *testing.T) {
 // closes), every later arrival blocks on it.
 func TestPredCacheSingleflight(t *testing.T) {
 	c := newPredCache(8, nil, nil)
-	key := predKey{col: 1, row: 2, speedB: 3, bearingB: 4}
+	key := predKey{Col: 1, Row: 2, SpeedB: 3, BearingB: 4}
 	started := make(chan struct{})
 	release := make(chan struct{})
 	var leaderBody []byte
@@ -197,7 +197,7 @@ func TestPredCacheSingleflight(t *testing.T) {
 func TestPredCacheLeaderPanicRecovers(t *testing.T) {
 	var abandoned atomic.Uint64
 	c := newPredCache(8, nil, func() { abandoned.Add(1) })
-	key := predKey{col: 9}
+	key := predKey{Col: 9}
 	func() {
 		defer func() { _ = recover() }()
 		c.getOrCompute(key, func() predictResponse { panic("model exploded") })
@@ -222,7 +222,7 @@ func TestPredCacheLeaderPanicRecovers(t *testing.T) {
 func TestPredCacheNonFiniteLeader(t *testing.T) {
 	var abandoned atomic.Uint64
 	c := newPredCache(8, nil, func() { abandoned.Add(1) })
-	key := predKey{col: 11}
+	key := predKey{Col: 11}
 	_, body, o := c.getOrCompute(key, func() predictResponse {
 		return predictResponse{Mbps: math.NaN()}
 	})

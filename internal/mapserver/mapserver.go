@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"lumos5g"
+	"lumos5g/internal/engine"
 	"lumos5g/internal/geo"
 )
 
@@ -56,16 +57,16 @@ type Server struct {
 	// single-predictor artifacts on load.
 	mapPrior float64
 
-	// mu guards the live model, its prediction cache and reload
-	// bookkeeping. Prediction takes the read lock; hot swaps take the
-	// write lock, so a reload is atomic with respect to every in-flight
-	// query — and because the cache is replaced in the same critical
-	// section as the chain, a swapped-out model's cached answers can
-	// never be served after the swap.
+	// mu guards the live model generation, its prediction cache and
+	// reload bookkeeping. Prediction takes the read lock; hot swaps take
+	// the write lock, so a reload is atomic with respect to every
+	// in-flight query — and because the cache is replaced in the same
+	// critical section as the engine generation, a swapped-out model's
+	// cached answers can never be served after the swap.
 	mu        sync.RWMutex
-	chain     *lumos5g.FallbackChain
-	cache     *predCache // nil when caching is disabled or no model serves
-	reloadErr string     // last rejected reload ("" when healthy)
+	eng       *engine.Engine // immutable per generation; never nil
+	cache     *predCache     // nil when caching is disabled or no model serves
+	reloadErr string         // last rejected reload ("" when healthy)
 
 	cacheSize int // entries per cache generation (0 = disabled)
 
@@ -88,6 +89,7 @@ type options struct {
 	cacheSize    int
 	metricsRoute bool
 	requestLog   io.Writer
+	maxInFlight  int
 }
 
 // WithRequestTimeout bounds each request's handler time (default 10 s).
@@ -120,6 +122,15 @@ func WithMetricsRoute(on bool) Option {
 // use.
 func WithRequestLog(w io.Writer) Option {
 	return func(o *options) { o.requestLog = w }
+}
+
+// WithMaxInFlight bounds concurrently served work requests (everything
+// except /healthz and /metrics, which probes must always reach). Above
+// the bound the server sheds: 503 with a Retry-After header and a
+// lumos_shed_total increment, so upstream retries back off instead of
+// dogpiling a slow server. n <= 0 disables shedding (the default).
+func WithMaxInFlight(n int) Option {
+	return func(o *options) { o.maxInFlight = n }
 }
 
 // defaultPredictCacheSize is roughly a 4 km² area at 2 m cells under a
@@ -156,14 +167,15 @@ func New(tm *lumos5g.ThroughputMap, pred *lumos5g.Predictor, opts ...Option) (*S
 // whose features a /predict query cannot supply simply never serve; they
 // still back /model downloads.
 func NewWithChain(tm *lumos5g.ThroughputMap, chain *lumos5g.FallbackChain, opts ...Option) (*Server, error) {
-	if tm == nil {
-		return nil, fmt.Errorf("mapserver: nil throughput map")
+	eng, err := engine.New(tm, chain)
+	if err != nil {
+		return nil, fmt.Errorf("mapserver: %w", err)
 	}
 	o := options{timeout: 10 * time.Second, maxBytes: 1 << 20, cacheSize: defaultPredictCacheSize, metricsRoute: true}
 	for _, opt := range opts {
 		opt(&o)
 	}
-	s := &Server{tm: tm, mux: http.NewServeMux(), chain: chain, mapPrior: mapMeanMbps(tm), cacheSize: o.cacheSize, logw: o.requestLog}
+	s := &Server{tm: tm, mux: http.NewServeMux(), eng: eng, mapPrior: eng.MapPrior(), cacheSize: o.cacheSize, logw: o.requestLog}
 	s.m = newServerMetrics(s)
 	if chain != nil {
 		s.cache = s.newCache()
@@ -178,37 +190,23 @@ func NewWithChain(tm *lumos5g.ThroughputMap, chain *lumos5g.FallbackChain, opts 
 		s.mux.HandleFunc("/metrics", s.handleMetrics)
 	}
 	// withObs sits outermost so it observes the final status of every
-	// request, including the 500s and 503s the layers beneath it
-	// manufacture. Recovery comes next: http.TimeoutHandler re-raises
-	// handler panics on the caller goroutine, so the recover catches both
-	// direct and timed-out panics.
+	// request, including the 503s the shed gate and timeout layers
+	// manufacture. Shedding comes right after: a shed request must cost
+	// nothing but the counter bump, and probes (/healthz, /metrics) are
+	// exempt so a saturated server still reports its own saturation.
+	// Recovery comes next: http.TimeoutHandler re-raises handler panics
+	// on the caller goroutine, so the recover catches both direct and
+	// timed-out panics.
 	postPaths := map[string]bool{"/predict/batch": true}
-	s.h = s.withObs(withRecovery(withTimeout(withMethodPolicy(withMaxBytes(s.mux, o.maxBytes), postPaths), o.timeout)))
+	h := withRecovery(withTimeout(withMethodPolicy(withMaxBytes(s.mux, o.maxBytes), postPaths), o.timeout))
+	h = withShed(h, o.maxInFlight, shedExempt, s.m.shed.Inc)
+	s.h = s.withObs(h)
 	return s, nil
 }
 
 // newCache builds one cache generation wired to the server's counters.
 func (s *Server) newCache() *predCache {
 	return newPredCache(s.cacheSize, s.m.cacheEvictions.Inc, s.m.cacheAbandoned.Inc)
-}
-
-// mapMeanMbps is the sample-weighted mean throughput across all map
-// cells, floored at 1 Mbps so it stays a usable chain prior. Cells with
-// non-finite means are skipped — a NaN check alone would still let +Inf
-// through the sum and out as an Inf prior, which has no JSON encoding.
-func mapMeanMbps(tm *lumos5g.ThroughputMap) float64 {
-	var sum float64
-	var n int
-	for _, c := range tm.Cells {
-		if c.N > 0 && !math.IsNaN(c.MeanMbps) && !math.IsInf(c.MeanMbps, 0) {
-			sum += c.MeanMbps * float64(c.N)
-			n += c.N
-		}
-	}
-	if n == 0 || sum <= float64(n) || math.IsInf(sum, 0) {
-		return 1
-	}
-	return sum / float64(n)
 }
 
 // ServeHTTP implements http.Handler.
@@ -221,18 +219,26 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Chain() *lumos5g.FallbackChain {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.chain
+	return s.eng.Chain()
+}
+
+// Engine returns the currently serving model generation — the
+// transport-agnostic core the HTTP layer wraps.
+func (s *Server) Engine() *engine.Engine {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng
 }
 
 // SetChain atomically swaps the serving model. In-flight queries finish
-// on the old chain; subsequent ones use the new. The prediction cache is
-// replaced with a fresh one in the same critical section, so no answer
-// computed by the old model outlives the swap. A successful manual swap
-// clears any recorded reload failure.
+// on the old generation; subsequent ones use the new. The prediction
+// cache is replaced with a fresh one in the same critical section, so no
+// answer computed by the old model outlives the swap. A successful
+// manual swap clears any recorded reload failure.
 func (s *Server) SetChain(c *lumos5g.FallbackChain) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.chain = c
+	s.eng = s.eng.WithChain(c)
 	s.cache = nil
 	if c != nil {
 		s.cache = s.newCache()
@@ -253,7 +259,7 @@ func (s *Server) ReloadModelFile(path string) error {
 		s.reloadErr = err.Error()
 		return fmt.Errorf("mapserver: reload %s rejected (model kept): %w", path, err)
 	}
-	s.chain = chain
+	s.eng = s.eng.WithChain(chain)
 	s.cache = s.newCache()
 	s.m.reloads.Inc()
 	s.reloadErr = ""
@@ -297,7 +303,7 @@ type healthJSON struct {
 // bookkeeping path to drift from the exposition.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
-	chain, cache, reloadErr := s.chain, s.cache, s.reloadErr
+	chain, cache, reloadErr := s.eng.Chain(), s.cache, s.reloadErr
 	s.mu.RUnlock()
 	m := s.m
 	h := healthJSON{
@@ -431,60 +437,12 @@ func queryValue(rawQuery, key string) string {
 	return ""
 }
 
-// valsPool recycles the per-query feature maps. The fallback chain
-// copies what it needs into its own feature vector and never retains the
-// query map, so the map can go straight back to the pool after Predict
-// returns — the serving path makes no per-request feature-vector garbage.
-var valsPool = sync.Pool{
-	New: func() any { return make(map[string]float64, 4) },
-}
-
-// predictVals assembles the fallback-chain query from one prediction
-// request. Optional parameters that are absent are simply omitted — the
-// chain demotes the query to a tier that does not need them. The map
-// comes from valsPool; release it with putVals once the chain answered.
-func predictVals(px geo.Pixel, speed, bearing *float64) map[string]float64 {
-	vals := valsPool.Get().(map[string]float64)
-	vals["pixel_x"] = float64(px.X)
-	vals["pixel_y"] = float64(px.Y)
-	if speed != nil {
-		vals["moving_speed"] = *speed
-	}
-	if bearing != nil {
-		rad := math.Pi / 180
-		vals["compass_sin"] = math.Sin(*bearing * rad)
-		vals["compass_cos"] = math.Cos(*bearing * rad)
-	}
-	return vals
-}
-
-// putVals returns a query map to the pool.
-func putVals(vals map[string]float64) {
-	clear(vals)
-	valsPool.Put(vals)
-}
-
-// mapOnlyResponse answers a prediction from the throughput map alone —
-// model-less degraded serving (Fig 3c's whole premise).
-func (s *Server) mapOnlyResponse(px geo.Pixel) predictResponse {
-	resp := predictResponse{Tier: -1, Degraded: true}
-	// A degenerate cell (non-finite mean) falls through to the map-wide
-	// prior rather than putting an unencodable value on the wire.
-	if cell := s.tm.Lookup(px.X, px.Y); cell != nil && !math.IsNaN(cell.MeanMbps) && !math.IsInf(cell.MeanMbps, 0) {
-		resp.Mbps, resp.Source = cell.MeanMbps, "map-cell"
-	} else {
-		resp.Mbps, resp.Source = s.mapPrior, "map-mean"
-	}
-	resp.Class = lumos5g.ClassOf(resp.Mbps).String()
-	resp.Group = resp.Source
-	return resp
-}
-
-// chainResponse converts one fallback-chain answer to the wire form.
-func chainResponse(p lumos5g.ChainPrediction) predictResponse {
+// engineResponse converts one engine answer to the wire form. Group
+// mirrors Source for clients of the pre-fallback API.
+func engineResponse(p engine.Prediction) predictResponse {
 	return predictResponse{
 		Mbps:     p.Mbps,
-		Class:    p.Class.String(),
+		Class:    p.Class,
 		Group:    p.Source,
 		Source:   p.Source,
 		Tier:     p.Tier,
@@ -527,16 +485,17 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		bearing = &bearingV
 	}
 
-	// One read of the (chain, cache) pair: a hot swap replaces both under
-	// the write lock, so a request never mixes an old cache with a new
-	// model. A request that raced a swap finishes on the pair it saw — the
-	// old cache is unreachable afterwards, so its answers die with it.
+	// One read of the (engine, cache) pair: a hot swap replaces both
+	// under the write lock, so a request never mixes an old cache with a
+	// new model. A request that raced a swap finishes on the pair it saw
+	// — the old cache is unreachable afterwards, so its answers die with
+	// it.
 	s.mu.RLock()
-	chain, cache := s.chain, s.cache
+	eng, cache := s.eng, s.cache
 	s.mu.RUnlock()
 	const route = "/predict"
-	if chain == nil {
-		resp := s.mapOnlyResponse(px)
+	if eng.Chain() == nil {
+		resp := engineResponse(eng.MapOnly(px))
 		if !wireSafe(resp) {
 			s.m.nonFinite.Inc()
 			writeError(w, http.StatusInternalServerError, "prediction is not finite")
@@ -548,12 +507,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	compute := func() predictResponse {
-		vals := predictVals(px, speed, bearing)
-		start := time.Now()
-		p := chain.Predict(vals)
-		s.m.tierLatency.With(p.Source).Observe(time.Since(start).Seconds())
-		putVals(vals)
-		return chainResponse(p)
+		p := eng.Predict(px, speed, bearing)
+		s.m.tierLatency.With(p.Source).Observe(p.Walk.Seconds())
+		return engineResponse(p)
 	}
 	if cache == nil {
 		resp := compute()
@@ -623,7 +579,8 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	pxs := make([]geo.Pixel, len(queries))
-	vals := make([]map[string]float64, len(queries))
+	speeds := make([]*float64, len(queries))
+	bearings := make([]*float64, len(queries))
 	for i, bq := range queries {
 		if err := checkRange(bq.Lat, "lat", -90, 90); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %s", i, err))
@@ -646,23 +603,12 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		pxs[i] = geo.Pixelize(geo.LatLon{Lat: bq.Lat, Lon: bq.Lon}, geo.DefaultZoom)
-		vals[i] = predictVals(pxs[i], bq.Speed, bq.Bearing)
+		speeds[i], bearings[i] = bq.Speed, bq.Bearing
 	}
 
 	out := make([]predictResponse, len(queries))
-	chain := s.Chain()
-	if chain == nil {
-		for i := range queries {
-			out[i] = s.mapOnlyResponse(pxs[i])
-		}
-		s.finishBatch(w, out)
-		return
-	}
-	for i, p := range chain.PredictBatch(vals) {
-		out[i] = chainResponse(p)
-	}
-	for _, v := range vals {
-		putVals(v)
+	for i, p := range s.Engine().PredictBatch(pxs, speeds, bearings) {
+		out[i] = engineResponse(p)
 	}
 	s.finishBatch(w, out)
 }

@@ -43,6 +43,7 @@ type serverMetrics struct {
 	tierServed  *obs.CounterVec   // lumos_predict_tier_served_total{route,tier}
 	tierLatency *obs.HistogramVec // lumos_predict_tier_duration_seconds{tier}
 	nonFinite   *obs.Counter      // lumos_predict_nonfinite_total
+	shed        *obs.Counter      // lumos_shed_total (written by withShed)
 
 	// Prediction cache (hit/miss/uncached written by the handler on the
 	// getOrCompute outcome; evictions/abandoned by the cache's hooks).
@@ -76,6 +77,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 			obs.DefLatencyBuckets, "tier"),
 		nonFinite: r.NewCounter("lumos_predict_nonfinite_total",
 			"Predictions rejected before the wire because the value was NaN or infinite."),
+		shed: r.NewCounter("lumos_shed_total",
+			"Requests shed with 503 because in-flight work exceeded the configured bound."),
 		cacheHits: r.NewCounter("lumos_predict_cache_hits_total",
 			"Prediction-cache hits (no model walk)."),
 		cacheMisses: r.NewCounter("lumos_predict_cache_misses_total",

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"lumos5g/internal/core"
+	"lumos5g/internal/engine"
 	"lumos5g/internal/geo"
 )
 
@@ -219,7 +220,7 @@ func TestPredictInfCellFallsToPrior(t *testing.T) {
 		Cells:      map[geo.GridKey]*core.MapCell{key: {Key: key, MeanMbps: math.Inf(1), N: 3}},
 		MinSamples: 1,
 	}
-	if m := mapMeanMbps(tm); math.IsInf(m, 0) || math.IsNaN(m) {
+	if m := engine.MapMean(tm); math.IsInf(m, 0) || math.IsNaN(m) {
 		t.Fatalf("map prior must stay finite: %v", m)
 	}
 	s, err := NewWithChain(tm, nil)

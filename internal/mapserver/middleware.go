@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -110,6 +111,44 @@ func withMethodPolicy(next http.Handler, postPaths map[string]bool) http.Handler
 			writeError(w, http.StatusMethodNotAllowed, "method not allowed")
 			return
 		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// shedExempt lists the routes the shed gate never touches: liveness and
+// metrics probes must reach a saturated server, or the fleet's health
+// router would mark a merely-busy replica dead.
+var shedExempt = map[string]bool{"/healthz": true, "/metrics": true}
+
+// shedRetryAfter is the Retry-After hint on shed responses, in seconds.
+// It is deliberately coarse: the point is to tell well-behaved callers
+// (the fleet router, SDK clients) to back off rather than to predict
+// when capacity frees up.
+const shedRetryAfter = "1"
+
+// withShed rejects work requests beyond limit concurrently in flight
+// with a 503 + Retry-After — overload shedding, so a slow model walk
+// under a thundering herd degrades into fast explicit backpressure
+// instead of a pile of timed-out requests. limit <= 0 disables the gate.
+// onShed is called once per shed request (wire it to lumos_shed_total).
+func withShed(next http.Handler, limit int, exempt map[string]bool, onShed func()) http.Handler {
+	if limit <= 0 {
+		return next
+	}
+	var inFlight atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exempt[r.URL.Path] {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if n := inFlight.Add(1); n > int64(limit) {
+			inFlight.Add(-1)
+			onShed()
+			w.Header().Set("Retry-After", shedRetryAfter)
+			writeError(w, http.StatusServiceUnavailable, "overloaded, retry later")
+			return
+		}
+		defer inFlight.Add(-1)
 		next.ServeHTTP(w, r)
 	})
 }

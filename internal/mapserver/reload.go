@@ -3,6 +3,7 @@ package mapserver
 import (
 	"context"
 	"os"
+	"sync"
 	"time"
 )
 
@@ -15,7 +16,8 @@ import (
 // reload attempt with its outcome (nil on success) — wire it to a
 // logger.
 //
-// Run it in its own goroutine:
+// Run it in its own goroutine, or use StartModelWatch which owns the
+// goroutine and hands back a joining stop handle:
 //
 //	go srv.WatchModelFile(ctx, "model.l5g", 5*time.Second, func(err error) { ... })
 func (s *Server) WatchModelFile(ctx context.Context, path string, interval time.Duration, onEvent func(error)) {
@@ -55,5 +57,26 @@ func (s *Server) WatchModelFile(ctx context.Context, path string, interval time.
 		if onEvent != nil {
 			onEvent(err)
 		}
+	}
+}
+
+// StartModelWatch runs WatchModelFile in its own goroutine and returns
+// a stop function that cancels the watcher AND waits for the goroutine
+// to exit. This is what a drain wants: after stop() returns, no poller
+// is left stat-ing the artifact or swapping models behind the shutdown
+// sequence. stop is idempotent.
+func (s *Server) StartModelWatch(path string, interval time.Duration, onEvent func(error)) (stop func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.WatchModelFile(ctx, path, interval, onEvent)
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			cancel()
+			<-done
+		})
 	}
 }

@@ -269,3 +269,57 @@ func TestWatchModelFile(t *testing.T) {
 		}
 	}
 }
+
+// TestStartModelWatchStops pins the drain contract of the joining stop
+// handle: stop() cancels the poller AND waits for its goroutine to
+// exit, so a drain sequence that calls it leaves no watcher stat-ing
+// the artifact or swapping models behind the shutdown.
+func TestStartModelWatchStops(t *testing.T) {
+	tm, _ := setup(t)
+	chain := trainedChain(t)
+	s, err := NewWithChain(tm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.l5g")
+	events := make(chan error, 64)
+	stop := s.StartModelWatch(path, 2*time.Millisecond, func(err error) { events <- err })
+
+	// Prove the watcher is live: drop an artifact and wait for the load.
+	if err := chain.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-events:
+		if err != nil {
+			t.Fatalf("watcher rejected a good artifact: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher never loaded the artifact")
+	}
+
+	// stop must join the goroutine, and calling it again must be a no-op.
+	joined := make(chan struct{})
+	go func() {
+		stop()
+		stop()
+		close(joined)
+	}()
+	select {
+	case <-joined:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop() did not join the watcher goroutine")
+	}
+
+	// The goroutine is gone: rewriting the artifact produces no events.
+	for len(events) > 0 {
+		<-events
+	}
+	if err := chain.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // 25 poll intervals, were it alive
+	if n := len(events); n != 0 {
+		t.Fatalf("watcher still polling after stop: %d events", n)
+	}
+}

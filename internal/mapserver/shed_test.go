@@ -1,0 +1,142 @@
+package mapserver
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestShedGate pins the overload-shedding contract at the middleware
+// level, where saturation can be held deterministically: beyond the
+// in-flight bound, work routes get an immediate 503 with a Retry-After
+// hint and one onShed tick, exempt routes (health, metrics) still pass,
+// and capacity freed by a finishing request is reusable.
+func TestShedGate(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/block" {
+			started <- struct{}{}
+			<-release
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	var shed atomic.Int64
+	h := withShed(inner, 2, shedExempt, func() { shed.Add(1) })
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	// Occupy both in-flight slots with requests parked inside the handler.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + "/block")
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	<-started
+	<-started
+
+	// A third work request must shed: 503, Retry-After, JSON error body.
+	resp, body := get(t, srv.URL+"/predict")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated request: got %d, want 503 (body %q)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After header")
+	}
+	if !strings.Contains(body, `"error"`) {
+		t.Fatalf("shed body is not a JSON error: %q", body)
+	}
+
+	// Exempt probes must reach a saturated server — the fleet health
+	// prober distinguishes busy from dead through exactly this gap.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		if resp, _ := get(t, srv.URL+path); resp.StatusCode != http.StatusOK {
+			t.Fatalf("exempt %s shed while saturated: %d", path, resp.StatusCode)
+		}
+	}
+
+	if got := shed.Load(); got != 1 {
+		t.Fatalf("onShed ticks: got %d, want 1", got)
+	}
+
+	// Capacity frees when the parked requests finish.
+	close(release)
+	wg.Wait()
+	if resp, _ := get(t, srv.URL+"/predict"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-saturation request: got %d, want 200", resp.StatusCode)
+	}
+	if got := shed.Load(); got != 1 {
+		t.Fatalf("onShed ticked on a non-shed request: %d", got)
+	}
+}
+
+// TestShedServerWiring runs real load through a Server built with
+// WithMaxInFlight and audits the books: every /predict response is a
+// 200 or a shed 503, and the 503 count equals lumos_shed_total exactly
+// (the middleware stack has no other 503 source on this path).
+func TestShedServerWiring(t *testing.T) {
+	tm, pred := setup(t)
+	s, err := New(tm, pred, WithMaxInFlight(1), WithPredictCacheSize(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	const clients, perClient = 16, 8
+	var ok, shed, other atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				url := fmt.Sprintf("%s/predict?lat=%f&lon=%f&speed=%d",
+					srv.URL, testLat, testLon, c) // distinct speeds defeat coalescing
+				resp, err := http.Get(url)
+				if err != nil {
+					other.Add(1)
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+				case http.StatusServiceUnavailable:
+					if resp.Header.Get("Retry-After") == "" {
+						t.Error("503 without Retry-After")
+					}
+					shed.Add(1)
+				default:
+					other.Add(1)
+				}
+				resp.Body.Close()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if other.Load() != 0 {
+		t.Fatalf("unexpected non-200/503 outcomes: %d", other.Load())
+	}
+	if ok.Load()+shed.Load() != clients*perClient {
+		t.Fatalf("responses lost: %d ok + %d shed != %d", ok.Load(), shed.Load(), clients*perClient)
+	}
+	_, metrics := get(t, srv.URL+"/metrics")
+	got, found := metricValue(metrics, "lumos_shed_total")
+	if !found {
+		t.Fatal("lumos_shed_total missing from /metrics")
+	}
+	if got != float64(shed.Load()) {
+		t.Fatalf("lumos_shed_total = %v, want %d (observed 503s)", got, shed.Load())
+	}
+}
