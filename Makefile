@@ -9,10 +9,10 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: tier1 build vet test race race-core race-parallel race-fleet parity bench bench-json bench-serve bench-fleet fmt fuzz
+.PHONY: tier1 build vet test race race-core race-parallel race-fleet race-ingest parity bench bench-json bench-serve bench-fleet bench-ingest fmt fuzz
 
 tier1: ## build + vet + race-enabled test suite (run `make fuzz` too when touching parsers)
-	$(GO) build ./... && $(GO) build -o bin/lumosbench ./cmd/lumosbench && $(GO) vet ./... && $(GO) test -race ./internal/obs/... ./internal/mapserver/... && $(MAKE) race-fleet && $(GO) test -race ./...
+	$(GO) build ./... && $(GO) build -o bin/lumosbench ./cmd/lumosbench && $(GO) vet ./... && $(GO) test -race ./internal/obs/... ./internal/mapserver/... && $(MAKE) race-fleet && $(MAKE) race-ingest && $(GO) test -race ./...
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,11 @@ race-parallel:
 race-fleet:
 	$(GO) test -race ./internal/fleet/...
 
+# The streaming-ingestion loop, race-checked: gate + bounded queue +
+# refit-and-hot-swap under concurrent predict and upload traffic.
+race-ingest:
+	$(GO) test -race ./internal/ingest/... ./internal/mapserver/... ./internal/sim/...
+
 # The serial-vs-parallel parity audit: byte-identical campaigns, models
 # and batch predictions across worker counts.
 parity:
@@ -67,11 +72,18 @@ bench-serve:
 bench-fleet:
 	$(GO) run ./cmd/lumosbench -fleetbench BENCH_fleet.json
 
+# Continuous-learning loop report: sustained ingest admission rate
+# (direct and over HTTP), shed rate at overload, refit/hot-swap cost,
+# and /predict p99 while refits run.
+bench-ingest:
+	$(GO) run ./cmd/lumosbench -ingestbench BENCH_ingest.json
+
 # Short fuzz burst over every fuzz target (one -fuzz per package per
 # invocation is a `go test` restriction).
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/dataset
 	$(GO) test -run='^$$' -fuzz=FuzzLoadPredictor -fuzztime=$(FUZZTIME) .
+	$(GO) test -run='^$$' -fuzz=FuzzIngestSample -fuzztime=$(FUZZTIME) ./internal/ingest
 
 fmt:
 	gofmt -w ./cmd ./internal ./examples *.go

@@ -1,0 +1,271 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lumos5g"
+	"lumos5g/internal/ingest"
+	"lumos5g/internal/mapserver"
+	"lumos5g/internal/obs"
+)
+
+// The -ingestbench mode prices the continuous-learning loop: how fast
+// the gate + queue + window pipeline admits field samples (direct and
+// through the full HTTP handler), how the bounded queue sheds at
+// overload, what a gated refit-and-hot-swap costs, and what /predict
+// latency looks like while refits are running. It writes the numbers as
+// BENCH_ingest.json.
+
+type ingestRateEntry struct {
+	Name          string  `json:"name"`
+	Batch         int     `json:"batch"` // samples per op
+	NsPerOp       float64 `json:"ns_per_op"`
+	NsPerSample   float64 `json:"ns_per_sample"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+}
+
+type ingestBenchReport struct {
+	GeneratedAt string `json:"generated_at"`
+	NumCPU      int    `json:"num_cpu"`
+	GoMaxProcs  int    `json:"go_max_procs"`
+	Seed        uint64 `json:"seed"`
+	Samples     int    `json:"samples"` // campaign records replayed
+
+	// Sustained admission rate, direct (decoded samples) and through
+	// the full mapserver POST /ingest handler (JSON decode included).
+	Rates []ingestRateEntry `json:"rates"`
+
+	// Overload: a deliberately tiny queue with no drain. Shedding must
+	// be explicit (counted, not blocking) and cheap.
+	OverloadOffered  int     `json:"overload_offered"`
+	OverloadAccepted int     `json:"overload_accepted"`
+	OverloadShed     int     `json:"overload_shed"`
+	OverloadShedRate float64 `json:"overload_shed_rate"`
+	ShedNsPerSample  float64 `json:"shed_ns_per_sample"`
+
+	// Refit cycle cost on the full window, and the hot-swap alone (the
+	// window a predict query could observe a generation change).
+	RefitCycles    int     `json:"refit_cycles"`
+	RefitWindow    int     `json:"refit_window_samples"`
+	RefitMeanMs    float64 `json:"refit_mean_ms"`
+	RefitSwapped   int     `json:"refit_swapped"`
+	RefitRejected  int     `json:"refit_rejected"`
+	SwapNsPerOp    float64 `json:"swap_ns_per_op"`
+	PredictP50Ms   float64 `json:"predict_p50_ms_during_refit"`
+	PredictP99Ms   float64 `json:"predict_p99_ms_during_refit"`
+	PredictQueries int64   `json:"predict_queries_during_refit"`
+	PredictFailed  int64   `json:"predict_failed_during_refit"`
+}
+
+func ingestRateEntryOf(name string, batch int, r testing.BenchmarkResult) ingestRateEntry {
+	ns := float64(r.NsPerOp())
+	return ingestRateEntry{
+		Name: name, Batch: batch, NsPerOp: ns,
+		NsPerSample:   ns / float64(batch),
+		SamplesPerSec: float64(batch) * 1e9 / ns,
+		AllocsPerOp:   r.AllocsPerOp(),
+	}
+}
+
+// runIngestBench replays a generated campaign through the ingest
+// pipeline under several regimes and writes the JSON report to path.
+func runIngestBench(path string, seed uint64) error {
+	rep := ingestBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Seed:        seed,
+	}
+
+	area, err := lumos5g.AreaByName("Airport")
+	if err != nil {
+		return err
+	}
+	cfg := lumos5g.CampaignConfig{Seed: seed, WalkPasses: 6, BackgroundUEProb: 0.1}
+	clean, _ := lumos5g.CleanDataset(lumos5g.GenerateArea(area, cfg))
+	samples := make([]ingest.Sample, clean.Len())
+	for i := range clean.Records {
+		samples[i] = ingest.SampleFromRecord(&clean.Records[i])
+	}
+	rep.Samples = len(samples)
+	const batch = 256
+	if len(samples) < batch {
+		return fmt.Errorf("ingestbench: campaign too small (%d samples)", len(samples))
+	}
+
+	// Sustained rate, direct: gate + ring append + window add per op.
+	ingDirect := ingest.New(obs.NewRegistry(), ingest.Config{QueueSize: batch, WindowSize: 1 << 16})
+	rDirect := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			off := (i * batch) % (len(samples) - batch)
+			// Gate rejections are part of the measured pipeline (the
+			// online trace-mean rule may condemn a whole trace); only a
+			// queue drop would mean the drain cadence is wrong.
+			res := ingDirect.Ingest(samples[off : off+batch])
+			if res.Dropped > 0 {
+				b.Fatalf("queue dropped despite per-op drain: %+v", res)
+			}
+			ingDirect.Drain()
+		}
+	})
+	rep.Rates = append(rep.Rates, ingestRateEntryOf("ingest_direct", batch, rDirect))
+
+	// Sustained rate through the mapserver handler: JSON decode, gate,
+	// enqueue, response encode — what a UE upload actually costs.
+	tm := lumos5g.BuildThroughputMap(clean, 3)
+	srv, err := mapserver.NewWithChain(tm, nil)
+	if err != nil {
+		return err
+	}
+	ingHTTP := ingest.New(srv.Metrics(), ingest.Config{QueueSize: batch, WindowSize: 1 << 16})
+	srv.AttachIngestor(ingHTTP)
+	body, err := json.Marshal(samples[:batch])
+	if err != nil {
+		return err
+	}
+	rHTTP := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rr := httptest.NewRecorder()
+			srv.ServeHTTP(rr, httptest.NewRequest("POST", "/ingest", bytes.NewReader(body)))
+			if rr.Code != 200 {
+				b.Fatalf("/ingest: %d %s", rr.Code, rr.Body.String())
+			}
+			ingHTTP.Drain()
+		}
+	})
+	rep.Rates = append(rep.Rates, ingestRateEntryOf("ingest_http", batch, rHTTP))
+
+	// Overload: queue of 1024, never drained. Everything past the first
+	// 1024 gate-passing samples must shed, explicitly and cheaply.
+	ingShed := ingest.New(obs.NewRegistry(), ingest.Config{QueueSize: 1024})
+	offered, accepted, shed := 0, 0, 0
+	t0 := time.Now()
+	for off := 0; off+batch <= len(samples) && offered < 16384; off = (off + batch) % (len(samples) - batch + 1) {
+		res := ingShed.Ingest(samples[off : off+batch])
+		offered += batch
+		accepted += res.Accepted
+		shed += res.Dropped
+	}
+	elapsed := time.Since(t0)
+	rep.OverloadOffered = offered
+	rep.OverloadAccepted = accepted
+	rep.OverloadShed = shed
+	rep.OverloadShedRate = float64(shed) / float64(offered)
+	rep.ShedNsPerSample = float64(elapsed.Nanoseconds()) / float64(offered)
+
+	// Refit cycles on a full window, with /predict hammered throughout:
+	// the p99 a client sees while generations are retrained and swapped.
+	ingRefit := ingest.New(obs.NewRegistry(), ingest.Config{
+		QueueSize: 1 << 16,
+		Refit:     ingest.RefitConfig{MinSamples: 100, Seed: seed},
+	})
+	for off := 0; off+batch <= len(samples); off += batch {
+		ingRefit.Ingest(samples[off : off+batch])
+		ingRefit.Drain()
+	}
+	sRefit, err := mapserver.NewWithChain(tm, nil)
+	if err != nil {
+		return err
+	}
+	sRefit.AttachIngestor(ingRefit)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var queries, failed atomic.Int64
+	lat, lon := clean.Records[50].Latitude, clean.Records[50].Longitude
+	url := fmt.Sprintf("/predict?lat=%f&lon=%f&speed=4&bearing=10", lat, lon)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rr := httptest.NewRecorder()
+				sRefit.ServeHTTP(rr, httptest.NewRequest("GET", url, nil))
+				queries.Add(1)
+				if rr.Code != 200 {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	const cycles = 3
+	var refitTotal time.Duration
+	for i := 0; i < cycles; i++ {
+		c0 := time.Now()
+		res, _ := ingRefit.RefitNow(sRefit)
+		refitTotal += time.Since(c0)
+		if res.Swapped {
+			rep.RefitSwapped++
+		} else if !res.Skipped {
+			rep.RefitRejected++
+		}
+		rep.RefitWindow = res.Samples
+	}
+	close(stop)
+	wg.Wait()
+	rep.RefitCycles = cycles
+	rep.RefitMeanMs = float64(refitTotal.Milliseconds()) / cycles
+	rep.PredictP50Ms = sRefit.RouteLatencyQuantile("/predict", 0.5) * 1000
+	rep.PredictP99Ms = sRefit.RouteLatencyQuantile("/predict", 0.99) * 1000
+	rep.PredictQueries = queries.Load()
+	rep.PredictFailed = failed.Load()
+
+	// The swap alone: the critical section a predict query can race.
+	chain := sRefit.Chain()
+	if chain == nil {
+		chain, err = lumos5g.NewFallbackChain(250)
+		if err != nil {
+			return err
+		}
+	}
+	rSwap := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sRefit.SetChain(chain)
+		}
+	})
+	rep.SwapNsPerOp = float64(rSwap.NsPerOp())
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	for _, r := range rep.Rates {
+		fmt.Printf("%-16s %9.0f ns/op  %7.0f ns/sample  %11.0f samples/s  %5d allocs/op\n",
+			r.Name, r.NsPerOp, r.NsPerSample, r.SamplesPerSec, r.AllocsPerOp)
+	}
+	fmt.Printf("overload: offered %d, accepted %d, shed %d (%.1f%%), %.0f ns/sample\n",
+		rep.OverloadOffered, rep.OverloadAccepted, rep.OverloadShed,
+		rep.OverloadShedRate*100, rep.ShedNsPerSample)
+	fmt.Printf("refit: %d cycles on %d samples, mean %.0f ms, %d swapped, %d rejected; swap %.0f ns\n",
+		rep.RefitCycles, rep.RefitWindow, rep.RefitMeanMs,
+		rep.RefitSwapped, rep.RefitRejected, rep.SwapNsPerOp)
+	fmt.Printf("/predict during refit: p50 %.3f ms, p99 %.3f ms over %d queries (%d failed)\n",
+		rep.PredictP50Ms, rep.PredictP99Ms, rep.PredictQueries, rep.PredictFailed)
+	fmt.Printf("wrote %s\n", path)
+
+	if rep.PredictFailed > 0 {
+		return fmt.Errorf("ingestbench: %d predict queries failed during refit", rep.PredictFailed)
+	}
+	return nil
+}

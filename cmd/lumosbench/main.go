@@ -7,6 +7,7 @@
 //	lumosbench -parbench BENCH_parallel.json [-parworkers N]
 //	lumosbench -servebench BENCH_serve.json
 //	lumosbench -fleetbench BENCH_fleet.json
+//	lumosbench -ingestbench BENCH_ingest.json
 //
 // With no -run flag every experiment runs in paper order. The quick
 // profile (default) uses a reduced campaign and scaled-down models that
@@ -34,7 +35,16 @@ func main() {
 	parworkers := flag.Int("parworkers", 0, "worker count for -parbench (0 = one per CPU)")
 	servebench := flag.String("servebench", "", "run serving fast-path benchmarks (compiled kernel, prediction cache, handlers), write JSON to this path, and exit")
 	fleetbench := flag.String("fleetbench", "", "run sharded-fleet routing benchmarks (1 vs N shards, replica killed mid-run), write JSON to this path, and exit")
+	ingestbench := flag.String("ingestbench", "", "run streaming-ingest and refit-hot-swap benchmarks (admission rate, shed at overload, refit cost, predict p99 during refit), write JSON to this path, and exit")
 	flag.Parse()
+
+	if *ingestbench != "" {
+		if err := runIngestBench(*ingestbench, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "lumosbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *fleetbench != "" {
 		if err := runFleetBench(*fleetbench, *seed); err != nil {

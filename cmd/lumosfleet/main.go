@@ -40,6 +40,7 @@ import (
 
 	"lumos5g"
 	"lumos5g/internal/fleet"
+	"lumos5g/internal/ingest"
 	"lumos5g/internal/mapserver"
 )
 
@@ -95,6 +96,9 @@ func main() {
 	reqTimeout := flag.Duration("timeout", 10*time.Second, "per-request handler timeout on each replica")
 	grace := flag.Duration("grace", 5*time.Second, "shutdown drain period")
 	chaos := flag.Bool("chaos", false, "expose POST /chaos/kill?replica=ID and /chaos/drain?shard=ID fault-injection endpoints (demo only)")
+	ingestOn := flag.Bool("ingest", false, "accept streamed samples on POST /ingest, routed to the owning shard; each replica refits on its own slice")
+	refitInterval := flag.Duration("refit-interval", 30*time.Second, "how often each replica's refit loop retrains on its ingest window")
+	refitGate := flag.Float64("refit-gate", 0.10, "holdout gate: reject a candidate whose MAE regresses past the live model by this fraction")
 	flag.Parse()
 
 	var d *lumos5g.Dataset
@@ -133,12 +137,22 @@ func main() {
 	if *maxInFlight > 0 {
 		opts = append(opts, mapserver.WithMaxInFlight(*maxInFlight))
 	}
-	fl, err := fleet.StartFleet(tm, chain, fleet.FleetConfig{
+	fcfg := fleet.FleetConfig{
 		Shards:     *shards,
 		Replicas:   *replicas,
 		ServerOpts: opts,
 		Seed:       *seed,
-	})
+	}
+	if *ingestOn {
+		fcfg.Ingest = &ingest.Config{
+			Refit: ingest.RefitConfig{
+				Interval: *refitInterval,
+				GateFrac: *refitGate,
+				Seed:     *seed,
+			},
+		}
+	}
+	fl, err := fleet.StartFleet(tm, chain, fcfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -153,6 +167,10 @@ func main() {
 	}
 	log.Printf("fleet of %d shards x %d replicas serving %d map cells, model %s; router on http://%s",
 		*shards, *replicas, len(tm.Cells), chain, *listen)
+	if *ingestOn {
+		log.Printf("ingest enabled: POST /ingest routes to owning shards; per-replica refit every %v, gate %.0f%%",
+			*refitInterval, *refitGate*100)
+	}
 
 	var h http.Handler = fl.Router()
 	if *chaos {

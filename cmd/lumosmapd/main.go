@@ -10,6 +10,10 @@
 //	lumosmapd -in airport.csv -model chain.l5g -watch 5s
 //
 // Routes: /healthz, /metrics, /map.svg, /cells.json, /model, /predict?lat=..&lon=..&speed=..&bearing=..
+// With -ingest, POST /ingest accepts batched per-second samples from UEs
+// in the field; a gated refit loop periodically retrains the chain on
+// the accepted window and hot-swaps it only when a holdout check shows
+// no regression (-refit-interval, -refit-gate).
 //
 // The model is a fallback chain (L+M+C → L+M → L → harmonic mean): a
 // query missing kinematics or history is demoted to the best tier its
@@ -35,6 +39,7 @@ import (
 	"time"
 
 	"lumos5g"
+	"lumos5g/internal/ingest"
 	"lumos5g/internal/mapserver"
 )
 
@@ -54,6 +59,12 @@ func main() {
 	logRequests := flag.Bool("log-requests", false, "write one JSON access-log line per request to stderr")
 	grace := flag.Duration("grace", 5*time.Second, "shutdown drain period")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; off by default)")
+	ingestOn := flag.Bool("ingest", false, "accept streamed samples on POST /ingest and refit the model on them")
+	ingestQueue := flag.Int("ingest-queue", 4096, "bounded ingest queue size; full queues shed with 429 + Retry-After")
+	refitInterval := flag.Duration("refit-interval", 30*time.Second, "how often the refit loop retrains on the ingest window")
+	refitGate := flag.Float64("refit-gate", 0.10, "holdout gate: reject a candidate whose MAE regresses past the live model by this fraction")
+	refitMin := flag.Int("refit-min", 200, "window samples required before a refit fires")
+	refitArtifact := flag.String("refit-artifact", "", "promote accepted refit generations to this artifact path (empty = in-memory only)")
 	flag.Parse()
 
 	if *watch > 0 && *modelPath == "" {
@@ -147,6 +158,31 @@ func main() {
 		// Join the watcher goroutine on shutdown so the drain leaves
 		// nothing running behind the process's back.
 		defer stopWatch()
+	}
+
+	if *ingestOn {
+		ing := ingest.New(srv.Metrics(), ingest.Config{
+			QueueSize: *ingestQueue,
+			Refit: ingest.RefitConfig{
+				Interval:     *refitInterval,
+				GateFrac:     *refitGate,
+				MinSamples:   *refitMin,
+				Seed:         *seed,
+				ArtifactPath: *refitArtifact,
+			},
+		})
+		srv.AttachIngestor(ing)
+		stopRefit := ing.Start(srv, func(res ingest.RefitResult, err error) {
+			if res.Swapped {
+				log.Printf("refit accepted on %d samples (live MAE %.2f -> candidate %.2f); model hot-swapped: %s",
+					res.Samples, res.LiveMAE, res.CandMAE, srv.Chain())
+			} else {
+				log.Printf("refit rejected (%s), old model kept: %v", res.Reason, err)
+			}
+		})
+		defer stopRefit()
+		log.Printf("ingest enabled: POST /ingest (queue %d, refit every %v, gate %.0f%%)",
+			*ingestQueue, *refitInterval, *refitGate*100)
 	}
 
 	if chain != nil {

@@ -316,5 +316,13 @@ func parseRow(row []string) (Record, error) {
 	if r.SharingUEs, err = strconv.Atoi(row[28]); err != nil {
 		return r, fmt.Errorf("sharing_ues: %w", err)
 	}
+	// Syntactically fine is not enough: a parseable row can still carry
+	// values no sensor produces (lat 999, NaN throughput). Both loaders
+	// share this check — strict fails the load, lenient quarantines — and
+	// the live ingest gate applies the same table, so CSV loading and
+	// ingest reject identically.
+	if err := ValidateRecord(&r); err != nil {
+		return r, err
+	}
 	return r, nil
 }

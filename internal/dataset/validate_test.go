@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValidateRecord(t *testing.T) {
+	good := mkRecord("Airport", 0, 0, 100)
+	if err := ValidateRecord(&good); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Record)
+		field  string
+	}{
+		{"latitude out of range", func(r *Record) { r.Latitude = 999 }, "latitude"},
+		{"longitude -Inf", func(r *Record) { r.Longitude = math.Inf(-1) }, "longitude"},
+		{"latitude NaN (required)", func(r *Record) { r.Latitude = math.NaN() }, "latitude"},
+		{"throughput NaN (required)", func(r *Record) { r.ThroughputMbps = math.NaN() }, "throughput_mbps"},
+		{"negative throughput", func(r *Record) { r.ThroughputMbps = -1 }, "throughput_mbps"},
+		{"negative speed", func(r *Record) { r.SpeedKmh = -3 }, "speed_kmh"},
+		{"positive lte_rssi", func(r *Record) { r.LteRssi = 7 }, "lte_rssi"},
+		{"ss_rsrp above ceiling", func(r *Record) { r.SSRsrp = 0 }, "ss_rsrp"},
+		{"negative pixel", func(r *Record) { r.PixelX = -4 }, "pixel_x"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := mkRecord("Airport", 0, 0, 100)
+			tc.mutate(&r)
+			err := ValidateRecord(&r)
+			var fe *FieldError
+			if !errors.As(err, &fe) {
+				t.Fatalf("want *FieldError, got %v", err)
+			}
+			if fe.Field != tc.field {
+				t.Fatalf("field = %q, want %q", fe.Field, tc.field)
+			}
+		})
+	}
+
+	// NaN optional sensors are legal (absent readings).
+	r := mkRecord("Airport", 0, 0, 100)
+	r.SSSinr = math.NaN()
+	r.LteRsrp = math.NaN()
+	r.GPSAccuracy = math.NaN()
+	if err := ValidateRecord(&r); err != nil {
+		t.Fatalf("NaN optional sensors rejected: %v", err)
+	}
+}
+
+// A syntactically perfect row carrying a physically impossible value is
+// quarantined by the lenient loader and fatal to the strict one — the
+// same split as structural corruption.
+func TestReadCSVQuarantinesValueViolations(t *testing.T) {
+	d := &Dataset{}
+	for i := 0; i < 3; i++ {
+		d.Append(mkRecord("Airport", 0, i, float64(100+i)))
+	}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// Row 2: replace its latitude with an impossible one. The row
+	// still parses — only the validity table can catch it.
+	cols := strings.Split(lines[2], ",")
+	cols[4] = "999.0000000"
+	lines[2] = strings.Join(cols, ",")
+	in := strings.Join(lines, "\n") + "\n"
+
+	got, rep, err := ReadCSVLenient(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || rep.Quarantined != 1 {
+		t.Fatalf("want 2 rows + 1 quarantined, got %d + %d", got.Len(), rep.Quarantined)
+	}
+	if len(rep.Errors) != 1 || !strings.Contains(rep.Errors[0].Error(), "latitude") {
+		t.Fatalf("quarantine reason %v does not name the field", rep.Errors)
+	}
+	var fe *FieldError
+	if !errors.As(rep.Errors[0].Err, &fe) || fe.Field != "latitude" {
+		t.Fatalf("quarantine error is not a latitude FieldError: %v", rep.Errors[0].Err)
+	}
+	if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+		t.Fatal("strict loader accepted a value violation")
+	}
+}
+
+func TestFieldBoundsCoversTable(t *testing.T) {
+	b := FieldBounds()
+	for _, field := range []string{"latitude", "longitude", "throughput_mbps", "speed_kmh", "lte_rsrp", "ss_sinr", "pixel_x"} {
+		if _, ok := b[field]; !ok {
+			t.Errorf("FieldBounds missing %q", field)
+		}
+	}
+	if lo, hi := b["latitude"][0], b["latitude"][1]; lo != -90 || hi != 90 {
+		t.Errorf("latitude bounds [%g,%g]", lo, hi)
+	}
+}

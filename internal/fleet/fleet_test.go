@@ -201,6 +201,17 @@ lumos_only_here 7.5
 	if strings.Contains(out, "garbage") {
 		t.Fatal("malformed line leaked into the rollup")
 	}
+	// Every replica repeats the same HELP/TYPE comments; the merged
+	// exposition must declare each exactly once.
+	for _, meta := range []string{
+		`# HELP lumos_http_requests_total HTTP requests.`,
+		`# TYPE lumos_http_requests_total counter`,
+		`# TYPE lumos_lat_bucket histogram`,
+	} {
+		if n := strings.Count(out, meta); n != 1 {
+			t.Fatalf("meta line %q appears %d times in:\n%s", meta, n, out)
+		}
+	}
 }
 
 func TestPartitionMapCoversDisjointly(t *testing.T) {

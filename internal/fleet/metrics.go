@@ -25,8 +25,9 @@ type routerMetrics struct {
 	hedges    *obs.Counter    // fleet_hedges_total
 	failovers *obs.Counter    // fleet_failovers_total
 
-	batchRows *obs.CounterVec // fleet_batch_rows_total{outcome}
-	partials  *obs.Counter    // fleet_partial_responses_total
+	batchRows  *obs.CounterVec // fleet_batch_rows_total{outcome}
+	ingestRows *obs.CounterVec // fleet_ingest_rows_total{outcome}
+	partials   *obs.Counter    // fleet_partial_responses_total
 
 	probeFails   *obs.Counter // fleet_probe_failures_total
 	rollupErrors *obs.Counter // fleet_rollup_scrape_failures_total
@@ -49,6 +50,9 @@ func newRouterMetrics(rt *Router) *routerMetrics {
 		batchRows: r.NewCounterVec("fleet_batch_rows_total",
 			"Batch rows by outcome: served by a shard, or failed (explicit "+
 				"partial-result marker).", "outcome"),
+		ingestRows: r.NewCounterVec("fleet_ingest_rows_total",
+			"Routed ingest samples by outcome: accepted/rejected/dropped by "+
+				"the owning shard's gate and queue, or failed (shard unreachable).", "outcome"),
 		partials: r.NewCounter("fleet_partial_responses_total",
 			"Fan-out responses that carried an explicit partial-result marker."),
 		probeFails: r.NewCounter("fleet_probe_failures_total",

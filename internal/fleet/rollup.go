@@ -21,14 +21,19 @@ import (
 // rollup accumulates expositions. Not safe for concurrent use; the
 // metrics handler builds one per scrape.
 type rollup struct {
-	vals  map[string]float64 // series line (name{labels}) → summed value
-	order []string           // first-seen order of series
-	meta  map[string][]string
-	names []string // first-seen order of metric names (for meta)
+	vals     map[string]float64 // series line (name{labels}) → summed value
+	order    []string           // first-seen order of series
+	meta     map[string][]string
+	metaSeen map[string]bool // "HELP name" / "TYPE name" already kept
+	names    []string        // first-seen order of metric names (for meta)
 }
 
 func newRollup() *rollup {
-	return &rollup{vals: make(map[string]float64), meta: make(map[string][]string)}
+	return &rollup{
+		vals:     make(map[string]float64),
+		meta:     make(map[string][]string),
+		metaSeen: make(map[string]bool),
+	}
 }
 
 // seriesName extracts the metric name from a series key ("name{...}" or
@@ -52,10 +57,16 @@ func (ru *rollup) add(exposition io.Reader) error {
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
-			// Keep HELP/TYPE from the first replica that declares them.
+			// Keep HELP/TYPE from the first replica that declares them —
+			// every replica repeats the same comments, and N copies per
+			// metric is not a valid exposition.
 			fields := strings.Fields(line)
 			if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
 				name := fields[2]
+				if ru.metaSeen[fields[1]+" "+name] {
+					continue
+				}
+				ru.metaSeen[fields[1]+" "+name] = true
 				if _, seen := ru.meta[name]; !seen {
 					ru.names = append(ru.names, name)
 				}

@@ -114,6 +114,7 @@ func NewRouter(topo *Topology, cfg RouterConfig) *Router {
 	}
 	rt.mux.HandleFunc("/predict", rt.handlePredict)
 	rt.mux.HandleFunc("/predict/batch", rt.handleBatch)
+	rt.mux.HandleFunc("/ingest", rt.handleIngest)
 	rt.mux.HandleFunc("/cells.json", rt.handleCells)
 	rt.mux.HandleFunc("/healthz", rt.handleHealth)
 	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
@@ -152,7 +153,7 @@ func (rt *Router) Metrics() *obs.Registry { return rt.m.reg }
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	route := r.URL.Path
 	switch route {
-	case "/predict", "/predict/batch", "/cells.json", "/healthz", "/metrics":
+	case "/predict", "/predict/batch", "/ingest", "/cells.json", "/healthz", "/metrics":
 	default:
 		route = "other"
 	}

@@ -12,6 +12,7 @@ import (
 	"lumos5g"
 	"lumos5g/internal/core"
 	"lumos5g/internal/geo"
+	"lumos5g/internal/ingest"
 	"lumos5g/internal/mapserver"
 	"lumos5g/internal/rng"
 )
@@ -61,6 +62,14 @@ type FleetConfig struct {
 	RestartMax  time.Duration
 	// Seed seeds the restart jitter (0 = fixed default).
 	Seed uint64
+
+	// Ingest, when non-nil, attaches a streaming-ingest pipeline and
+	// refit loop to every replica: the router forwards POST /ingest to
+	// the shard owning each sample's cell, so each replica refits on
+	// the slice of the map it actually serves. Any ArtifactPath is
+	// suffixed with the replica ID so replicas never clobber each
+	// other's candidate files.
+	Ingest *ingest.Config
 }
 
 func (c *FleetConfig) fill() {
@@ -90,6 +99,9 @@ type Fleet struct {
 	router *Router
 
 	shards []*supShard
+
+	// ingStops joins every replica's refit loop on Shutdown.
+	ingStops []func()
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -173,6 +185,15 @@ func StartFleet(tm *lumos5g.ThroughputMap, chain *lumos5g.FallbackChain, cfg Fle
 			rep := &Replica{
 				ID:  fmt.Sprintf("%sr%d", id, j),
 				URL: "http://" + ln.Addr().String(),
+			}
+			if cfg.Ingest != nil {
+				icfg := *cfg.Ingest
+				if icfg.Refit.ArtifactPath != "" {
+					icfg.Refit.ArtifactPath += "." + rep.ID
+				}
+				ii := ingest.New(ms.Metrics(), icfg)
+				ms.AttachIngestor(ii)
+				f.ingStops = append(f.ingStops, ii.Start(ms, nil))
 			}
 			sr := &supReplica{
 				rep:  rep,
@@ -354,6 +375,10 @@ func (f *Fleet) DrainShard(ctx context.Context, shardID string) bool {
 // supervisor loops are joined. Safe to call once.
 func (f *Fleet) Shutdown(ctx context.Context) {
 	f.router.Close()
+	for _, stop := range f.ingStops {
+		stop()
+	}
+	f.ingStops = nil
 	f.cancel()
 	var wg sync.WaitGroup
 	for _, ss := range f.shards {
@@ -373,6 +398,10 @@ func (f *Fleet) Shutdown(ctx context.Context) {
 
 // closeAll tears down whatever a failed StartFleet had already built.
 func (f *Fleet) closeAll() {
+	for _, stop := range f.ingStops {
+		stop()
+	}
+	f.ingStops = nil
 	for _, ss := range f.shards {
 		for _, sr := range ss.reps {
 			if srv := sr.curSrv(); srv != nil {

@@ -1,0 +1,69 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"lumos5g/internal/dataset"
+	"lumos5g/internal/obs"
+)
+
+// FuzzIngestSample drives the ingest wire decoder with arbitrary
+// bodies. Two properties (satellite 2):
+//
+//  1. the decoder never panics, whatever the bytes;
+//  2. it never admits a sample the quality gate should drop — every
+//     record that reaches the window satisfies the full validity
+//     table and the per-fix GPS rule, with finite required fields.
+func FuzzIngestSample(f *testing.F) {
+	good, _ := json.Marshal([]Sample{validSample()})
+	f.Add(good)
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{`))
+	f.Add([]byte(`{"lat": 44.9}`))
+	f.Add([]byte(`[{"lat": NaN, "lon": -93.2}]`))
+	f.Add([]byte(`[{"lat": Infinity}]`))
+	f.Add([]byte(`[{"lat": 1e999, "lon": -93.2, "gps_accuracy": 1, "speed_kmh": 1, "compass_deg": 1, "throughput_mbps": 1}]`))
+	f.Add([]byte(`[{"lat": 999, "lon": -999, "gps_accuracy": -5, "speed_kmh": 1e9, "compass_deg": 720, "throughput_mbps": -3}]`))
+	f.Add([]byte(`[{"lat": 44.9, "lon": -93.2, "gps_accuracy": 50, "speed_kmh": 2, "compass_deg": 10, "throughput_mbps": 100, "radio": "LTE"}]`))
+	f.Add([]byte(`[{"lat": 44.9, "lon": -93.2, "gps_accuracy": 3, "speed_kmh": 2, "compass_deg": 10, "throughput_mbps": 100, "lte_rssi": 40, "ss_sinr": -200}]`))
+	f.Add([]byte(`[{"area": "A", "trajectory": "t0", "pass": -1, "second": -9, "lat": -44.9, "lon": 93.2, "gps_accuracy": 0, "speed_kmh": 0, "compass_deg": -360, "throughput_mbps": 0}]`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		ing := New(obs.NewRegistry(), Config{QueueSize: 256})
+		req := httptest.NewRequest("POST", "/ingest", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		ing.ServeHTTP(w, req) // must not panic
+
+		if w.Code != 200 && w.Code != 400 && w.Code != 429 {
+			t.Fatalf("unexpected status %d", w.Code)
+		}
+
+		// Whatever was admitted must satisfy every gate invariant.
+		ing.Drain()
+		ing.mu.Lock()
+		snap := ing.win.snapshot()
+		ing.mu.Unlock()
+		for i := range snap.Records {
+			r := &snap.Records[i]
+			if err := dataset.ValidateRecord(r); err != nil {
+				t.Fatalf("admitted record violates validity table: %v", err)
+			}
+			if r.GPSAccuracy > dataset.MaxFixGPSErrorMeters {
+				t.Fatalf("admitted record violates the per-fix GPS rule: %g", r.GPSAccuracy)
+			}
+			for name, v := range map[string]float64{
+				"latitude": r.Latitude, "longitude": r.Longitude,
+				"gps_accuracy": r.GPSAccuracy, "speed_kmh": r.SpeedKmh,
+				"compass_deg": r.CompassDeg, "throughput_mbps": r.ThroughputMbps,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("admitted record has non-finite required field %s = %v", name, v)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package ingest
+
+import (
+	"lumos5g/internal/dataset"
+	"lumos5g/internal/geo"
+)
+
+// The sliding refit window: a count-bounded ring of accepted records
+// plus per-cell aggregates over the same 2x2-pixel grid cells
+// engine.Quantize keys by (GridKey{Col: PixelX/2, Row: PixelY/2}) —
+// the cells the fleet router shards on, so a replica's window
+// describes exactly the map region it owns. When the ring wraps, the
+// evicted record's cell aggregate shrinks with it, keeping the cell
+// view consistent with the record view at every step.
+
+type cellAgg struct {
+	n   int
+	sum float64
+}
+
+type window struct {
+	recs  []dataset.Record // ring: oldest at head when full
+	head  int
+	n     int
+	cells map[geo.GridKey]*cellAgg
+}
+
+func newWindow(capacity int) *window {
+	return &window{
+		recs:  make([]dataset.Record, capacity),
+		cells: map[geo.GridKey]*cellAgg{},
+	}
+}
+
+func cellOf(r *dataset.Record) geo.GridKey {
+	return geo.GridKey{Col: r.PixelX / 2, Row: r.PixelY / 2}
+}
+
+func (w *window) add(r dataset.Record) {
+	if w.n == len(w.recs) {
+		// Evict the oldest record and unwind its cell contribution.
+		old := &w.recs[w.head]
+		k := cellOf(old)
+		if agg := w.cells[k]; agg != nil {
+			agg.n--
+			agg.sum -= old.ThroughputMbps
+			if agg.n <= 0 {
+				delete(w.cells, k)
+			}
+		}
+		w.recs[w.head] = r
+		w.head = (w.head + 1) % len(w.recs)
+	} else {
+		w.recs[(w.head+w.n)%len(w.recs)] = r
+		w.n++
+	}
+	k := cellOf(&r)
+	agg := w.cells[k]
+	if agg == nil {
+		agg = &cellAgg{}
+		w.cells[k] = agg
+	}
+	agg.n++
+	agg.sum += r.ThroughputMbps
+}
+
+// snapshot copies the window into a Dataset, oldest first, for
+// training. The copy means refit can train outside the ingest lock.
+func (w *window) snapshot() *dataset.Dataset {
+	d := &dataset.Dataset{Records: make([]dataset.Record, 0, w.n)}
+	for i := 0; i < w.n; i++ {
+		d.Records = append(d.Records, w.recs[(w.head+i)%len(w.recs)])
+	}
+	return d
+}
+
+func (w *window) stats() (samples, cells int) {
+	return w.n, len(w.cells)
+}

@@ -1,0 +1,49 @@
+package ingest
+
+import (
+	"math"
+
+	"lumos5g/internal/dataset"
+)
+
+// SampleFromRecord converts a stored record back into its wire form —
+// the JSON shape a UE uploading that measurement would POST to
+// /ingest. NaN sensors become absent fields, exactly inverting
+// Sample.toRecord. The simulated UE-fleet feeder (tests, lumosbench)
+// replays campaigns through this.
+func SampleFromRecord(r *dataset.Record) Sample {
+	f := func(v float64) *float64 {
+		if math.IsNaN(v) {
+			return nil
+		}
+		c := v
+		return &c
+	}
+	s := Sample{
+		Area:           r.Area,
+		Trajectory:     r.Trajectory,
+		Pass:           r.Pass,
+		Second:         r.Second,
+		Lat:            f(r.Latitude),
+		Lon:            f(r.Longitude),
+		GPSAccuracy:    f(r.GPSAccuracy),
+		SpeedKmh:       f(r.SpeedKmh),
+		CompassDeg:     f(r.CompassDeg),
+		ThroughputMbps: f(r.ThroughputMbps),
+		CompassAcc:     f(r.CompassAcc),
+		LteRsrp:        f(r.LteRsrp),
+		LteRsrq:        f(r.LteRsrq),
+		LteRssi:        f(r.LteRssi),
+		SSRsrp:         f(r.SSRsrp),
+		SSRsrq:         f(r.SSRsrq),
+		SSSinr:         f(r.SSSinr),
+		Radio:          r.Radio.String(),
+		HorizontalHO:   r.HorizontalHO,
+		VerticalHO:     r.VerticalHO,
+	}
+	if r.CellID != 0 {
+		c := r.CellID
+		s.CellID = &c
+	}
+	return s
+}

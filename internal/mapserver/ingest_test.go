@@ -1,0 +1,261 @@
+package mapserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lumos5g"
+	"lumos5g/internal/ingest"
+	"lumos5g/internal/obs"
+	"lumos5g/internal/sim"
+)
+
+func TestIngestDisabledReturns404(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/ingest", "application/json", strings.NewReader(`[]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("ingest without an ingestor: %d, want 404", resp.StatusCode)
+	}
+	_, body := get(t, srv.URL+"/healthz")
+	if strings.Contains(body, `"ingest"`) {
+		t.Fatal("healthz grew an ingest section with no ingestor attached")
+	}
+}
+
+// hammerPredict drives /predict from several goroutines until stop is
+// closed, counting requests and failures — every response must be a
+// valid 200 prediction no matter what the refit loop is doing.
+func hammerPredict(t *testing.T, s *Server, stop <-chan struct{}) (*sync.WaitGroup, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var wg sync.WaitGroup
+	var total, failed atomic.Int64
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				url := fmt.Sprintf("/predict?lat=%f&lon=%f", testLat, testLon)
+				if i%2 == 0 {
+					url += "&speed=4&bearing=10"
+				}
+				rr := httptest.NewRecorder()
+				s.ServeHTTP(rr, httptest.NewRequest("GET", url, nil))
+				total.Add(1)
+				var pr predictResponse
+				if rr.Code != 200 || json.Unmarshal(rr.Body.Bytes(), &pr) != nil {
+					failed.Add(1)
+					t.Errorf("predict during ingest loop: %d %s", rr.Code, rr.Body.String())
+					return
+				}
+			}
+		}(g)
+	}
+	return &wg, &total, &failed
+}
+
+// TestIngestEndToEndLoop closes the measure→train→serve loop against a
+// live server: a simulated UE fleet streams a campaign into POST
+// /ingest, the refit loop drains it into the window and retrains, and
+// the first generation hot-swaps into a server that booted with no
+// model — all while /predict traffic runs uninterrupted with zero
+// failures (run under -race; `make tier1` does).
+func TestIngestEndToEndLoop(t *testing.T) {
+	tm, _ := setup(t)
+	s, err := NewWithChain(tm, nil) // cold start: no model, map-only answers
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing := ingest.New(s.Metrics(), ingest.Config{
+		QueueSize: 8192,
+		Refit: ingest.RefitConfig{
+			Interval:      25 * time.Millisecond,
+			DrainInterval: 5 * time.Millisecond,
+			MinSamples:    200,
+			Seed:          3,
+		},
+	})
+	s.AttachIngestor(ing)
+	stopRefit := ing.Start(s, nil)
+	defer stopRefit()
+
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	wg, total, failed := hammerPredict(t, s, stop)
+
+	// The simulated fleet uploads the campaign in measurement order.
+	area, err := lumos5g.AreaByName("Airport")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := lumos5g.CleanDataset(lumos5g.GenerateArea(area, lumos5g.CampaignConfig{Seed: 1, WalkPasses: 3, BackgroundUEProb: 0.1}))
+	accepted := 0
+	err = sim.StreamBatches(clean, 128, func(recs []lumos5g.Record) error {
+		batch := make([]ingest.Sample, len(recs))
+		for i := range recs {
+			batch[i] = ingest.SampleFromRecord(&recs[i])
+		}
+		body, err := json.Marshal(batch)
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(srv.URL+"/ingest", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			return fmt.Errorf("ingest batch: status %d", resp.StatusCode)
+		}
+		var res ingest.BatchResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			return err
+		}
+		accepted += res.Accepted
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted < 200 {
+		t.Fatalf("fleet upload admitted only %d samples", accepted)
+	}
+
+	// The loop must train and swap a first generation in: live model is
+	// nil, so any finite candidate passes the gate.
+	deadline := time.Now().Add(30 * time.Second)
+	for ing.Health().RefitsAccepted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("refit loop never promoted a model: health %+v", ing.Health())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s.Chain() == nil {
+		t.Fatal("accepted refit did not install a chain")
+	}
+
+	close(stop)
+	wg.Wait()
+	if f := failed.Load(); f != 0 {
+		t.Fatalf("%d of %d predict queries failed during the ingest loop", f, total.Load())
+	}
+	if total.Load() == 0 {
+		t.Fatal("predict hammer did not run")
+	}
+
+	// The loop's state is visible end to end: /healthz carries the
+	// ingest section with the same counts the ingestor reports, and
+	// /metrics exports the ingest and drift instruments.
+	_, body := get(t, srv.URL+"/healthz")
+	var h healthJSON
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Ingest == nil {
+		t.Fatal("healthz has no ingest section")
+	}
+	if h.Ingest.Accepted != uint64(accepted) {
+		t.Fatalf("healthz accepted %d != fleet-observed %d", h.Ingest.Accepted, accepted)
+	}
+	if h.Ingest.WindowSamples == 0 || h.Ingest.RefitsAccepted == 0 {
+		t.Fatalf("ingest health: %+v", h.Ingest)
+	}
+	_, body = get(t, srv.URL+"/metrics")
+	for _, metric := range []string{
+		"lumos_ingest_accepted_total", "lumos_ingest_window_samples",
+		"lumos_refit_accepted_total", "lumos_refit_live_holdout_mae_mbps",
+		"lumos_refit_candidate_holdout_mae_mbps",
+	} {
+		if !strings.Contains(body, metric) {
+			t.Errorf("/metrics missing %s", metric)
+		}
+	}
+}
+
+// TestIngestRegressingRefitRollsBackUnderLoad is satellite 3: a refit
+// that produces a deliberately regressing candidate mid-traffic must be
+// gate-rejected while the old generation serves every concurrent query
+// — zero non-200s — and the rejection is counted.
+func TestIngestRegressingRefitRollsBackUnderLoad(t *testing.T) {
+	tm, _ := setup(t)
+	live := trainedChain(t)
+	s, err := NewWithChain(tm, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := lumos5g.NewFallbackChain(1e6) // constant absurd prediction
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing := ingest.New(obs.NewRegistry(), ingest.Config{
+		QueueSize: 8192,
+		Refit: ingest.RefitConfig{
+			MinSamples: 100,
+			Seed:       11,
+			Train: func(*lumos5g.Dataset, []lumos5g.FeatureGroup, lumos5g.Model, lumos5g.Scale) (*lumos5g.FallbackChain, error) {
+				return bad, nil
+			},
+		},
+	})
+	s.AttachIngestor(ing)
+
+	area, err := lumos5g.AreaByName("Airport")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := lumos5g.CleanDataset(lumos5g.GenerateArea(area, lumos5g.CampaignConfig{Seed: 1, WalkPasses: 3}))
+	for i := range clean.Records {
+		ing.Ingest([]ingest.Sample{ingest.SampleFromRecord(&clean.Records[i])})
+		if i%512 == 0 {
+			ing.Drain()
+		}
+	}
+
+	stop := make(chan struct{})
+	wg, total, failed := hammerPredict(t, s, stop)
+
+	// Several refit cycles mid-traffic: every one must be rejected by
+	// the holdout gate with the live generation untouched.
+	for i := 0; i < 3; i++ {
+		res, err := ing.RefitNow(s)
+		if err == nil || res.Swapped || res.Skipped {
+			t.Fatalf("regressing refit %d: res=%+v err=%v, want gate rejection", i, res, err)
+		}
+		if res.Reason != "gate" {
+			t.Fatalf("refit %d reason %q, want gate", i, res.Reason)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if s.Chain() != live {
+		t.Fatal("regressing refit replaced the live chain")
+	}
+	if f := failed.Load(); f != 0 {
+		t.Fatalf("%d of %d queries failed during rejected refits", f, total.Load())
+	}
+	if n := ing.Health().RefitsRejected; n != 3 {
+		t.Fatalf("refits_rejected = %d, want 3", n)
+	}
+	if ing.Health().LastRefitError == "" {
+		t.Fatal("rejection not surfaced in ingest health")
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"lumos5g"
 	"lumos5g/internal/engine"
 	"lumos5g/internal/geo"
+	"lumos5g/internal/ingest"
 )
 
 // Server bundles the published artifacts.
@@ -73,6 +74,10 @@ type Server struct {
 	// m owns every serving counter (the single-bookkeeping rule:
 	// /healthz reads these same instruments back; see metrics.go).
 	m *serverMetrics
+
+	// ing is the optional streaming-ingest pipeline behind POST
+	// /ingest (see ingest.go); nil until AttachIngestor.
+	ing ingPtr
 
 	// Structured request logging (nil = disabled). logmu serialises
 	// concurrent log lines onto logw.
@@ -186,6 +191,7 @@ func NewWithChain(tm *lumos5g.ThroughputMap, chain *lumos5g.FallbackChain, opts 
 	s.mux.HandleFunc("/model", s.handleModel)
 	s.mux.HandleFunc("/predict", s.handlePredict)
 	s.mux.HandleFunc("/predict/batch", s.handlePredictBatch)
+	s.mux.HandleFunc("/ingest", s.handleIngest)
 	if o.metricsRoute {
 		s.mux.HandleFunc("/metrics", s.handleMetrics)
 	}
@@ -197,7 +203,7 @@ func NewWithChain(tm *lumos5g.ThroughputMap, chain *lumos5g.FallbackChain, opts 
 	// Recovery comes next: http.TimeoutHandler re-raises handler panics
 	// on the caller goroutine, so the recover catches both direct and
 	// timed-out panics.
-	postPaths := map[string]bool{"/predict/batch": true}
+	postPaths := map[string]bool{"/predict/batch": true, "/ingest": true}
 	h := withRecovery(withTimeout(withMethodPolicy(withMaxBytes(s.mux, o.maxBytes), postPaths), o.timeout))
 	h = withShed(h, o.maxInFlight, shedExempt, s.m.shed.Inc)
 	s.h = s.withObs(h)
@@ -296,6 +302,10 @@ type healthJSON struct {
 	CacheEvictions uint64 `json:"cache_evictions"`
 	CacheUncached  uint64 `json:"cache_uncached"`
 	CacheEntries   int    `json:"cache_entries"`
+	// Ingest is the streaming-ingest pipeline's health (nil when no
+	// ingestor is attached): gate/queue/refit counters read from the
+	// same instruments /metrics renders.
+	Ingest *ingest.Health `json:"ingest,omitempty"`
 }
 
 // handleHealth reports serving health. Every number here is read back
@@ -322,6 +332,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if cache != nil {
 		h.CacheEntries = cache.size()
 	}
+	h.Ingest = s.ingestHealth()
 	if chain != nil {
 		h.Tiers = chain.TierNames()
 		h.TiersServed = make([]uint64, len(h.Tiers))

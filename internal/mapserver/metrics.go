@@ -120,6 +120,7 @@ var knownRoutes = map[string]string{
 	"/model":         "/model",
 	"/predict":       "/predict",
 	"/predict/batch": "/predict/batch",
+	"/ingest":        "/ingest",
 	"/metrics":       "/metrics",
 }
 

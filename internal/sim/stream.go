@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"lumos5g/internal/dataset"
+)
+
+// StreamBatches replays a generated campaign the way a UE fleet would
+// upload it to POST /ingest: in measurement-time order — every trace's
+// second-0 samples first, then every second-1 — so concurrent passes
+// interleave the way live phones reporting once a second would, rather
+// than arriving one completed trace at a time. Records are delivered
+// in batches of at most batch samples; emit's first error stops the
+// replay and is returned. The input dataset is not modified.
+func StreamBatches(d *dataset.Dataset, batch int, emit func([]dataset.Record) error) error {
+	if batch <= 0 {
+		return fmt.Errorf("sim: stream batch size %d, want > 0", batch)
+	}
+	idx := make([]int, len(d.Records))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Deterministic upload order: by second, then trace identity.
+	sort.SliceStable(idx, func(a, b int) bool {
+		ra, rb := &d.Records[idx[a]], &d.Records[idx[b]]
+		if ra.Second != rb.Second {
+			return ra.Second < rb.Second
+		}
+		if ra.Area != rb.Area {
+			return ra.Area < rb.Area
+		}
+		if ra.Trajectory != rb.Trajectory {
+			return ra.Trajectory < rb.Trajectory
+		}
+		return ra.Pass < rb.Pass
+	})
+	buf := make([]dataset.Record, 0, batch)
+	for _, i := range idx {
+		buf = append(buf, d.Records[i])
+		if len(buf) == batch {
+			if err := emit(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		return emit(buf)
+	}
+	return nil
+}

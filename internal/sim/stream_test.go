@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"lumos5g/internal/dataset"
+)
+
+func streamDataset() *dataset.Dataset {
+	d := &dataset.Dataset{}
+	// Two traces, seconds deliberately appended out of upload order.
+	for _, rec := range []struct {
+		traj   string
+		pass   int
+		second int
+	}{
+		{"t1", 1, 2}, {"t1", 1, 0}, {"t1", 1, 1},
+		{"t0", 2, 1}, {"t0", 2, 0}, {"t0", 2, 2},
+	} {
+		d.Append(dataset.Record{
+			Area: "Airport", Trajectory: rec.traj, Pass: rec.pass,
+			Second: rec.second, ThroughputMbps: 100,
+		})
+	}
+	return d
+}
+
+func TestStreamBatchesOrder(t *testing.T) {
+	d := streamDataset()
+	var got []dataset.Record
+	err := StreamBatches(d, 4, func(b []dataset.Record) error {
+		got = append(got, b...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != d.Len() {
+		t.Fatalf("streamed %d of %d records", len(got), d.Len())
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := &got[i-1], &got[i]
+		if a.Second > b.Second {
+			t.Fatalf("seconds out of order at %d: %d then %d", i, a.Second, b.Second)
+		}
+		if a.Second == b.Second && a.Trajectory > b.Trajectory {
+			t.Fatalf("traces out of order within second %d: %q then %q", a.Second, a.Trajectory, b.Trajectory)
+		}
+	}
+	// Fleet-interleaved: both traces report second 0 before any second 1.
+	if got[0].Second != 0 || got[1].Second != 0 || got[2].Second != 1 {
+		t.Fatalf("not interleaved by second: %d %d %d", got[0].Second, got[1].Second, got[2].Second)
+	}
+}
+
+func TestStreamBatchesSizing(t *testing.T) {
+	d := streamDataset()
+	var sizes []int
+	if err := StreamBatches(d, 4, func(b []dataset.Record) error {
+		sizes = append(sizes, len(b))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 2 || sizes[0] != 4 || sizes[1] != 2 {
+		t.Fatalf("batch sizes %v, want [4 2]", sizes)
+	}
+	if err := StreamBatches(d, 0, func([]dataset.Record) error { return nil }); err == nil {
+		t.Fatal("batch size 0 accepted")
+	}
+}
+
+func TestStreamBatchesStopsOnError(t *testing.T) {
+	d := streamDataset()
+	boom := errors.New("uplink lost")
+	calls := 0
+	err := StreamBatches(d, 2, func([]dataset.Record) error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if calls != 2 {
+		t.Fatalf("emit called %d times after error, want 2", calls)
+	}
+}
