@@ -9,10 +9,10 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: tier1 build vet test race race-core race-parallel race-fleet race-ingest parity bench bench-json bench-serve bench-fleet bench-ingest fmt fuzz
+.PHONY: tier1 build vet test race race-core race-parallel race-fleet race-ingest race-load parity bench bench-json bench-serve bench-fleet bench-ingest bench-load fmt fuzz
 
 tier1: ## build + vet + race-enabled test suite (run `make fuzz` too when touching parsers)
-	$(GO) build ./... && $(GO) build -o bin/lumosbench ./cmd/lumosbench && $(GO) vet ./... && $(GO) test -race ./internal/obs/... ./internal/mapserver/... && $(MAKE) race-fleet && $(MAKE) race-ingest && $(GO) test -race ./...
+	$(GO) build ./... && $(GO) build -o bin/lumosbench ./cmd/lumosbench && $(GO) vet ./... && $(GO) test -race ./internal/obs/... ./internal/mapserver/... && $(MAKE) race-fleet && $(MAKE) race-ingest && $(MAKE) race-load && $(GO) test -race ./...
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,12 @@ race-fleet:
 race-ingest:
 	$(GO) test -race ./internal/ingest/... ./internal/mapserver/... ./internal/sim/...
 
+# The scenario generator and load harness, race-checked: a thousand UE
+# goroutines hammering an in-process fleet plus the generator's
+# concurrency-independence property.
+race-load:
+	$(GO) test -race ./internal/cityscape/... ./internal/load/... ./internal/env/...
+
 # The serial-vs-parallel parity audit: byte-identical campaigns, models
 # and batch predictions across worker counts.
 parity:
@@ -77,6 +83,14 @@ bench-fleet:
 # and /predict p99 while refits run.
 bench-ingest:
 	$(GO) run ./cmd/lumosbench -ingestbench BENCH_ingest.json
+
+# Load-harness report: 1000 simulated UEs walking a generated city,
+# paced open-loop against an in-process fleet; achieved QPS, per-route
+# p50/p95/p99 and the SLO verdict land in BENCH_load.json. Run
+# `lumosload -url ...` by hand against a live lumosmapd/lumosfleet.
+bench-load:
+	$(GO) run ./cmd/lumosload -local -ues 1000 -qps 200 -duration 8s -warmup 2s -ramp 2s -shards 1 -replicas 1 \
+		-slo "/predict:50:250,/predict/batch:100:500,/ingest:100:500" -out BENCH_load.json
 
 # Short fuzz burst over every fuzz target (one -fuzz per package per
 # invocation is a `go test` restriction).

@@ -1,0 +1,176 @@
+// Command lumosload replays a generated-city UE fleet against a
+// running lumosmapd or lumosfleet instance and reports per-route
+// latency against SLOs — the serving side of the paper's Fig 4
+// deployment under load.
+//
+// A procedural city (internal/cityscape) provides the street grid and
+// routes; -ues concurrent simulated walkers issue GET /predict and
+// POST /predict/batch from their live positions and replay recorded
+// campaign seconds on POST /ingest. With -qps the fleet is paced open
+// loop (warmup, linear ramp, measured steady window); without it each
+// UE runs closed loop, back to back.
+//
+// Usage:
+//
+//	lumosload -url http://127.0.0.1:8460 -ues 1000 -qps 2000 -duration 30s
+//	lumosload -url http://127.0.0.1:8457 -slo "/predict:50:250,/predict/batch:0:500"
+//	lumosload -selftest        # CI: in-process fleet, small swarm
+//	lumosload -local -ues 1000 -qps 1500   # in-process fleet, full swarm
+//
+// Results are written to -out (default BENCH_load.json) using the
+// repo's lumosbench JSON conventions. Exit status is 1 when any SLO
+// fails, 0 otherwise.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"lumos5g/internal/cityscape"
+	"lumos5g/internal/dataset"
+	"lumos5g/internal/env"
+	"lumos5g/internal/load"
+	"lumos5g/internal/sim"
+)
+
+// parseSLOs parses "-slo /predict:50:250,/predict/batch:0:500" —
+// route:p50ms:p99ms triples, 0 skipping a bound.
+func parseSLOs(s string) (map[string]load.SLO, error) {
+	out := map[string]load.SLO{}
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad SLO %q, want route:p50ms:p99ms", part)
+		}
+		p50, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad SLO p50 in %q: %v", part, err)
+		}
+		p99, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad SLO p99 in %q: %v", part, err)
+		}
+		out[fields[0]] = load.SLO{P50Ms: p50, P99Ms: p99}
+	}
+	return out, nil
+}
+
+func main() {
+	urlFlag := flag.String("url", "", "base URL of the server under test (lumosmapd or lumosfleet router)")
+	ues := flag.Int("ues", 1000, "concurrent simulated UEs")
+	qps := flag.Float64("qps", 0, "open-loop target QPS across the fleet (0 = closed loop)")
+	duration := flag.Duration("duration", 10*time.Second, "measured steady window")
+	warmup := flag.Duration("warmup", 0, "warmup before the ramp (default duration/5)")
+	ramp := flag.Duration("ramp", 0, "linear ramp to target QPS (default duration/5; open loop only)")
+	mixPredict := flag.Float64("mix-predict", 0.70, "traffic share for GET /predict")
+	mixBatch := flag.Float64("mix-batch", 0.20, "traffic share for POST /predict/batch")
+	mixIngest := flag.Float64("mix-ingest", 0.10, "traffic share for POST /ingest")
+	batch := flag.Int("batch", 32, "queries per /predict/batch request")
+	ingestBatch := flag.Int("ingest-batch", 64, "samples per POST /ingest request")
+	citySeed := flag.Uint64("city-seed", 1, "procedural city seed (same seed = byte-identical city)")
+	cityX := flag.Int("city-blocks-x", 6, "city grid width in blocks")
+	cityY := flag.Int("city-blocks-y", 4, "city grid height in blocks")
+	replayUEs := flag.Int("replay-ues", 16, "campaign UEs simulated up front to source POST /ingest bodies (0 disables ingest)")
+	sloFlag := flag.String("slo", "", "per-route SLOs as route:p50ms:p99ms, comma-separated; 0 skips a bound")
+	out := flag.String("out", "BENCH_load.json", "report path")
+	seed := flag.Uint64("seed", 1, "fleet behavior seed")
+	selftest := flag.Bool("selftest", false, "CI mode: start an in-process fleet and run a small closed-loop swarm against it")
+	local := flag.Bool("local", false, "start an in-process fleet and drive it with the full configured swarm (no -url needed)")
+	shards := flag.Int("shards", 0, "shards for the -local/-selftest fleet (0 = default)")
+	replicas := flag.Int("replicas", 0, "replicas per shard for the -local/-selftest fleet (0 = default)")
+	flag.Parse()
+
+	slos, err := parseSLOs(*sloFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lumosload:", err)
+		os.Exit(2)
+	}
+
+	city := cityscape.Generate(cityscape.Config{Seed: *citySeed, BlocksX: *cityX, BlocksY: *cityY})
+	cfg := load.Config{
+		BaseURL:     *urlFlag,
+		UEs:         *ues,
+		TargetQPS:   *qps,
+		Duration:    *duration,
+		Warmup:      *warmup,
+		Ramp:        *ramp,
+		MixPredict:  *mixPredict,
+		MixBatch:    *mixBatch,
+		MixIngest:   *mixIngest,
+		BatchSize:   *batch,
+		IngestBatch: *ingestBatch,
+		Seed:        *seed,
+		SLOs:        slos,
+	}
+
+	var replay *dataset.Dataset
+	switch {
+	case *local:
+		lf, err := load.StartLocalFleet(city, load.LocalConfig{Seed: *seed, Shards: *shards, Replicas: *replicas})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lumosload: local fleet:", err)
+			os.Exit(1)
+		}
+		defer lf.Close()
+		replay = lf.Campaign
+		cfg.BaseURL = lf.URL
+		fmt.Printf("local fleet on %s\n", cfg.BaseURL)
+	case *selftest:
+		// Small everything: a real fleet, a real swarm, seconds not
+		// minutes — just enough to prove the whole path end to end.
+		small := cityscape.Generate(cityscape.Config{Seed: *citySeed, BlocksX: 3, BlocksY: 2, Routes: 4, RouteBlocks: 3})
+		lf, err := load.StartLocalFleet(small, load.LocalConfig{Seed: *seed, Shards: *shards, Replicas: *replicas})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lumosload: selftest fleet:", err)
+			os.Exit(1)
+		}
+		defer lf.Close()
+		city = small
+		replay = lf.Campaign
+		cfg.BaseURL = lf.URL
+		cfg.UEs = 40
+		cfg.TargetQPS = 0
+		cfg.Duration = 1500 * time.Millisecond
+		cfg.Warmup = 300 * time.Millisecond
+		cfg.SLOs = map[string]load.SLO{load.RoutePredict: {P99Ms: 10000}}
+		fmt.Printf("selftest fleet on %s\n", cfg.BaseURL)
+	default:
+		if cfg.BaseURL == "" {
+			fmt.Fprintln(os.Stderr, "lumosload: -url is required (or use -selftest / -local)")
+			os.Exit(2)
+		}
+		if *replayUEs > 0 && cfg.MixIngest > 0 {
+			sc := city.Mixed(*replayUEs, *seed)
+			replay = sim.RunCampaignParallel(sc.Sim, []*env.Area{sc.Area}, 0)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("driving %d UEs over %s (%d towers) at %s\n", cfg.UEs, city.Config.Name, len(city.Towers), cfg.BaseURL)
+	rep, err := load.Run(ctx, cfg, city, replay)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lumosload:", err)
+		os.Exit(1)
+	}
+	if err := rep.WriteFile(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "lumosload: write report:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Summary())
+	fmt.Printf("report written to %s\n", *out)
+	if rep.SLOVerdict == "fail" {
+		os.Exit(1)
+	}
+}

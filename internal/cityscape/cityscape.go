@@ -1,0 +1,508 @@
+// Package cityscape procedurally generates city-scale measurement areas:
+// a rectangular street grid with buildings, foliage, parks (mmWave dead
+// zones), and 5G towers carrying the paper's observed 1–3 panels per
+// tower (§3.1 footnote 4), plus pedestrian routes over the lattice and a
+// transit circuit around the perimeter. The output is a plain *env.Area
+// — the same contract the paper's three hand-built Table 2 areas
+// satisfy — so internal/sim, the serving stack, and the load harness
+// consume generated cities with no special cases.
+//
+// Generation is seed-deterministic: every random draw comes from a
+// label-split stream of rng.New(cfg.Seed), one stream per component
+// (towers, buildings, foliage, routes, hotspots), so the same Config
+// always yields a byte-identical city regardless of GOMAXPROCS or
+// generation order elsewhere in the process. CanonicalBytes pins that
+// contract.
+package cityscape
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"lumos5g/internal/env"
+	"lumos5g/internal/geo"
+	"lumos5g/internal/radio"
+	"lumos5g/internal/rng"
+)
+
+// Config shapes one generated city. Zero values take defaults; the zero
+// Config is a valid mid-sized city.
+type Config struct {
+	// Seed drives every random draw. Same Seed + same knobs = the same
+	// city, byte for byte.
+	Seed uint64
+	// Name labels the area (and therefore every record's Area field and
+	// trace key). Default "City-<seed>".
+	Name string
+	// BlocksX, BlocksY are the street grid dimensions in city blocks.
+	// Defaults 6 x 4.
+	BlocksX, BlocksY int
+	// BlockMeters is the side of one square block (default 80).
+	BlockMeters float64
+	// StreetMeters is the street width between blocks (default 20).
+	StreetMeters float64
+	// TowerProb is the probability an intersection corner hosts a 5G
+	// tower (default 0.35). Park-adjacent intersections never do — parks
+	// are the city's deliberate dead zones.
+	TowerProb float64
+	// MaxPanelsPerTower caps panels per tower, 1..3 per the paper's
+	// observation (default 3; clamped into [1,3]).
+	MaxPanelsPerTower int
+	// BuildingProb is the probability a non-park block holds a concrete
+	// building obstacle (default 0.8). Building walls cost 25–35 dB.
+	BuildingProb float64
+	// FoliageProb is the per street-edge probability of a tree line
+	// (default 0.25).
+	FoliageProb float64
+	// FoliageLossDB is the penetration loss of one tree line (default
+	// 17, the paper-adjacent foliage figure). Weather ramps raise it.
+	FoliageLossDB float64
+	// ParkBlocks is how many blocks become parks: no buildings, heavy
+	// foliage, and no towers on their corners (default 1).
+	ParkBlocks int
+	// Routes is how many lattice-walk pedestrian routes to carve
+	// (default 12, matching the paper's busiest area).
+	Routes int
+	// RouteBlocks is each route's length in block steps (default 6).
+	RouteBlocks int
+	// TransitStations is the number of stops on the perimeter transit
+	// circuit (default 4).
+	TransitStations int
+	// CrowdHotspots is how many stationary-crowd gathering points to
+	// mark (default 3): transit stations and park centers first, then
+	// random intersections.
+	CrowdHotspots int
+	// ShadowShare is the cross-panel correlated shadowing share
+	// (default 0.3, like the outdoor Intersection area).
+	ShadowShare float64
+	// OriginLat/OriginLon anchor the local frame in WGS-84. Defaults
+	// put the city in the paper's Minneapolis measurement region but
+	// offset from the three built-in areas so pixel cells never
+	// collide with them.
+	OriginLat, OriginLon float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = fmt.Sprintf("City-%d", c.Seed)
+	}
+	if c.BlocksX <= 0 {
+		c.BlocksX = 6
+	}
+	if c.BlocksY <= 0 {
+		c.BlocksY = 4
+	}
+	if c.BlockMeters <= 0 {
+		c.BlockMeters = 80
+	}
+	if c.StreetMeters <= 0 {
+		c.StreetMeters = 20
+	}
+	if c.TowerProb <= 0 {
+		c.TowerProb = 0.35
+	}
+	if c.MaxPanelsPerTower <= 0 {
+		c.MaxPanelsPerTower = 3
+	}
+	if c.MaxPanelsPerTower > 3 {
+		c.MaxPanelsPerTower = 3
+	}
+	if c.BuildingProb <= 0 {
+		c.BuildingProb = 0.8
+	}
+	if c.FoliageProb <= 0 {
+		c.FoliageProb = 0.25
+	}
+	if c.FoliageLossDB <= 0 {
+		c.FoliageLossDB = 17
+	}
+	if c.ParkBlocks < 0 {
+		c.ParkBlocks = 0
+	} else if c.ParkBlocks == 0 {
+		c.ParkBlocks = 1
+	}
+	if c.ParkBlocks > c.BlocksX*c.BlocksY/2 {
+		c.ParkBlocks = c.BlocksX * c.BlocksY / 2
+	}
+	if c.Routes <= 0 {
+		c.Routes = 12
+	}
+	if c.RouteBlocks <= 0 {
+		c.RouteBlocks = 6
+	}
+	if c.TransitStations <= 0 {
+		c.TransitStations = 4
+	}
+	if c.CrowdHotspots <= 0 {
+		c.CrowdHotspots = 3
+	}
+	if c.ShadowShare <= 0 {
+		c.ShadowShare = 0.3
+	}
+	if c.OriginLat == 0 {
+		c.OriginLat = 44.9500
+	}
+	if c.OriginLon == 0 {
+		c.OriginLon = -93.2900
+	}
+	return c
+}
+
+// Tower is one generated deployment: a pole at an intersection corner
+// carrying 1–3 panels.
+type Tower struct {
+	// ID is the tower's stable identity within the city.
+	ID int
+	// Pos is the pole position in the local frame.
+	Pos geo.Point
+	// PanelIDs index into Area.Radio.Panels by cell ID.
+	PanelIDs []int
+}
+
+// City is one generated scenario area plus the structure the scenario
+// axes (crowd, transit, weather, outage) derive their variants from.
+type City struct {
+	// Config is the fully defaulted configuration the city was grown
+	// from.
+	Config Config
+	// Area is the generated measurement area, ready for internal/sim.
+	Area *env.Area
+	// Towers lists the deployments behind Area.Radio.Panels.
+	Towers []Tower
+	// Hotspots are stationary-crowd gathering points (transit stations,
+	// park centers, busy corners).
+	Hotspots []geo.Point
+	// TransitLoop is the perimeter circuit trajectory (also present in
+	// Area.Trajectories).
+	TransitLoop env.Trajectory
+	// Parks lists the park blocks (block coordinates): the city's
+	// deliberate dead zones — no buildings, heavy foliage, no towers on
+	// their corner intersections.
+	Parks [][2]int
+	// foliage indexes Area.Radio.Obstacles entries that are vegetation —
+	// the ones a weather ramp attenuates further.
+	foliage []int
+}
+
+// pitch is the lattice period: block plus one street.
+func (c Config) pitch() float64 { return c.BlockMeters + c.StreetMeters }
+
+// Generate grows a city from cfg. The returned City is self-contained
+// and immutable by convention; scenario variants copy before mutating.
+func Generate(cfg Config) *City {
+	cfg = cfg.withDefaults()
+	root := rng.New(cfg.Seed).SplitLabeled("cityscape:" + cfg.Name)
+	pitch := cfg.pitch()
+
+	city := &City{Config: cfg}
+
+	// Parks: blocks with no buildings, dense foliage, no corner towers.
+	parks := map[[2]int]bool{}
+	{
+		src := root.SplitLabeled("parks")
+		for len(parks) < cfg.ParkBlocks {
+			parks[[2]int{src.Intn(cfg.BlocksX), src.Intn(cfg.BlocksY)}] = true
+		}
+	}
+	for b := range parks {
+		city.Parks = append(city.Parks, b)
+	}
+	sort.Slice(city.Parks, func(a, b int) bool {
+		if city.Parks[a][1] != city.Parks[b][1] {
+			return city.Parks[a][1] < city.Parks[b][1]
+		}
+		return city.Parks[a][0] < city.Parks[b][0]
+	})
+	parkCorner := map[[2]int]bool{} // intersections touching a park
+	for b := range parks {
+		for dx := 0; dx <= 1; dx++ {
+			for dy := 0; dy <= 1; dy++ {
+				parkCorner[[2]int{b[0] + dx, b[1] + dy}] = true
+			}
+		}
+	}
+
+	// Buildings and foliage per block, in fixed block order so the
+	// obstacle list is deterministic.
+	var obstacles []radio.Obstacle
+	bsrc := root.SplitLabeled("buildings")
+	fsrc := root.SplitLabeled("foliage")
+	const sidewalk = 6.0
+	for bj := 0; bj < cfg.BlocksY; bj++ {
+		for bi := 0; bi < cfg.BlocksX; bi++ {
+			x0 := float64(bi)*pitch + cfg.StreetMeters/2 + sidewalk
+			y0 := float64(bj)*pitch + cfg.StreetMeters/2 + sidewalk
+			x1 := float64(bi)*pitch + pitch - cfg.StreetMeters/2 - sidewalk
+			y1 := float64(bj)*pitch + pitch - cfg.StreetMeters/2 - sidewalk
+			name := fmt.Sprintf("b%02d-%02d", bi, bj)
+			if parks[[2]int{bi, bj}] {
+				// A park: tree lines ring the lawn and cross it, so rays
+				// into the park pay foliage loss from every direction —
+				// a soft dead zone even before tower suppression.
+				city.foliage = append(city.foliage,
+					len(obstacles), len(obstacles)+1, len(obstacles)+2, len(obstacles)+3)
+				obstacles = append(obstacles, rectWalls(x0, y0, x1, y1, cfg.FoliageLossDB, "park-"+name)...)
+				city.foliage = append(city.foliage, len(obstacles))
+				obstacles = append(obstacles, radio.Obstacle{
+					A: geo.Point{X: x0, Y: y0}, B: geo.Point{X: x1, Y: y1},
+					LossDB: cfg.FoliageLossDB, Name: "park-" + name + "-x",
+				})
+				continue
+			}
+			if bsrc.Bool(cfg.BuildingProb) {
+				loss := bsrc.Range(25, 35) // concrete per the paper's obstacles
+				obstacles = append(obstacles, rectWalls(x0, y0, x1, y1, loss, name)...)
+			}
+			// Street trees along this block's south and west edges (each
+			// interior edge is visited exactly once this way).
+			if fsrc.Bool(cfg.FoliageProb) {
+				y := float64(bj)*pitch + cfg.StreetMeters/2 - 1
+				city.foliage = append(city.foliage, len(obstacles))
+				obstacles = append(obstacles, radio.Obstacle{
+					A: geo.Point{X: x0, Y: y}, B: geo.Point{X: x1, Y: y},
+					LossDB: cfg.FoliageLossDB, Name: "trees-s-" + name,
+				})
+			}
+			if fsrc.Bool(cfg.FoliageProb) {
+				x := float64(bi)*pitch + cfg.StreetMeters/2 - 1
+				city.foliage = append(city.foliage, len(obstacles))
+				obstacles = append(obstacles, radio.Obstacle{
+					A: geo.Point{X: x, Y: y0}, B: geo.Point{X: x, Y: y1},
+					LossDB: cfg.FoliageLossDB, Name: "trees-w-" + name,
+				})
+			}
+		}
+	}
+
+	// Towers on intersection corners, 1–3 panels each facing down the
+	// streets. Park corners stay bare: those blocks are the dead zones.
+	var panels []radio.Panel
+	{
+		src := root.SplitLabeled("towers")
+		towerIdx := 0
+		for j := 0; j <= cfg.BlocksY; j++ {
+			for i := 0; i <= cfg.BlocksX; i++ {
+				// Every intersection consumes the same number of draws
+				// whether or not it grows a tower, so one knob (say
+				// TowerProb) never reshuffles every other tower's panels.
+				place := src.Bool(cfg.TowerProb)
+				n := 1 + src.Intn(cfg.MaxPanelsPerTower)
+				facings := src.Perm(4)
+				if !place || parkCorner[[2]int{i, j}] {
+					continue
+				}
+				pos := geo.Point{X: float64(i)*pitch + 4, Y: float64(j)*pitch + 4}
+				tw := Tower{ID: towerIdx, Pos: pos}
+				for p := 0; p < n; p++ {
+					id := 10000 + towerIdx*10 + p
+					dir := float64(facings[p]) * 90 // N/E/S/W street directions
+					panels = append(panels, radio.Panel{
+						ID: id, Pos: pos, Facing: dir,
+						Name: fmt.Sprintf("T%02d-%s", towerIdx, compass4(facings[p])),
+					})
+					tw.PanelIDs = append(tw.PanelIDs, id)
+				}
+				city.Towers = append(city.Towers, tw)
+				towerIdx++
+			}
+		}
+		if len(city.Towers) == 0 {
+			// Pathological draw or tiny grid: force one tower so the city
+			// always has 5G coverage to measure — as close to the center as
+			// the no-towers-on-park-corners rule allows.
+			ci, cj := cfg.BlocksX/2, cfg.BlocksY/2
+			best, bestDist := [2]int{ci, cj}, -1
+			for j := 0; j <= cfg.BlocksY; j++ {
+				for i := 0; i <= cfg.BlocksX; i++ {
+					if parkCorner[[2]int{i, j}] {
+						continue
+					}
+					d := (i-ci)*(i-ci) + (j-cj)*(j-cj)
+					if bestDist < 0 || d < bestDist {
+						best, bestDist = [2]int{i, j}, d
+					}
+				}
+			}
+			pos := geo.Point{X: float64(best[0])*pitch + 4, Y: float64(best[1])*pitch + 4}
+			tw := Tower{ID: 0, Pos: pos, PanelIDs: []int{10000, 10001}}
+			panels = append(panels,
+				radio.Panel{ID: 10000, Pos: pos, Facing: 0, Name: "T00-n"},
+				radio.Panel{ID: 10001, Pos: pos, Facing: 180, Name: "T00-s"})
+			city.Towers = append(city.Towers, tw)
+		}
+	}
+
+	// Pedestrian routes: lattice walks along street centerlines.
+	var trajectories []env.Trajectory
+	{
+		src := root.SplitLabeled("routes")
+		for r := 0; r < cfg.Routes; r++ {
+			trajectories = append(trajectories, latticeWalk(cfg, src, fmt.Sprintf("R%02d", r)))
+		}
+	}
+
+	// The transit circuit rings the perimeter; stations double as both
+	// the circuit's stops and crowd hotspots.
+	W, H := float64(cfg.BlocksX)*pitch, float64(cfg.BlocksY)*pitch
+	city.TransitLoop = env.Trajectory{
+		Name: "TRANSIT",
+		Loop: true,
+		Waypoints: []geo.Point{
+			{X: 0, Y: 0}, {X: W, Y: 0}, {X: W, Y: H}, {X: 0, Y: H},
+		},
+	}
+	trajectories = append(trajectories, city.TransitLoop)
+	var stops []float64
+	for s := 0; s < cfg.TransitStations; s++ {
+		stops = append(stops, float64(s)/float64(cfg.TransitStations))
+	}
+
+	// Crowd hotspots: stations first, then park centers, then random
+	// corners — where stationary-crowd scenarios park their UEs.
+	{
+		src := root.SplitLabeled("hotspots")
+		tlen := city.TransitLoop.Length()
+		for _, f := range stops {
+			if len(city.Hotspots) == cfg.CrowdHotspots {
+				break
+			}
+			city.Hotspots = append(city.Hotspots, city.TransitLoop.At(f*tlen))
+		}
+		for _, b := range city.Parks {
+			if len(city.Hotspots) == cfg.CrowdHotspots {
+				break
+			}
+			city.Hotspots = append(city.Hotspots, geo.Point{
+				X: (float64(b[0]) + 0.5) * pitch, Y: (float64(b[1]) + 0.5) * pitch,
+			})
+		}
+		for len(city.Hotspots) < cfg.CrowdHotspots {
+			city.Hotspots = append(city.Hotspots, geo.Point{
+				X: float64(src.Intn(cfg.BlocksX+1)) * pitch,
+				Y: float64(src.Intn(cfg.BlocksY+1)) * pitch,
+			})
+		}
+	}
+
+	city.Area = &env.Area{
+		Name: cfg.Name,
+		Radio: radio.Environment{
+			Panels:      panels,
+			Obstacles:   obstacles,
+			ShadowShare: cfg.ShadowShare,
+		},
+		LTEAnchor:        geo.Point{X: W / 2, Y: H / 2},
+		Frame:            geo.Frame{Origin: geo.LatLon{Lat: cfg.OriginLat, Lon: cfg.OriginLon}},
+		Trajectories:     trajectories,
+		DrivingSupported: true,
+		PanelInfoKnown:   true,
+		StopPoints:       stops,
+	}
+	return city
+}
+
+// rectWalls is the four wall segments of an axis-aligned rectangle —
+// the same obstacle idiom the hand-built areas use.
+func rectWalls(x0, y0, x1, y1, lossDB float64, name string) []radio.Obstacle {
+	a := geo.Point{X: x0, Y: y0}
+	b := geo.Point{X: x1, Y: y0}
+	c := geo.Point{X: x1, Y: y1}
+	d := geo.Point{X: x0, Y: y1}
+	return []radio.Obstacle{
+		{A: a, B: b, LossDB: lossDB, Name: name + "-s"},
+		{A: b, B: c, LossDB: lossDB, Name: name + "-e"},
+		{A: c, B: d, LossDB: lossDB, Name: name + "-n"},
+		{A: d, B: a, LossDB: lossDB, Name: name + "-w"},
+	}
+}
+
+// latticeWalk carves one pedestrian route: a self-avoiding-ish walk over
+// intersections, preferring to continue straight, never immediately
+// backtracking, clamped to the grid.
+func latticeWalk(cfg Config, src *rng.Source, name string) env.Trajectory {
+	pitch := cfg.pitch()
+	i, j := src.Intn(cfg.BlocksX+1), src.Intn(cfg.BlocksY+1)
+	pts := []geo.Point{{X: float64(i) * pitch, Y: float64(j) * pitch}}
+	// Directions: 0=N, 1=E, 2=S, 3=W.
+	dx := [4]int{0, 1, 0, -1}
+	dy := [4]int{1, 0, -1, 0}
+	dir := -1
+	for step := 0; step < cfg.RouteBlocks; step++ {
+		// Candidate directions, straight-biased, no reversal.
+		var cands []int
+		for d := 0; d < 4; d++ {
+			if dir >= 0 && d == (dir+2)%4 {
+				continue
+			}
+			ni, nj := i+dx[d], j+dy[d]
+			if ni < 0 || ni > cfg.BlocksX || nj < 0 || nj > cfg.BlocksY {
+				continue
+			}
+			cands = append(cands, d)
+			if d == dir {
+				cands = append(cands, d, d) // straight counts thrice
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		dir = cands[src.Intn(len(cands))]
+		i, j = i+dx[dir], j+dy[dir]
+		pts = append(pts, geo.Point{X: float64(i) * pitch, Y: float64(j) * pitch})
+	}
+	return env.Trajectory{Name: name, Waypoints: pts}
+}
+
+func compass4(d int) string {
+	switch d {
+	case 0:
+		return "n"
+	case 1:
+		return "e"
+	case 2:
+		return "s"
+	}
+	return "w"
+}
+
+// CanonicalBytes renders every field of the generated scenario —
+// config, panels, obstacles, trajectories, stops, towers, hotspots —
+// into a deterministic byte form. Two cities are the same scenario iff
+// their canonical bytes are equal; the determinism tests compare these
+// across repeated generation and worker counts.
+func (c *City) CanonicalBytes() []byte {
+	var b []byte
+	app := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	app("config %+v\n", c.Config)
+	a := c.Area
+	app("area %s indoor=%t driving=%t panelinfo=%t lte=%v origin=%v shadowshare=%v\n",
+		a.Name, a.Indoor, a.DrivingSupported, a.PanelInfoKnown, a.LTEAnchor, a.Frame.Origin, a.Radio.ShadowShare)
+	for _, p := range a.Radio.Panels {
+		app("panel %d %s pos=%v facing=%v\n", p.ID, p.Name, p.Pos, p.Facing)
+	}
+	for _, o := range a.Radio.Obstacles {
+		app("obstacle %s %v-%v loss=%v clear=%v\n", o.Name, o.A, o.B, o.LossDB, o.ClearBeyond)
+	}
+	for _, tr := range a.Trajectories {
+		app("trajectory %s loop=%t %v\n", tr.Name, tr.Loop, tr.Waypoints)
+	}
+	app("stops %v\n", a.StopPoints)
+	for _, tw := range c.Towers {
+		app("tower %d pos=%v panels=%v\n", tw.ID, tw.Pos, tw.PanelIDs)
+	}
+	app("hotspots %v\n", c.Hotspots)
+	app("parks %v\n", c.Parks)
+	app("foliage %v\n", c.foliage)
+	return b
+}
+
+// Fingerprint is the FNV-1a hash of CanonicalBytes — a compact identity
+// for reports and logs.
+func (c *City) Fingerprint() uint64 {
+	h := fnv.New64a()
+	h.Write(c.CanonicalBytes())
+	return h.Sum64()
+}

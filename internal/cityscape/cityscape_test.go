@@ -1,0 +1,211 @@
+package cityscape
+
+import (
+	"bytes"
+	"testing"
+)
+
+func testCfg(seed uint64) Config {
+	// Small enough that structure tests stay fast, big enough to carry
+	// parks, towers, and routes.
+	return Config{Seed: seed, BlocksX: 4, BlocksY: 3, Routes: 6, RouteBlocks: 4}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(testCfg(42))
+	b := Generate(testCfg(42))
+	if !bytes.Equal(a.CanonicalBytes(), b.CanonicalBytes()) {
+		t.Fatal("same seed generated different cities")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprints differ for identical cities")
+	}
+	c := Generate(testCfg(43))
+	if bytes.Equal(a.CanonicalBytes(), c.CanonicalBytes()) {
+		t.Fatal("different seeds generated identical cities")
+	}
+}
+
+// Generation must not depend on goroutine scheduling: many concurrent
+// Generates of the same config agree byte-for-byte with the serial one.
+func TestGenerateConcurrencyIndependent(t *testing.T) {
+	want := Generate(testCfg(7)).CanonicalBytes()
+	const n = 16
+	got := make([][]byte, n)
+	done := make(chan int, n)
+	for g := 0; g < n; g++ {
+		go func(g int) {
+			got[g] = Generate(testCfg(7)).CanonicalBytes()
+			done <- g
+		}(g)
+	}
+	for range [n]struct{}{} {
+		<-done
+	}
+	for g := 0; g < n; g++ {
+		if !bytes.Equal(got[g], want) {
+			t.Fatalf("goroutine %d generated a different city", g)
+		}
+	}
+}
+
+func TestGeneratedStructure(t *testing.T) {
+	city := Generate(testCfg(1))
+	a := city.Area
+
+	if len(city.Towers) == 0 {
+		t.Fatal("city has no towers")
+	}
+	seen := map[int]bool{}
+	for _, tw := range city.Towers {
+		if n := len(tw.PanelIDs); n < 1 || n > 3 {
+			t.Fatalf("tower %d has %d panels, paper observed 1-3", tw.ID, n)
+		}
+		for _, id := range tw.PanelIDs {
+			if seen[id] {
+				t.Fatalf("panel ID %d reused", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != len(a.Radio.Panels) {
+		t.Fatalf("%d tower panel IDs but %d area panels", len(seen), len(a.Radio.Panels))
+	}
+
+	// Panels face down the streets.
+	for _, p := range a.Radio.Panels {
+		if f := p.Facing; f != 0 && f != 90 && f != 180 && f != 270 {
+			t.Fatalf("panel %d facing %v, want a street direction", p.ID, f)
+		}
+	}
+
+	// Every trajectory must be usable by mobility.GeneratePass: the
+	// transit loop closes, routes have positive length.
+	var sawTransit bool
+	for _, tr := range a.Trajectories {
+		if tr.Name == "TRANSIT" {
+			sawTransit = true
+			if !tr.Loop {
+				t.Fatal("transit circuit must be a loop")
+			}
+		}
+		if tr.Length() <= 0 {
+			t.Fatalf("trajectory %s has zero length", tr.Name)
+		}
+	}
+	if !sawTransit {
+		t.Fatal("no transit circuit")
+	}
+	if !a.DrivingSupported || !a.PanelInfoKnown {
+		t.Fatal("generated cities support driving and surveyed panels")
+	}
+	for _, s := range a.StopPoints {
+		if s < 0 || s >= 1 {
+			t.Fatalf("stop point %v outside [0,1)", s)
+		}
+	}
+	if len(city.Hotspots) != city.Config.CrowdHotspots {
+		t.Fatalf("%d hotspots, want %d", len(city.Hotspots), city.Config.CrowdHotspots)
+	}
+}
+
+func TestWithWeatherRaisesOnlyFoliage(t *testing.T) {
+	city := Generate(testCfg(3))
+	if len(city.foliage) == 0 {
+		t.Fatal("city generated no foliage to attenuate")
+	}
+	wet := city.WithWeather(10)
+	isFoliage := map[int]bool{}
+	for _, idx := range city.foliage {
+		isFoliage[idx] = true
+	}
+	for i := range wet.Radio.Obstacles {
+		diff := wet.Radio.Obstacles[i].LossDB - city.Area.Radio.Obstacles[i].LossDB
+		if isFoliage[i] && diff != 10 {
+			t.Fatalf("foliage obstacle %d raised by %v, want 10", i, diff)
+		}
+		if !isFoliage[i] && diff != 0 {
+			t.Fatalf("non-foliage obstacle %d changed by %v", i, diff)
+		}
+	}
+	// The base city is untouched (variants are copies).
+	dry := Generate(testCfg(3))
+	if !bytes.Equal(city.CanonicalBytes(), dry.CanonicalBytes()) {
+		t.Fatal("WithWeather mutated the base city")
+	}
+
+	ramp := city.WeatherRamp(4, 12)
+	if len(ramp) != 4 {
+		t.Fatalf("ramp steps = %d", len(ramp))
+	}
+	i0 := city.foliage[0]
+	if ramp[0].Radio.Obstacles[i0].LossDB != city.Area.Radio.Obstacles[i0].LossDB {
+		t.Fatal("ramp step 0 must be the dry city")
+	}
+	if got := ramp[3].Radio.Obstacles[i0].LossDB - city.Area.Radio.Obstacles[i0].LossDB; got != 12 {
+		t.Fatalf("ramp top = +%v dB, want +12", got)
+	}
+}
+
+func TestWithTowerOutage(t *testing.T) {
+	city := Generate(testCfg(5))
+	tw := city.Towers[0]
+	dark, err := city.WithTowerOutage(tw.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dark.Radio.Panels) != len(city.Area.Radio.Panels)-len(tw.PanelIDs) {
+		t.Fatalf("outage kept %d panels, want %d",
+			len(dark.Radio.Panels), len(city.Area.Radio.Panels)-len(tw.PanelIDs))
+	}
+	for _, p := range dark.Radio.Panels {
+		for _, id := range tw.PanelIDs {
+			if p.ID == id {
+				t.Fatalf("dark panel %d still present", id)
+			}
+		}
+	}
+	if len(city.Area.Radio.Panels) == len(dark.Radio.Panels) {
+		t.Fatal("outage removed nothing")
+	}
+	if _, err := city.WithTowerOutage(99999); err == nil {
+		t.Fatal("unknown tower must error")
+	}
+}
+
+func TestParkCornersStayBare(t *testing.T) {
+	// Towers never sit on park-adjacent intersections; parks are the
+	// city's deliberate dead zones.
+	city := Generate(Config{Seed: 11, BlocksX: 3, BlocksY: 3, ParkBlocks: 2})
+	if len(city.Parks) != 2 {
+		t.Fatalf("parks = %v, want 2", city.Parks)
+	}
+	pitch := city.Config.pitch()
+	for _, tw := range city.Towers {
+		// Tower poles sit 4 m NE of their intersection.
+		i := int((tw.Pos.X - 4) / pitch)
+		j := int((tw.Pos.Y - 4) / pitch)
+		for _, park := range city.Parks {
+			for dx := 0; dx <= 1; dx++ {
+				for dy := 0; dy <= 1; dy++ {
+					if i == park[0]+dx && j == park[1]+dy {
+						t.Fatalf("tower %d at %v sits on a corner of park %v", tw.ID, tw.Pos, park)
+					}
+				}
+			}
+		}
+	}
+	// Park blocks hold foliage, never buildings.
+	for _, park := range city.Parks {
+		for _, o := range city.Area.Radio.Obstacles {
+			prefix := "b" + twoDigits(park[0]) + "-" + twoDigits(park[1])
+			if o.Name == prefix+"-s" {
+				t.Fatalf("park %v has a building wall %s", park, o.Name)
+			}
+		}
+	}
+}
+
+func twoDigits(v int) string {
+	return string([]byte{'0' + byte(v/10), '0' + byte(v%10)})
+}

@@ -49,6 +49,12 @@ func (t Trajectory) At(s float64) geo.Point {
 		return pts[0]
 	}
 	total := t.Length()
+	if total <= 0 {
+		// Degenerate polyline (coincident waypoints): every arclength maps
+		// to the first waypoint. Without this guard the loop-wrapping below
+		// never terminates when total == 0.
+		return pts[0]
+	}
 	if t.Loop {
 		for s < 0 {
 			s += total

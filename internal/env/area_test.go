@@ -3,6 +3,7 @@ package env
 import (
 	"math"
 	"testing"
+	"time"
 
 	"lumos5g/internal/geo"
 	"lumos5g/internal/radio"
@@ -74,6 +75,40 @@ func TestTrajectoryDegenerate(t *testing.T) {
 	single := Trajectory{Waypoints: []geo.Point{{X: 3, Y: 4}}}
 	if single.At(10) != (geo.Point{X: 3, Y: 4}) {
 		t.Fatal("single-point trajectory")
+	}
+}
+
+func TestTrajectoryAtZeroLengthLoop(t *testing.T) {
+	// Regression: a Loop trajectory whose waypoints all coincide has
+	// total length 0, and the wrap-around loop `for s >= total` used to
+	// spin forever. Every arclength must map to the first waypoint, and
+	// the call must return promptly.
+	p := geo.Point{X: 7, Y: -2}
+	zero := Trajectory{Name: "degenerate", Loop: true, Waypoints: []geo.Point{p, p, p}}
+	if l := zero.Length(); l != 0 {
+		t.Fatalf("length = %v, want 0", l)
+	}
+	done := make(chan geo.Point, 4)
+	go func() {
+		done <- zero.At(0)
+		done <- zero.At(5)
+		done <- zero.At(-3)
+		done <- zero.At(1e9)
+	}()
+	for i := 0; i < 4; i++ {
+		select {
+		case got := <-done:
+			if got != p {
+				t.Fatalf("At returned %v, want %v", got, p)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Trajectory.At hung on zero-length loop")
+		}
+	}
+	// HeadingAt goes through At; it must terminate too (heading value on
+	// a degenerate polyline is defined as 0).
+	if h := zero.HeadingAt(3); h != 0 {
+		t.Fatalf("HeadingAt = %v, want 0", h)
 	}
 }
 

@@ -112,6 +112,11 @@ type Config struct {
 	QueueSize int
 	// WindowSize bounds the sliding refit window. Default 65536.
 	WindowSize int
+	// CellCap bounds how many window samples one quantized grid cell may
+	// hold; admitting a sample into a full cell evicts that cell's oldest
+	// sample first, so a parked UE cannot dominate the window. 0 (the
+	// default) disables the cap; negative disables it too.
+	CellCap int
 	// MinTraceSamples is how many fixes a trace needs before the
 	// §3.1 mean-GPS-error rule can condemn it. Default 5.
 	MinTraceSamples int
@@ -127,6 +132,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WindowSize <= 0 {
 		c.WindowSize = 65536
+	}
+	if c.CellCap < 0 {
+		c.CellCap = 0
 	}
 	if c.MinTraceSamples <= 0 {
 		c.MinTraceSamples = 5
@@ -173,7 +181,7 @@ func New(reg *obs.Registry, cfg Config) *Ingestor {
 		cfg:    cfg,
 		queue:  make([]dataset.Record, cfg.QueueSize),
 		traces: make(map[dataset.TraceKey]*traceAcc),
-		win:    newWindow(cfg.WindowSize),
+		win:    newWindow(cfg.WindowSize, cfg.CellCap),
 		stopCh: make(chan struct{}),
 		doneCh: make(chan struct{}),
 	}

@@ -276,7 +276,7 @@ func TestServeHTTPAccounting(t *testing.T) {
 }
 
 func TestWindowEviction(t *testing.T) {
-	w := newWindow(3)
+	w := newWindow(3, 0)
 	rec := func(px int, mbps float64) dataset.Record {
 		return dataset.Record{PixelX: px, PixelY: 0, ThroughputMbps: mbps,
 			GPSAccuracy: math.NaN(), SpeedKmh: math.NaN()}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sync"
 	"time"
 
 	"lumos5g"
@@ -59,6 +60,11 @@ type RefitConfig struct {
 	// Seed for split and training determinism; the refit sequence
 	// number is folded in so successive refits resample.
 	Seed uint64
+	// Workers bounds the trainer's parallelism (internal/par), exactly
+	// like offline training: n>0 uses n workers, 0 uses one worker per
+	// CPU. The fit is byte-identical for every worker count (the PR 3
+	// parity contract), so this only changes how fast a refit trains.
+	Workers int
 	// ArtifactPath, when set, is where accepted generations live: the
 	// candidate is written to ArtifactPath+".candidate", and promoted
 	// to ArtifactPath by rename on acceptance — the same file a
@@ -125,6 +131,9 @@ func (ing *Ingestor) Start(sw ChainSwapper, onEvent func(RefitResult, error)) (s
 		refit := time.NewTicker(ing.cfg.Refit.Interval)
 		defer drain.Stop()
 		defer refit.Stop()
+		var refits sync.WaitGroup
+		defer refits.Wait()
+		busy := make(chan struct{}, 1)
 		for {
 			select {
 			case <-ing.stopCh:
@@ -132,10 +141,24 @@ func (ing *Ingestor) Start(sw ChainSwapper, onEvent func(RefitResult, error)) (s
 			case <-drain.C:
 				ing.Drain()
 			case <-refit.C:
-				res, err := ing.RefitNow(sw)
-				if onEvent != nil && !res.Skipped {
-					onEvent(res, err)
+				// Train off the loop goroutine so drains keep their
+				// cadence during a long fit (a large-window GBDT fit
+				// costs ~1 s); if the previous refit is still running,
+				// skip this tick instead of queueing behind it.
+				select {
+				case busy <- struct{}{}:
+				default:
+					continue
 				}
+				refits.Add(1)
+				go func() {
+					defer refits.Done()
+					defer func() { <-busy }()
+					res, err := ing.RefitNow(sw)
+					if onEvent != nil && !res.Skipped {
+						onEvent(res, err)
+					}
+				}()
 			}
 		}
 	}()
@@ -235,7 +258,10 @@ func (ing *Ingestor) trainSafe(d *lumos5g.Dataset) (c *lumos5g.FallbackChain, er
 		}
 	}()
 	cfg := ing.cfg.Refit
-	return cfg.Train(d, cfg.Groups, cfg.Model, lumos5g.Scale{Seed: cfg.Seed + ing.refitSeq})
+	sc := lumos5g.Scale{Seed: cfg.Seed + ing.refitSeq}
+	sc.GBDT.Workers = cfg.Workers
+	sc.RF.Workers = cfg.Workers
+	return cfg.Train(d, cfg.Groups, cfg.Model, sc)
 }
 
 // envelope round-trips the candidate through the CRC-framed artifact

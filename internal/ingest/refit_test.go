@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"bytes"
 	"math"
 	"os"
 	"path/filepath"
@@ -247,6 +248,35 @@ func TestRefitPromotesArtifact(t *testing.T) {
 	}
 	if _, err := os.Stat(path + ".candidate"); !os.IsNotExist(err) {
 		t.Fatalf("candidate file not promoted away: %v", err)
+	}
+}
+
+// The Workers knob only changes how fast a refit trains: for the same
+// window and seed, chains fitted with 1 worker and many workers must
+// serialise to byte-identical artifacts (the PR 3 parity contract,
+// now holding through the ingest path too).
+func TestRefitWorkerParity(t *testing.T) {
+	d := campaign(t)
+	fit := func(workers int) []byte {
+		ing := refitIngestor(t, RefitConfig{Workers: workers})
+		feed(t, ing, d)
+		sw := &chainSwap{}
+		res, err := ing.RefitNow(sw)
+		if err != nil || !res.Swapped {
+			t.Fatalf("workers=%d: res=%+v err=%v", workers, res, err)
+		}
+		var buf bytes.Buffer
+		if err := sw.Chain().Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := fit(1)
+	for _, workers := range []int{2, 4, 0} { // 0 = one worker per CPU
+		if par := fit(workers); !bytes.Equal(serial, par) {
+			t.Fatalf("refit with %d workers diverged from serial fit (%d vs %d artifact bytes)",
+				workers, len(par), len(serial))
+		}
 	}
 }
 

@@ -1,6 +1,8 @@
 package ingest
 
 import (
+	"fmt"
+
 	"lumos5g/internal/dataset"
 	"lumos5g/internal/geo"
 )
@@ -12,23 +14,37 @@ import (
 // describes exactly the map region it owns. When the ring wraps, the
 // evicted record's cell aggregate shrinks with it, keeping the cell
 // view consistent with the record view at every step.
+//
+// With a per-cell cap (cellCap > 0) a parked UE cannot dominate the
+// window: once a cell holds cellCap live samples, admitting another
+// sample for that cell evicts the cell's oldest sample first
+// (oldest-in-cell eviction). Mid-ring eviction is a tombstone — the
+// slot stays occupied until the ring head passes it — so ring order
+// is untouched and the aggregates always describe exactly the live
+// records.
 
 type cellAgg struct {
-	n   int
-	sum float64
+	n     int
+	sum   float64
+	slots []int // live ring slots holding this cell's records, oldest first
 }
 
 type window struct {
-	recs  []dataset.Record // ring: oldest at head when full
-	head  int
-	n     int
-	cells map[geo.GridKey]*cellAgg
+	recs    []dataset.Record // ring: oldest at head when full
+	dead    []bool           // tombstones from per-cell eviction
+	head    int
+	n       int // occupied ring slots, live + tombstoned
+	live    int // live records (what snapshot returns)
+	cellCap int // max live records per cell; 0 = unlimited
+	cells   map[geo.GridKey]*cellAgg
 }
 
-func newWindow(capacity int) *window {
+func newWindow(capacity, cellCap int) *window {
 	return &window{
-		recs:  make([]dataset.Record, capacity),
-		cells: map[geo.GridKey]*cellAgg{},
+		recs:    make([]dataset.Record, capacity),
+		dead:    make([]bool, capacity),
+		cellCap: cellCap,
+		cells:   map[geo.GridKey]*cellAgg{},
 	}
 }
 
@@ -36,25 +52,62 @@ func cellOf(r *dataset.Record) geo.GridKey {
 	return geo.GridKey{Col: r.PixelX / 2, Row: r.PixelY / 2}
 }
 
-func (w *window) add(r dataset.Record) {
-	if w.n == len(w.recs) {
-		// Evict the oldest record and unwind its cell contribution.
-		old := &w.recs[w.head]
-		k := cellOf(old)
-		if agg := w.cells[k]; agg != nil {
-			agg.n--
-			agg.sum -= old.ThroughputMbps
-			if agg.n <= 0 {
-				delete(w.cells, k)
+// unwind removes slot's live record from its cell aggregate. The slot
+// is normally its cell's oldest live record (slots queues are arrival-
+// ordered and both eviction paths proceed oldest-first), so the pop is
+// O(1); the scan fallback keeps the aggregates honest regardless.
+func (w *window) unwind(slot int) {
+	old := &w.recs[slot]
+	k := cellOf(old)
+	agg := w.cells[k]
+	if agg == nil {
+		return
+	}
+	agg.n--
+	agg.sum -= old.ThroughputMbps
+	if len(agg.slots) > 0 && agg.slots[0] == slot {
+		agg.slots = agg.slots[1:]
+	} else {
+		for i, s := range agg.slots {
+			if s == slot {
+				agg.slots = append(agg.slots[:i], agg.slots[i+1:]...)
+				break
 			}
 		}
-		w.recs[w.head] = r
+	}
+	if agg.n <= 0 {
+		delete(w.cells, k)
+	}
+	w.live--
+}
+
+func (w *window) add(r dataset.Record) {
+	k := cellOf(&r)
+	if w.cellCap > 0 {
+		if agg := w.cells[k]; agg != nil && agg.n >= w.cellCap {
+			// Oldest-in-cell eviction: tombstone the cell's oldest live
+			// slot so the incoming sample replaces it logically.
+			slot := agg.slots[0]
+			w.unwind(slot)
+			w.dead[slot] = true
+		}
+	}
+	var slot int
+	if w.n == len(w.recs) {
+		// Ring is full: reclaim the head slot. A tombstoned head was
+		// already unwound by a per-cell eviction.
+		slot = w.head
+		if w.dead[slot] {
+			w.dead[slot] = false
+		} else {
+			w.unwind(slot)
+		}
 		w.head = (w.head + 1) % len(w.recs)
 	} else {
-		w.recs[(w.head+w.n)%len(w.recs)] = r
+		slot = (w.head + w.n) % len(w.recs)
 		w.n++
 	}
-	k := cellOf(&r)
+	w.recs[slot] = r
 	agg := w.cells[k]
 	if agg == nil {
 		agg = &cellAgg{}
@@ -62,18 +115,83 @@ func (w *window) add(r dataset.Record) {
 	}
 	agg.n++
 	agg.sum += r.ThroughputMbps
+	agg.slots = append(agg.slots, slot)
+	w.live++
 }
 
-// snapshot copies the window into a Dataset, oldest first, for
+// snapshot copies the live window into a Dataset, oldest first, for
 // training. The copy means refit can train outside the ingest lock.
 func (w *window) snapshot() *dataset.Dataset {
-	d := &dataset.Dataset{Records: make([]dataset.Record, 0, w.n)}
+	d := &dataset.Dataset{Records: make([]dataset.Record, 0, w.live)}
 	for i := 0; i < w.n; i++ {
-		d.Records = append(d.Records, w.recs[(w.head+i)%len(w.recs)])
+		slot := (w.head + i) % len(w.recs)
+		if w.dead[slot] {
+			continue
+		}
+		d.Records = append(d.Records, w.recs[slot])
 	}
 	return d
 }
 
 func (w *window) stats() (samples, cells int) {
-	return w.n, len(w.cells)
+	return w.live, len(w.cells)
+}
+
+// checkConsistency verifies the ring/cell-aggregate invariant: the cell
+// aggregates describe exactly the live ring records — same counts, same
+// throughput sums, same slots — and no cell exceeds the cap. Test hook.
+func (w *window) checkConsistency() error {
+	type ref struct {
+		n     int
+		sum   float64
+		slots []int
+	}
+	want := map[geo.GridKey]*ref{}
+	liveSeen := 0
+	for i := 0; i < w.n; i++ {
+		slot := (w.head + i) % len(w.recs)
+		if w.dead[slot] {
+			continue
+		}
+		liveSeen++
+		k := cellOf(&w.recs[slot])
+		r := want[k]
+		if r == nil {
+			r = &ref{}
+			want[k] = r
+		}
+		r.n++
+		r.sum += w.recs[slot].ThroughputMbps
+		r.slots = append(r.slots, slot)
+	}
+	if liveSeen != w.live {
+		return fmt.Errorf("live=%d but %d live slots in ring", w.live, liveSeen)
+	}
+	if len(want) != len(w.cells) {
+		return fmt.Errorf("cells=%d but ring holds %d distinct cells", len(w.cells), len(want))
+	}
+	for k, r := range want {
+		agg := w.cells[k]
+		if agg == nil {
+			return fmt.Errorf("cell %v present in ring but missing aggregate", k)
+		}
+		if agg.n != r.n {
+			return fmt.Errorf("cell %v: agg.n=%d, ring has %d", k, agg.n, r.n)
+		}
+		if diff := agg.sum - r.sum; diff > 1e-6 || diff < -1e-6 {
+			return fmt.Errorf("cell %v: agg.sum=%v, ring sums to %v", k, agg.sum, r.sum)
+		}
+		if w.cellCap > 0 && agg.n > w.cellCap {
+			return fmt.Errorf("cell %v: %d live records exceeds cap %d", k, agg.n, w.cellCap)
+		}
+		if len(agg.slots) != len(r.slots) {
+			return fmt.Errorf("cell %v: %d queued slots, ring has %d", k, len(agg.slots), len(r.slots))
+		}
+		for i := range r.slots {
+			if agg.slots[i] != r.slots[i] {
+				return fmt.Errorf("cell %v: slot queue %v, ring order %v", k, agg.slots, r.slots)
+			}
+		}
+	}
+	return nil
 }

@@ -1,0 +1,109 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"lumos5g"
+	"lumos5g/internal/cityscape"
+	"lumos5g/internal/env"
+	"lumos5g/internal/fleet"
+	"lumos5g/internal/ingest"
+	"lumos5g/internal/ml/gbdt"
+	"lumos5g/internal/sim"
+)
+
+// LocalFleet is an in-process lumosfleet-equivalent server for CI
+// self-tests: a real sharded fleet on loopback TCP, trained on a
+// campaign over the same generated city the load run will drive.
+type LocalFleet struct {
+	Fleet *fleet.Fleet
+	// URL is the router's base URL.
+	URL string
+	// Campaign is the training dataset — hand it to Run as the ingest
+	// replay source.
+	Campaign *lumos5g.Dataset
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// LocalConfig sizes the self-test fleet; zero values pick CI-friendly
+// defaults (2 shards x 1 replica, a small campaign, a 30-tree chain).
+type LocalConfig struct {
+	Seed     uint64
+	Shards   int
+	Replicas int
+	// CampaignUEs sizes the training campaign (default 24).
+	CampaignUEs int
+	// Ingest enables POST /ingest on the fleet (default true via
+	// NoIngest=false; refits are effectively disabled with a long
+	// interval so the load run measures serving, not training).
+	NoIngest bool
+}
+
+// StartLocalFleet trains a small model on a campaign over city and
+// serves it from a real fleet router on loopback. Callers must Close.
+func StartLocalFleet(city *cityscape.City, cfg LocalConfig) (*LocalFleet, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 2
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.CampaignUEs <= 0 {
+		cfg.CampaignUEs = 24
+	}
+
+	sc := city.Mixed(cfg.CampaignUEs, cfg.Seed)
+	raw := sim.RunCampaignParallel(sc.Sim, []*env.Area{sc.Area}, 0)
+	d, _ := lumos5g.CleanDataset(raw)
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("load: campaign over %s produced no clean records", city.Config.Name)
+	}
+
+	tm := lumos5g.BuildThroughputMap(d, 2)
+	chain, err := lumos5g.TrainFallbackChain(d, lumos5g.DefaultFallbackGroups, lumos5g.ModelGDBT,
+		lumos5g.Scale{GBDT: gbdt.Config{Estimators: 30, MaxDepth: 4}, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	fcfg := fleet.FleetConfig{Shards: cfg.Shards, Replicas: cfg.Replicas, Seed: cfg.Seed}
+	if !cfg.NoIngest {
+		fcfg.Ingest = &ingest.Config{
+			Refit: ingest.RefitConfig{Interval: time.Hour, Seed: cfg.Seed},
+		}
+	}
+	fl, err := fleet.StartFleet(tm, chain, fcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fl.Shutdown(context.Background())
+		return nil, err
+	}
+	srv := &http.Server{Handler: fl.Router()}
+	go srv.Serve(ln)
+
+	return &LocalFleet{
+		Fleet:    fl,
+		URL:      "http://" + ln.Addr().String(),
+		Campaign: d,
+		srv:      srv,
+		ln:       ln,
+	}, nil
+}
+
+// Close drains the router and shuts the fleet down.
+func (lf *LocalFleet) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	lf.srv.Shutdown(ctx)
+	lf.Fleet.Shutdown(ctx)
+}

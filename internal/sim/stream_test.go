@@ -2,9 +2,11 @@ package sim
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"lumos5g/internal/dataset"
+	"lumos5g/internal/env"
 )
 
 func streamDataset() *dataset.Dataset {
@@ -68,6 +70,69 @@ func TestStreamBatchesSizing(t *testing.T) {
 	}
 	if err := StreamBatches(d, 0, func([]dataset.Record) error { return nil }); err == nil {
 		t.Fatal("batch size 0 accepted")
+	}
+}
+
+// recordKey identifies one campaign second; throughput is included so
+// two records of the same second can't silently swap payloads.
+func recordKey(r *dataset.Record) string {
+	return fmt.Sprintf("%s|%s|%d|%d|%.6f", r.Area, r.Trajectory, r.Pass, r.Second, r.ThroughputMbps)
+}
+
+// Property: for any batch size — 1, an exact divisor's worth, or one
+// past it — StreamBatches emits every record exactly once, every
+// batch respects the size bound, and seconds never decrease across
+// the whole replay.
+func TestStreamBatchesExactlyOnceProperty(t *testing.T) {
+	d := RunArea(env.Airport(), tinyConfig())
+	if d.Len() == 0 {
+		t.Fatal("empty campaign")
+	}
+	want := map[string]int{}
+	for i := range d.Records {
+		want[recordKey(&d.Records[i])]++
+	}
+	n := d.Len()
+	for _, batch := range []int{1, n, n + 1, 7} {
+		got := map[string]int{}
+		lastSecond, streamed := -1, 0
+		err := StreamBatches(d, batch, func(b []dataset.Record) error {
+			if len(b) == 0 || len(b) > batch {
+				t.Fatalf("batch=%d: emitted %d records", batch, len(b))
+			}
+			for i := range b {
+				if b[i].Second < lastSecond {
+					t.Fatalf("batch=%d: second %d after %d", batch, b[i].Second, lastSecond)
+				}
+				lastSecond = b[i].Second
+				got[recordKey(&b[i])]++
+				streamed++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if streamed != n {
+			t.Fatalf("batch=%d: streamed %d of %d records", batch, streamed, n)
+		}
+		for k, c := range want {
+			if got[k] != c {
+				t.Fatalf("batch=%d: record %q emitted %d times, want %d", batch, k, got[k], c)
+			}
+		}
+		for k := range got {
+			if _, ok := want[k]; !ok {
+				t.Fatalf("batch=%d: invented record %q", batch, k)
+			}
+		}
+	}
+	// The input dataset is untouched by the replay's sorting.
+	d2 := RunArea(env.Airport(), tinyConfig())
+	for i := range d.Records {
+		if recordKey(&d.Records[i]) != recordKey(&d2.Records[i]) {
+			t.Fatalf("StreamBatches reordered the input dataset at %d", i)
+		}
 	}
 }
 
