@@ -12,7 +12,7 @@ FUZZTIME ?= 5s
 .PHONY: tier1 build vet test race race-core race-parallel race-fleet race-ingest race-load parity bench bench-json bench-serve bench-fleet bench-ingest bench-load fmt fuzz
 
 tier1: ## build + vet + race-enabled test suite (run `make fuzz` too when touching parsers)
-	$(GO) build ./... && $(GO) build -o bin/lumosbench ./cmd/lumosbench && $(GO) vet ./... && $(GO) test -race ./internal/obs/... ./internal/mapserver/... && $(MAKE) race-fleet && $(MAKE) race-ingest && $(MAKE) race-load && $(GO) test -race ./...
+	$(GO) build ./... && $(GO) build -o bin/lumosbench ./cmd/lumosbench && ./bin/lumosbench -selftest && $(GO) vet ./... && $(GO) test -race ./internal/obs/... ./internal/mapserver/... && $(MAKE) race-fleet && $(MAKE) race-ingest && $(MAKE) race-load && $(GO) test -race ./...
 
 build:
 	$(GO) build ./...
@@ -67,9 +67,12 @@ bench:
 bench-json:
 	$(GO) run ./cmd/lumosbench -parbench BENCH_parallel.json
 
-# Serving fast-path report: compiled-vs-interpreted inference kernel
-# (with a bit-identity check), /predict handler allocations cold vs
-# cached, and the pre-PR handler baseline for the alloc comparison.
+# Serving fast-path report: compiled-vs-interpreted inference kernels
+# (tree and LSTM, each with a bit-identity check and an int8 error
+# budget), /predict handler allocations cold vs cached vs server-only,
+# the JSON and binary /predict/batch encodings, and the pre-PR handler
+# baseline for the alloc comparison. The same parity and budget gates
+# run without timing loops as `lumosbench -selftest`, wired into tier1.
 bench-serve:
 	$(GO) run ./cmd/lumosbench -servebench BENCH_serve.json
 
@@ -98,6 +101,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/dataset
 	$(GO) test -run='^$$' -fuzz=FuzzLoadPredictor -fuzztime=$(FUZZTIME) .
 	$(GO) test -run='^$$' -fuzz=FuzzIngestSample -fuzztime=$(FUZZTIME) ./internal/ingest
+	$(GO) test -run='^$$' -fuzz=FuzzCompiledParity -fuzztime=$(FUZZTIME) ./internal/ml/compiled
 
 fmt:
 	gofmt -w ./cmd ./internal ./examples *.go

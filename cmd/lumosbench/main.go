@@ -6,6 +6,7 @@
 //	lumosbench [-run id[,id...]] [-profile quick|paper] [-seed N] [-values]
 //	lumosbench -parbench BENCH_parallel.json [-parworkers N]
 //	lumosbench -servebench BENCH_serve.json
+//	lumosbench -selftest
 //	lumosbench -fleetbench BENCH_fleet.json
 //	lumosbench -ingestbench BENCH_ingest.json
 //
@@ -34,6 +35,7 @@ func main() {
 	parbench := flag.String("parbench", "", "run serial-vs-parallel speedup benchmarks, write JSON to this path, and exit")
 	parworkers := flag.Int("parworkers", 0, "worker count for -parbench (0 = one per CPU)")
 	servebench := flag.String("servebench", "", "run serving fast-path benchmarks (compiled kernel, prediction cache, handlers), write JSON to this path, and exit")
+	selftest := flag.Bool("selftest", false, "run the serving fast-path parity and allocation-budget gates (no timing loops) and exit non-zero on any failure")
 	fleetbench := flag.String("fleetbench", "", "run sharded-fleet routing benchmarks (1 vs N shards, replica killed mid-run), write JSON to this path, and exit")
 	ingestbench := flag.String("ingestbench", "", "run streaming-ingest and refit-hot-swap benchmarks (admission rate, shed at overload, refit cost, predict p99 during refit), write JSON to this path, and exit")
 	flag.Parse()
@@ -64,6 +66,14 @@ func main() {
 
 	if *servebench != "" {
 		if err := runServeBench(*servebench, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "lumosbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *selftest {
+		if err := runServeSelftest(*seed); err != nil {
 			fmt.Fprintln(os.Stderr, "lumosbench:", err)
 			os.Exit(1)
 		}

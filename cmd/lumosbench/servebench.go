@@ -15,17 +15,40 @@ import (
 	"lumos5g/internal/features"
 	"lumos5g/internal/mapserver"
 	"lumos5g/internal/ml/gbdt"
+	"lumos5g/internal/ml/nn"
 	"lumos5g/internal/par"
+	"lumos5g/internal/wire"
 )
 
 // The -servebench mode measures the serving fast path end to end: the
-// compiled structure-of-arrays inference kernel against the interpreted
-// per-row tree walk (serial and parallel, with a bit-identity check),
-// and the HTTP /predict handlers cold versus cached. It writes the
-// numbers as BENCH_serve.json, alongside the pre-kernel handler baseline
-// so the allocation reduction is auditable in one file.
+// compiled structure-of-arrays tree kernel against the interpreted
+// per-row walk (serial and parallel, with a bit-identity check), the
+// compiled LSTM kernel against the interpreted nn forward pass
+// (bit-identity for float64, bounded error + pinned fingerprint for
+// int8), and the HTTP handlers — /predict cold vs cached, JSON batch vs
+// the columnar binary frame. It writes the numbers as BENCH_serve.json,
+// alongside the pre-kernel handler baseline so the allocation reduction
+// is auditable in one file.
+//
+// -selftest runs the same parity and allocation-budget checks without
+// the timing loops, as a tier-1 gate: it exits non-zero if any compiled
+// kernel diverges from its interpreted reference, the binary wire
+// diverges from JSON, or /predict busts its allocation budget.
 
-// kernelBenchEntry is one model-level timing.
+// predictAllocBudget is the checked-in per-request allocation budget
+// for a cached /predict, measured server-side (reused request, discard
+// writer) so harness allocations — recorder, request parsing — do not
+// drown the handler's own. The httptest rows remain in the report for
+// comparability with the pre-PR baseline, which includes ~17 allocs of
+// per-op harness floor.
+const predictAllocBudget = 12
+
+// lstmInt8ErrBudget bounds the int8 kernel's relative error against the
+// float64 kernel (same budget the compiled-package tests pin).
+const lstmInt8ErrBudget = 0.05
+
+// kernelBenchEntry is one model-level timing (fastest of kernelRuns
+// runs, so one noisy neighbour does not poison the row).
 type kernelBenchEntry struct {
 	Name     string  `json:"name"`
 	Rows     int     `json:"rows"` // rows predicted per op
@@ -33,8 +56,7 @@ type kernelBenchEntry struct {
 	NsPerRow float64 `json:"ns_per_row"`
 }
 
-// handlerBenchEntry is one HTTP-handler timing (httptest.NewRecorder
-// methodology: includes request/recorder setup, excludes the network).
+// handlerBenchEntry is one HTTP-handler timing.
 type handlerBenchEntry struct {
 	Name        string  `json:"name"`
 	Queries     int     `json:"queries"` // queries answered per op
@@ -45,6 +67,29 @@ type handlerBenchEntry struct {
 	Note        string  `json:"note,omitempty"`
 }
 
+// lstmKernelReport carries the recurrent kernel's parity verdicts.
+type lstmKernelReport struct {
+	// Identical: the compiled float64 kernel reproduced the interpreted
+	// nn forward pass bit for bit on every probe.
+	Identical bool `json:"identical"`
+	// Int8MaxRelErr is the quantized kernel's worst error vs the float
+	// kernel, relative to max(|prediction|, output scale) — the scale
+	// floor keeps a sub-Mbps wobble on a near-zero output from reading
+	// as a huge "relative" error when the signal lives in the hundreds
+	// of Mbps. Int8ErrBudget is the checked-in bound.
+	Int8MaxRelErr float64 `json:"int8_max_rel_err"`
+	Int8ErrBudget float64 `json:"int8_err_budget"`
+	// OutputScale is the mean absolute float-kernel prediction the
+	// error denominator floors at.
+	OutputScale float64 `json:"output_scale"`
+	// Int8Fingerprint pins the quantized weights (FNV-1a over every
+	// int8 byte and scale bit pattern).
+	Int8Fingerprint string `json:"int8_fingerprint"`
+	// Int8WeightBytes is the quantized matrix footprint (8x smaller
+	// than the float64 slab).
+	Int8WeightBytes int `json:"int8_weight_bytes"`
+}
+
 // serveBenchReport is the BENCH_serve.json schema.
 type serveBenchReport struct {
 	GeneratedAt string `json:"generated_at"`
@@ -53,16 +98,28 @@ type serveBenchReport struct {
 	Seed        uint64 `json:"seed"`
 	ModelTrees  int    `json:"model_trees"`
 	ModelRows   int    `json:"model_rows"`
+	// KernelRuns: each kernel row is the fastest of this many runs.
+	KernelRuns int `json:"kernel_runs"`
 
 	Kernel []kernelBenchEntry `json:"kernel"`
-	// Identical reports that the compiled kernel (single, serial batch,
-	// parallel batch) reproduced the interpreted Predict bit for bit.
+	// Identical reports that the compiled tree kernel (single, serial
+	// batch, parallel batch) reproduced the interpreted Predict bit for
+	// bit.
 	Identical bool `json:"identical"`
 	// Compiled-vs-interpreted batch speedups at equal parallelism.
 	BatchSpeedupSerial   float64 `json:"batch_speedup_serial"`
 	BatchSpeedupParallel float64 `json:"batch_speedup_parallel"`
 
+	// LSTM is the compiled recurrent kernel's parity block.
+	LSTM lstmKernelReport `json:"lstm"`
+
 	Handlers []handlerBenchEntry `json:"handlers"`
+	// PredictAllocBudget is the checked-in budget the server-only
+	// cached /predict row is gated on.
+	PredictAllocBudget int `json:"predict_alloc_budget"`
+	// BinaryBatchMatchesJSON: the binary /predict/batch frame decoded
+	// to exactly the JSON rows (and re-encoded byte-identically).
+	BinaryBatchMatchesJSON bool `json:"binary_batch_matches_json"`
 	// CachedSpeedup is cold /predict ns over cached /predict ns.
 	CachedSpeedup float64 `json:"cached_speedup"`
 	// PredictP50Ms/PredictP99Ms come from the server's own /predict
@@ -72,15 +129,15 @@ type serveBenchReport struct {
 	PredictP50Ms float64 `json:"predict_p50_ms"`
 	PredictP99Ms float64 `json:"predict_p99_ms"`
 	// BaselinePrePR is the /predict handler before the compiled kernel,
-	// cache and allocation work landed, measured with this same
+	// cache and allocation work landed, measured with the httptest
 	// methodology — the reference for the allocs_per_op reduction.
 	BaselinePrePR handlerBenchEntry `json:"baseline_pre_pr"`
 }
 
-// prePRPredictBaseline was measured at commit ea13d9f (the parent of
-// this change) with the identical dataset, model, query and
-// httptest.NewRecorder loop used below (fastest of three -benchtime 2s
-// runs; allocs and bytes were identical across runs).
+// prePRPredictBaseline was measured at commit ea13d9f with the
+// identical dataset, model, query and httptest.NewRecorder loop used
+// below (fastest of three -benchtime 2s runs; allocs and bytes were
+// identical across runs).
 var prePRPredictBaseline = handlerBenchEntry{
 	Name:        "predict_pre_pr",
 	Queries:     1,
@@ -88,13 +145,28 @@ var prePRPredictBaseline = handlerBenchEntry{
 	AllocsPerOp: 43,
 	BytesPerOp:  8816,
 	QPS:         1e9 / 12687,
-	Note:        "measured at commit ea13d9f, same methodology",
+	Note:        "measured at commit ea13d9f, same httptest methodology",
 }
 
 var (
 	sinkFloat float64
 	sinkSlice []float64
 )
+
+// kernelRuns is how many times each kernel benchmark repeats; the
+// fastest run is reported (single-CPU VMs jitter ±15%).
+const kernelRuns = 3
+
+// fastest runs f kernelRuns times and keeps the lowest ns/op.
+func fastest(f func(b *testing.B)) testing.BenchmarkResult {
+	best := testing.Benchmark(f)
+	for i := 1; i < kernelRuns; i++ {
+		if r := testing.Benchmark(f); r.NsPerOp() < best.NsPerOp() {
+			best = r
+		}
+	}
+	return best
+}
 
 func kernelEntry(name string, rows int, r testing.BenchmarkResult) kernelBenchEntry {
 	ns := float64(r.NsPerOp())
@@ -110,7 +182,24 @@ func handlerEntry(name string, queries int, r testing.BenchmarkResult) handlerBe
 	}
 }
 
-// benchGet times repeated GET requests against the handler in-process.
+// discardWriter is the server-only measurement sink: a ResponseWriter
+// with no recorder bookkeeping, so allocs/op is the handler's own.
+type discardWriter struct {
+	h    http.Header
+	code int
+	n    int
+}
+
+func (w *discardWriter) Header() http.Header { return w.h }
+func (w *discardWriter) WriteHeader(c int)   { w.code = c }
+func (w *discardWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+// benchGet times repeated GET requests against the handler in-process
+// (httptest methodology: includes per-op recorder+request setup,
+// comparable with the pre-PR baseline).
 func benchGet(s http.Handler, url string) testing.BenchmarkResult {
 	return testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -124,13 +213,36 @@ func benchGet(s http.Handler, url string) testing.BenchmarkResult {
 	})
 }
 
-// benchPost times repeated POSTs of the same JSON body.
-func benchPost(s http.Handler, url string, body []byte) testing.BenchmarkResult {
+// benchGetServerOnly times the same GET with one reused request and a
+// discard writer, so the row isolates the server's own work.
+func benchGetServerOnly(s http.Handler, url string) testing.BenchmarkResult {
+	req := httptest.NewRequest("GET", url, nil)
+	w := &discardWriter{h: make(http.Header)}
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w.code, w.n = 0, 0
+			s.ServeHTTP(w, req)
+			if w.code != 200 {
+				b.Fatalf("%s: status %d", url, w.code)
+			}
+		}
+	})
+}
+
+// benchPost times repeated POSTs of the same body with explicit
+// Content-Type/Accept media types.
+func benchPost(s http.Handler, url string, body []byte, contentType, accept string) testing.BenchmarkResult {
 	return testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			rr := httptest.NewRecorder()
-			s.ServeHTTP(rr, httptest.NewRequest("POST", url, bytes.NewReader(body)))
+			req := httptest.NewRequest("POST", url, bytes.NewReader(body))
+			req.Header.Set("Content-Type", contentType)
+			if accept != "" {
+				req.Header.Set("Accept", accept)
+			}
+			s.ServeHTTP(rr, req)
 			if rr.Code != 200 {
 				b.Fatalf("%s: %d %s", url, rr.Code, rr.Body.String())
 			}
@@ -138,15 +250,167 @@ func benchPost(s http.Handler, url string, body []byte) testing.BenchmarkResult 
 	})
 }
 
-// runServeBench trains one serving model, benchmarks the inference
-// kernel and the HTTP handlers, and writes the JSON report to path.
+// fitServeLSTM trains the recurrent reference model and compiles it:
+// the interpreted regressor stays as the parity oracle, its compiled
+// float64 kernel and int8 variant are what serving runs.
+func fitServeLSTM(X [][]float64, y []float64, seed uint64) (*nn.LSTMRegressor, [][][]float64, error) {
+	seqs := make([][][]float64, len(X))
+	for i, row := range X {
+		seqs[i] = [][]float64{row}
+	}
+	m, err := nn.NewLSTMRegressor(nn.Seq2SeqConfig{
+		InputDim: len(X[0]), Hidden: 16, Layers: 1,
+		Epochs: 3, Batch: 64, Seed: seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := m.Fit(seqs, y); err != nil {
+		return nil, nil, err
+	}
+	return m, seqs, nil
+}
+
+// lstmParity fills the report block: bit-identity of the float kernel
+// against the interpreted forward pass over every probe, and the int8
+// kernel's worst scale-relative error plus its pinned fingerprint.
+func lstmParity(m *nn.LSTMRegressor, seqs [][][]float64) (lstmKernelReport, error) {
+	rep := lstmKernelReport{Identical: true, Int8ErrBudget: lstmInt8ErrBudget}
+	k, err := m.Compiled()
+	if err != nil {
+		return rep, err
+	}
+	q := k.QuantizeInt8()
+	rep.Int8Fingerprint = fmt.Sprintf("%016x", q.Fingerprint())
+	rep.Int8WeightBytes = q.WeightBytes()
+	floats := make([]float64, len(seqs))
+	quants := make([]float64, len(seqs))
+	for i, seq := range seqs {
+		want, err := m.Predict(seq)
+		if err != nil {
+			return rep, err
+		}
+		if floats[i], err = k.PredictNext(seq); err != nil {
+			return rep, err
+		}
+		if floats[i] != want {
+			rep.Identical = false
+		}
+		if quants[i], err = q.PredictNext(seq); err != nil {
+			return rep, err
+		}
+	}
+	for _, f := range floats {
+		rep.OutputScale += abs(f)
+	}
+	rep.OutputScale /= float64(len(floats))
+	if rep.OutputScale < 1 {
+		rep.OutputScale = 1
+	}
+	for i, f := range floats {
+		if rel := abs(quants[i]-f) / max(abs(f), rep.OutputScale); rel > rep.Int8MaxRelErr {
+			rep.Int8MaxRelErr = rel
+		}
+	}
+	return rep, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// buildBatchBodies renders the same batchN queries as the JSON array
+// and the binary frame.
+func buildBatchBodies(clean *lumos5g.Dataset, batchN int) ([]byte, []byte, error) {
+	queries := make([]map[string]float64, batchN)
+	wq := make([]wire.Query, batchN)
+	for i := range queries {
+		rec := clean.Records[i%len(clean.Records)]
+		sp, br := 4.0, float64(i%360)
+		queries[i] = map[string]float64{
+			"lat": rec.Latitude, "lon": rec.Longitude,
+			"speed": sp, "bearing": br,
+		}
+		s, b := sp, br
+		wq[i] = wire.Query{Lat: rec.Latitude, Lon: rec.Longitude, Speed: &s, Bearing: &b}
+	}
+	jsonBody, err := json.Marshal(queries)
+	if err != nil {
+		return nil, nil, err
+	}
+	return jsonBody, wire.AppendQueries(nil, wq), nil
+}
+
+// checkBinaryBatch posts both encodings once and verifies the binary
+// frame carries exactly the JSON rows and re-encodes byte-identically.
+func checkBinaryBatch(s http.Handler, jsonBody, binBody []byte, batchN int) (bool, error) {
+	post := func(body []byte, ct, accept string) (*httptest.ResponseRecorder, error) {
+		rr := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/predict/batch", bytes.NewReader(body))
+		req.Header.Set("Content-Type", ct)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		s.ServeHTTP(rr, req)
+		if rr.Code != 200 {
+			return nil, fmt.Errorf("batch %s: %d %s", ct, rr.Code, rr.Body.String())
+		}
+		return rr, nil
+	}
+	jr, err := post(jsonBody, "application/json", "")
+	if err != nil {
+		return false, err
+	}
+	br, err := post(binBody, wire.ContentType, wire.ContentType)
+	if err != nil {
+		return false, err
+	}
+	var jsonRows []struct {
+		Mbps     float64  `json:"mbps"`
+		Class    string   `json:"class"`
+		Source   string   `json:"source"`
+		Tier     int      `json:"tier"`
+		Degraded bool     `json:"degraded"`
+		Missing  []string `json:"missing"`
+	}
+	if err := json.Unmarshal(jr.Body.Bytes(), &jsonRows); err != nil {
+		return false, err
+	}
+	rows, err := wire.DecodeResults(br.Body.Bytes(), batchN)
+	if err != nil {
+		return false, err
+	}
+	if len(rows) != len(jsonRows) {
+		return false, nil
+	}
+	for i, r := range rows {
+		j := jsonRows[i]
+		if r.Mbps != j.Mbps || r.Class != j.Class || r.Source != j.Source ||
+			r.Tier != j.Tier || r.Degraded != j.Degraded || len(r.Missing) != len(j.Missing) {
+			return false, nil
+		}
+	}
+	again, err := wire.AppendResults(nil, rows)
+	if err != nil {
+		return false, err
+	}
+	return bytes.Equal(again, br.Body.Bytes()), nil
+}
+
+// runServeBench trains the serving models, benchmarks the inference
+// kernels and the HTTP handlers, and writes the JSON report to path.
 func runServeBench(path string, seed uint64) error {
 	rep := serveBenchReport{
-		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
-		NumCPU:        runtime.NumCPU(),
-		GoMaxProcs:    runtime.GOMAXPROCS(0),
-		Seed:          seed,
-		BaselinePrePR: prePRPredictBaseline,
+		GeneratedAt:        time.Now().UTC().Format(time.RFC3339),
+		NumCPU:             runtime.NumCPU(),
+		GoMaxProcs:         runtime.GOMAXPROCS(0),
+		Seed:               seed,
+		KernelRuns:         kernelRuns,
+		PredictAllocBudget: predictAllocBudget,
+		BaselinePrePR:      prePRPredictBaseline,
 	}
 
 	area, err := lumos5g.AreaByName("Airport")
@@ -186,20 +450,20 @@ func runServeBench(path string, seed uint64) error {
 		}
 	}
 
-	// Model-level kernel timings.
+	// Model-level tree-kernel timings, fastest of kernelRuns each.
 	rep.Kernel = append(rep.Kernel, kernelEntry("single_interpreted", 1,
-		testing.Benchmark(func(b *testing.B) {
+		fastest(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				sinkFloat = m.Predict(X[i%n])
 			}
 		})))
 	rep.Kernel = append(rep.Kernel, kernelEntry("single_compiled", 1,
-		testing.Benchmark(func(b *testing.B) {
+		fastest(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				sinkFloat = comp.Predict(X[i%n])
 			}
 		})))
-	rBatchInterpSerial := testing.Benchmark(func(b *testing.B) {
+	rBatchInterpSerial := fastest(func(b *testing.B) {
 		out := make([]float64, n)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -210,7 +474,7 @@ func runServeBench(path string, seed uint64) error {
 		sinkSlice = out
 	})
 	rep.Kernel = append(rep.Kernel, kernelEntry("batch_interpreted_serial", n, rBatchInterpSerial))
-	rBatchCompSerial := testing.Benchmark(func(b *testing.B) {
+	rBatchCompSerial := fastest(func(b *testing.B) {
 		out := make([]float64, n)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -222,7 +486,7 @@ func runServeBench(path string, seed uint64) error {
 	// The pre-kernel PredictBatch fanned per-row interpreted walks across
 	// the worker pool; reconstruct it so the parallel comparison is
 	// like for like.
-	rBatchInterpPar := testing.Benchmark(func(b *testing.B) {
+	rBatchInterpPar := fastest(func(b *testing.B) {
 		out := make([]float64, n)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -235,7 +499,7 @@ func runServeBench(path string, seed uint64) error {
 		sinkSlice = out
 	})
 	rep.Kernel = append(rep.Kernel, kernelEntry("batch_interpreted_parallel", n, rBatchInterpPar))
-	rBatchCompPar := testing.Benchmark(func(b *testing.B) {
+	rBatchCompPar := fastest(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			sinkSlice = m.PredictBatch(X)
 		}
@@ -243,6 +507,46 @@ func runServeBench(path string, seed uint64) error {
 	rep.Kernel = append(rep.Kernel, kernelEntry("batch_compiled_parallel", n, rBatchCompPar))
 	rep.BatchSpeedupSerial = float64(rBatchInterpSerial.NsPerOp()) / float64(rBatchCompSerial.NsPerOp())
 	rep.BatchSpeedupParallel = float64(rBatchInterpPar.NsPerOp()) / float64(rBatchCompPar.NsPerOp())
+
+	// Recurrent kernel: parity block plus timing rows (the serving
+	// sequence form is a length-1 window — the Tabular adapter's shape).
+	lstm, seqs, err := fitServeLSTM(X, mat.Y, seed)
+	if err != nil {
+		return fmt.Errorf("servebench: lstm fit: %w", err)
+	}
+	rep.LSTM, err = lstmParity(lstm, seqs)
+	if err != nil {
+		return fmt.Errorf("servebench: lstm parity: %w", err)
+	}
+	lk, err := lstm.Compiled()
+	if err != nil {
+		return err
+	}
+	lq := lk.QuantizeInt8()
+	rep.Kernel = append(rep.Kernel, kernelEntry("lstm_interpreted_single", 1,
+		fastest(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if sinkFloat, err = lstm.Predict(seqs[i%n]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})))
+	rep.Kernel = append(rep.Kernel, kernelEntry("lstm_compiled_single", 1,
+		fastest(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if sinkFloat, err = lk.PredictNext(seqs[i%n]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})))
+	rep.Kernel = append(rep.Kernel, kernelEntry("lstm_compiled_int8_single", 1,
+		fastest(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if sinkFloat, err = lq.PredictNext(seqs[i%n]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})))
 
 	// Handler-level timings: the same single query against a cache-less
 	// server (every request walks the model) and the default server
@@ -271,29 +575,35 @@ func runServeBench(path string, seed uint64) error {
 	sCached.ServeHTTP(warm, httptest.NewRequest("GET", url, nil))
 	rCached := benchGet(sCached, url)
 	rep.Handlers = append(rep.Handlers, handlerEntry("predict_cached", 1, rCached))
+	rServer := benchGetServerOnly(sCached, url)
+	eServer := handlerEntry("predict_cached_server_only", 1, rServer)
+	eServer.Note = fmt.Sprintf("reused request + discard writer; gated on the %d allocs/op budget", predictAllocBudget)
+	rep.Handlers = append(rep.Handlers, eServer)
 	rep.CachedSpeedup = float64(rCold.NsPerOp()) / float64(rCached.NsPerOp())
 	rep.PredictP50Ms = sCached.RouteLatencyQuantile("/predict", 0.5) * 1000
 	rep.PredictP99Ms = sCached.RouteLatencyQuantile("/predict", 0.99) * 1000
 
 	// Batch handler: one POST carrying batchN distinct queries (distinct
-	// coordinates, so the batch path exercises the kernel, not the cache).
+	// coordinates, so the batch path exercises the kernel, not the
+	// cache), in both encodings, with a row-for-row parity check.
 	const batchN = 512
-	queries := make([]map[string]float64, batchN)
-	for i := range queries {
-		rec := clean.Records[i%len(clean.Records)]
-		queries[i] = map[string]float64{
-			"lat": rec.Latitude, "lon": rec.Longitude,
-			"speed": 4, "bearing": float64(i % 360),
-		}
-	}
-	body, err := json.Marshal(queries)
+	jsonBody, binBody, err := buildBatchBodies(clean, batchN)
 	if err != nil {
 		return err
 	}
-	rBatch := benchPost(sCold, "/predict/batch", body)
+	rep.BinaryBatchMatchesJSON, err = checkBinaryBatch(sCold, jsonBody, binBody, batchN)
+	if err != nil {
+		return err
+	}
+	rBatch := benchPost(sCold, "/predict/batch", jsonBody, "application/json", "")
 	e := handlerEntry("predict_batch", batchN, rBatch)
-	e.Note = fmt.Sprintf("%d queries per request", batchN)
+	e.Note = fmt.Sprintf("%d queries per request, JSON both ways", batchN)
 	rep.Handlers = append(rep.Handlers, e)
+	rBatchBin := benchPost(sCold, "/predict/batch", binBody, wire.ContentType, wire.ContentType)
+	eBin := handlerEntry("predict_batch_binary", batchN, rBatchBin)
+	eBin.Note = fmt.Sprintf("%d queries per request, columnar frame both ways (%d B vs %d B JSON request)",
+		batchN, len(binBody), len(jsonBody))
+	rep.Handlers = append(rep.Handlers, eBin)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -308,18 +618,128 @@ func runServeBench(path string, seed uint64) error {
 	}
 	fmt.Printf("batch speedup: %.2fx serial, %.2fx parallel  identical=%t\n",
 		rep.BatchSpeedupSerial, rep.BatchSpeedupParallel, rep.Identical)
+	fmt.Printf("lstm: identical=%t  int8 max rel err %.2e (budget %.2e)  fingerprint %s\n",
+		rep.LSTM.Identical, rep.LSTM.Int8MaxRelErr, rep.LSTM.Int8ErrBudget, rep.LSTM.Int8Fingerprint)
 	for _, h := range rep.Handlers {
 		fmt.Printf("%-27s %9.0f ns/op  %4d allocs/op  %6d B/op  %10.0f q/s\n",
 			h.Name, h.NsPerOp, h.AllocsPerOp, h.BytesPerOp, h.QPS)
 	}
 	fmt.Printf("cached speedup: %.2fx  (pre-PR baseline: %d allocs/op, %.0f ns/op)\n",
 		rep.CachedSpeedup, rep.BaselinePrePR.AllocsPerOp, rep.BaselinePrePR.NsPerOp)
+	fmt.Printf("binary batch matches json: %t\n", rep.BinaryBatchMatchesJSON)
 	fmt.Printf("/predict latency (server histogram): p50 %.3f ms, p99 %.3f ms\n",
 		rep.PredictP50Ms, rep.PredictP99Ms)
 	fmt.Printf("wrote %s\n", path)
 
-	if !rep.Identical {
-		return fmt.Errorf("servebench: compiled kernel diverged from interpreted Predict")
+	return serveBenchVerdict(rep.Identical, rep.LSTM, rep.BinaryBatchMatchesJSON, rServer.AllocsPerOp())
+}
+
+// serveBenchVerdict turns the parity/budget outcomes into a single
+// error (nil = all gates pass), shared by -servebench and -selftest.
+func serveBenchVerdict(treeIdentical bool, lstm lstmKernelReport, binaryOK bool, predictAllocs int64) error {
+	switch {
+	case !treeIdentical:
+		return fmt.Errorf("servebench: compiled tree kernel diverged from interpreted Predict")
+	case !lstm.Identical:
+		return fmt.Errorf("servebench: compiled LSTM kernel diverged from interpreted forward pass")
+	case lstm.Int8MaxRelErr > lstm.Int8ErrBudget:
+		return fmt.Errorf("servebench: int8 LSTM kernel error %.4f exceeds budget %.4f",
+			lstm.Int8MaxRelErr, lstm.Int8ErrBudget)
+	case !binaryOK:
+		return fmt.Errorf("servebench: binary /predict/batch diverged from the JSON rows")
+	case predictAllocs > predictAllocBudget:
+		return fmt.Errorf("servebench: cached /predict allocates %d/op, budget %d (server-only methodology)",
+			predictAllocs, predictAllocBudget)
 	}
+	return nil
+}
+
+// runServeSelftest is the tier-1 quick gate: the same parity and
+// allocation-budget checks as -servebench on a smaller campaign, with
+// no timing loops and no report file.
+func runServeSelftest(seed uint64) error {
+	area, err := lumos5g.AreaByName("Airport")
+	if err != nil {
+		return err
+	}
+	cfg := lumos5g.CampaignConfig{Seed: seed, WalkPasses: 3, BackgroundUEProb: 0.1}
+	clean, _ := lumos5g.CleanDataset(lumos5g.GenerateArea(area, cfg))
+	mat := features.Build(clean, features.GroupLM)
+	m := gbdt.New(gbdt.Config{Estimators: 40, MaxDepth: 5, Seed: seed})
+	if err := m.Fit(mat.X, mat.Y); err != nil {
+		return fmt.Errorf("selftest: fit: %w", err)
+	}
+	comp := m.Compiled()
+	if comp == nil {
+		return fmt.Errorf("selftest: model did not compile")
+	}
+	treeIdentical := true
+	batch := m.PredictBatch(mat.X)
+	for i, x := range mat.X {
+		if w := m.Predict(x); comp.Predict(x) != w || batch[i] != w {
+			treeIdentical = false
+			break
+		}
+	}
+	fmt.Printf("selftest: tree kernel identical=%t over %d rows\n", treeIdentical, len(mat.X))
+
+	lstmCfg := nn.Seq2SeqConfig{InputDim: len(mat.X[0]), Hidden: 8, Layers: 1, Epochs: 2, Batch: 64, Seed: seed}
+	lm, err := nn.NewLSTMRegressor(lstmCfg)
+	if err != nil {
+		return err
+	}
+	seqs := make([][][]float64, len(mat.X))
+	for i, row := range mat.X {
+		seqs[i] = [][]float64{row}
+	}
+	if err := lm.Fit(seqs, mat.Y); err != nil {
+		return fmt.Errorf("selftest: lstm fit: %w", err)
+	}
+	lstm, err := lstmParity(lm, seqs)
+	if err != nil {
+		return fmt.Errorf("selftest: lstm parity: %w", err)
+	}
+	fmt.Printf("selftest: lstm identical=%t int8 max rel err %.2e (budget %.2e) fingerprint %s\n",
+		lstm.Identical, lstm.Int8MaxRelErr, lstm.Int8ErrBudget, lstm.Int8Fingerprint)
+
+	tm := lumos5g.BuildThroughputMap(clean, 3)
+	pred, err := lumos5g.Train(clean, lumos5g.GroupLM, lumos5g.ModelGDBT, lumos5g.Scale{Seed: seed})
+	if err != nil {
+		return err
+	}
+	s, err := mapserver.New(tm, pred)
+	if err != nil {
+		return err
+	}
+	jsonBody, binBody, err := buildBatchBodies(clean, 64)
+	if err != nil {
+		return err
+	}
+	binaryOK, err := checkBinaryBatch(s, jsonBody, binBody, 64)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("selftest: binary batch matches json=%t\n", binaryOK)
+
+	url := fmt.Sprintf("/predict?lat=%f&lon=%f&speed=4&bearing=10",
+		clean.Records[50].Latitude, clean.Records[50].Longitude)
+	req := httptest.NewRequest("GET", url, nil)
+	w := &discardWriter{h: make(http.Header)}
+	serve := func() {
+		w.code, w.n = 0, 0
+		s.ServeHTTP(w, req)
+	}
+	serve() // warm the cache entry and every pool
+	if w.code != 200 {
+		return fmt.Errorf("selftest: /predict status %d", w.code)
+	}
+	allocs := int64(testing.AllocsPerRun(200, serve))
+	fmt.Printf("selftest: cached /predict %d allocs/op (budget %d, server-only methodology)\n",
+		allocs, predictAllocBudget)
+
+	if err := serveBenchVerdict(treeIdentical, lstm, binaryOK, allocs); err != nil {
+		return err
+	}
+	fmt.Println("selftest: PASS")
 	return nil
 }

@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"container/list"
+	"sync"
+
+	"lumos5g/internal/engine"
+)
+
+// Router-side response cache for the single-query route: an LRU +
+// singleflight keyed on the same quantized engine.Key the router
+// partitions on, so a hot cell answers from the router without a
+// replica round trip, and a thundering herd on one key costs one
+// upstream fetch.
+//
+// The cache is OFF by default (RouterConfig.PredictCacheSize = 0): the
+// router cannot see replica model reloads, so a cached answer may be
+// stale until evicted or until the topology changes (SetTopology drops
+// the whole cache). Enable it only where read-heavy traffic tolerates
+// that staleness window. Hits and misses surface as
+// fleet_predict_cache_{hits,misses}_total in the router /metrics.
+
+// rcEntry is one cached answer. ready is closed by the leader once
+// body/shard/replica are final; a nil body after ready means the leader
+// failed and followers must fetch for themselves.
+type rcEntry struct {
+	ready   chan struct{}
+	body    []byte
+	shard   string
+	replica string
+}
+
+type rcItem struct {
+	key engine.Key
+	e   *rcEntry
+}
+
+type routerCache struct {
+	cap   int
+	mu    sync.Mutex
+	ll    *list.List
+	items map[engine.Key]*list.Element
+}
+
+func newRouterCache(capacity int) *routerCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &routerCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[engine.Key]*list.Element, capacity),
+	}
+}
+
+// acquire returns the entry for key and whether the caller is its
+// leader (responsible for filling it and closing ready). Followers wait
+// on ready; the LRU is bounded by cap with oldest-entry eviction.
+func (c *routerCache) acquire(key engine.Key) (*rcEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*rcItem).e, false
+	}
+	e := &rcEntry{ready: make(chan struct{})}
+	el := c.ll.PushFront(&rcItem{key: key, e: e})
+	c.items[key] = el
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*rcItem).key)
+	}
+	return e, true
+}
+
+// fill publishes the leader's answer and unblocks followers.
+func (c *routerCache) fill(e *rcEntry, body []byte, shard, replica string) {
+	e.body, e.shard, e.replica = body, shard, replica
+	close(e.ready)
+}
+
+// abandon drops the leader's pending entry (failed fetch) and unblocks
+// followers with a nil body, so the key stays fetchable.
+func (c *routerCache) abandon(key engine.Key, e *rcEntry) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok && el.Value.(*rcItem).e == e {
+		c.ll.Remove(el)
+		delete(c.items, key)
+	}
+	c.mu.Unlock()
+	close(e.ready)
+}
+
+// size reports the current entry count.
+func (c *routerCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

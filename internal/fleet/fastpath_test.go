@@ -1,0 +1,156 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"lumos5g/internal/mapserver"
+	"lumos5g/internal/wire"
+)
+
+// TestFleetBatchBinaryByteIdentity is the merge contract of the binary
+// wire format: a binary /predict/batch scattered across shards and
+// re-encoded by the router must be byte-identical to the frame a single
+// server holding the whole map would have produced. Every shard serves
+// a slice of the same map through the same chain, and the frame
+// encoding is deterministic, so any byte of difference means the router
+// dropped or reordered something in the merge.
+func TestFleetBatchBinaryByteIdentity(t *testing.T) {
+	f := startTestFleet(t, testFleetConfig())
+	tm, chain, points := fixture(t)
+	solo, err := mapserver.NewWithChain(tm, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	qs := make([]wire.Query, 0, len(points))
+	for i, p := range points {
+		q := wire.Query{Lat: p[0], Lon: p[1]}
+		if i%2 == 0 {
+			sp, br := float64(i%20), float64((i*37)%360)
+			q.Speed, q.Bearing = &sp, &br
+		}
+		qs = append(qs, q)
+	}
+	frame := wire.AppendQueries(nil, qs)
+
+	post := func(h http.Handler, accept string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/predict/batch", bytes.NewReader(frame))
+		req.Header.Set("Content-Type", wire.ContentType)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+
+	fleetRec := post(f.Router(), wire.ContentType)
+	soloRec := post(solo, wire.ContentType)
+	for name, rec := range map[string]*httptest.ResponseRecorder{"fleet": fleetRec, "solo": soloRec} {
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: %d %s", name, rec.Code, rec.Body.String())
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != wire.ContentType {
+			t.Fatalf("%s: Content-Type %q", name, ct)
+		}
+	}
+	if !bytes.Equal(fleetRec.Body.Bytes(), soloRec.Body.Bytes()) {
+		fr, ferr := wire.DecodeResults(fleetRec.Body.Bytes(), len(qs))
+		sr, serr := wire.DecodeResults(soloRec.Body.Bytes(), len(qs))
+		t.Fatalf("fleet frame (%d bytes) != solo frame (%d bytes); decoded fleet %v (%v) solo %v (%v)",
+			fleetRec.Body.Len(), soloRec.Body.Len(), fr, ferr, sr, serr)
+	}
+	rows, err := wire.DecodeResults(fleetRec.Body.Bytes(), len(qs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(qs) {
+		t.Fatalf("%d rows for %d queries", len(rows), len(qs))
+	}
+
+	// Same binary request without the Accept header: the answer must
+	// fall back to the JSON BatchResponse envelope, rows intact.
+	jsonRec := post(f.Router(), "")
+	if jsonRec.Code != http.StatusOK {
+		t.Fatalf("binary-in/json-out: %d %s", jsonRec.Code, jsonRec.Body.String())
+	}
+	var env BatchResponse
+	if err := json.Unmarshal(jsonRec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("binary-in/json-out is not a BatchResponse: %v", err)
+	}
+	if env.Partial || len(env.Rows) != len(qs) {
+		t.Fatalf("binary-in/json-out: partial=%v rows=%d", env.Partial, len(env.Rows))
+	}
+	for i, br := range env.Rows {
+		if br.Mbps == nil || *br.Mbps != rows[i].Mbps {
+			t.Fatalf("row %d: JSON mbps %v != binary mbps %v", i, br.Mbps, rows[i].Mbps)
+		}
+	}
+}
+
+// TestRouterPredictCache covers the opt-in router-side response cache:
+// a repeat query serves from the router (X-Fleet-Cache: hit, identical
+// body, hit counter), and SetTopology drops the cache wholesale.
+func TestRouterPredictCache(t *testing.T) {
+	cfg := testFleetConfig()
+	cfg.Router.PredictCacheSize = 64
+	f := startTestFleet(t, cfg)
+	rt := f.Router()
+	_, _, points := fixture(t)
+
+	get := func(i int) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		rt.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, predictURL(points[i%len(points)], true, i), nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("query %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+		return rec
+	}
+
+	first := get(3)
+	if first.Header().Get("X-Fleet-Cache") == "hit" {
+		t.Fatal("cold query served from cache")
+	}
+	second := get(3)
+	if second.Header().Get("X-Fleet-Cache") != "hit" {
+		t.Fatal("repeat query did not hit the cache")
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatalf("cached body diverged: %s vs %s", first.Body.String(), second.Body.String())
+	}
+	if second.Header().Get("X-Fleet-Shard") == "" || second.Header().Get("X-Fleet-Replica") == "" {
+		t.Fatal("cached answer lost its shard/replica attribution")
+	}
+	if hits := rt.m.cacheHits.Value(); hits != 1 {
+		t.Fatalf("cacheHits = %v, want 1", hits)
+	}
+	if misses := rt.m.cacheMisses.Value(); misses < 1 {
+		t.Fatalf("cacheMisses = %v, want >= 1", misses)
+	}
+	if n := rt.pcache.Load().size(); n != 1 {
+		t.Fatalf("cache holds %d entries, want 1", n)
+	}
+
+	// A topology change invalidates everything: answers routed under the
+	// old topology must not outlive it.
+	rt.SetTopology(f.Topology())
+	if n := rt.pcache.Load().size(); n != 0 {
+		t.Fatalf("cache holds %d entries after SetTopology", n)
+	}
+	third := get(3)
+	if third.Header().Get("X-Fleet-Cache") == "hit" {
+		t.Fatal("query served from cache across a topology change")
+	}
+
+	// Default config keeps the cache off entirely.
+	off := NewRouter(f.Topology(), RouterConfig{ProbeInterval: time.Minute})
+	t.Cleanup(off.Close)
+	if off.pcache.Load() != nil {
+		t.Fatal("cache enabled without PredictCacheSize")
+	}
+}

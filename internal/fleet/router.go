@@ -32,6 +32,11 @@ type Router struct {
 	topo atomic.Pointer[Topology]
 	pb   *prober
 
+	// pcache is the optional router-side /predict response cache (nil
+	// when PredictCacheSize is 0, the default). Replaced wholesale on
+	// SetTopology so membership changes drop every cached answer.
+	pcache atomic.Pointer[routerCache]
+
 	jmu sync.Mutex
 	jit *rng.Source // jittered backoff; seeded for reproducible tests
 
@@ -61,6 +66,11 @@ type RouterConfig struct {
 	BreakerCooldown  time.Duration
 	// MaxBatchRows caps one /predict/batch request (default 10000).
 	MaxBatchRows int
+	// PredictCacheSize enables the router-side /predict response cache
+	// with that many quantized-key entries (see cache.go). 0 — the
+	// default — disables it: the router cannot observe replica model
+	// reloads, so enabling it accepts bounded staleness.
+	PredictCacheSize int
 	// Seed seeds the backoff jitter (0 = a fixed default; tests pass
 	// their own for reproducibility).
 	Seed uint64
@@ -105,6 +115,9 @@ func NewRouter(topo *Topology, cfg RouterConfig) *Router {
 	cfg.fill()
 	rt := &Router{cfg: cfg, client: cfg.Client, jit: rng.New(cfg.Seed), mux: http.NewServeMux()}
 	rt.topo.Store(topo)
+	if cfg.PredictCacheSize > 0 {
+		rt.pcache.Store(newRouterCache(cfg.PredictCacheSize))
+	}
 	rt.m = newRouterMetrics(rt)
 	for _, sh := range topo.Shards {
 		for _, rep := range sh.Replicas {
@@ -145,6 +158,11 @@ func (rt *Router) SetTopology(t *Topology) {
 		}
 	}
 	rt.topo.Store(t)
+	// A membership change invalidates the response cache wholesale:
+	// answers routed under the old topology must not outlive it.
+	if rt.cfg.PredictCacheSize > 0 {
+		rt.pcache.Store(newRouterCache(rt.cfg.PredictCacheSize))
+	}
 }
 
 // Metrics returns the router's own registry (fleet_* instruments).
@@ -278,13 +296,23 @@ func (rt *Router) tryGET(ctx context.Context, c candidate, path, rawQuery string
 
 // tryPOST runs one replica attempt with a JSON body.
 func (rt *Router) tryPOST(ctx context.Context, c candidate, path string, body []byte) attemptResult {
+	return rt.tryPOSTAs(ctx, c, path, body, "application/json", "")
+}
+
+// tryPOSTAs runs one replica attempt with an explicit request media
+// type and, when accept is non-empty, an Accept header asking the
+// replica for that response encoding.
+func (rt *Router) tryPOSTAs(ctx context.Context, c candidate, path string, body []byte, contentType, accept string) attemptResult {
 	ctx, cancel := context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.rep.URL+path, bytes.NewReader(body))
 	if err != nil {
 		return attemptResult{cand: c, err: err}
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
 	resp, err := rt.client.Do(req)
 	return rt.finishAttempt(c, resp, err)
 }
@@ -355,7 +383,42 @@ func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "no shards in topology")
 		return
 	}
-	rt.hedgedGET(w, r, cands, "/predict", r.URL.RawQuery)
+	cache := rt.pcache.Load()
+	if cache == nil {
+		rt.hedgedGET(w, r, cands, "/predict", r.URL.RawQuery)
+		return
+	}
+	e, leader := cache.acquire(key)
+	if !leader {
+		<-e.ready
+		if e.body != nil {
+			rt.m.cacheHits.Inc()
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Fleet-Shard", e.shard)
+			w.Header().Set("X-Fleet-Replica", e.replica)
+			w.Header().Set("X-Fleet-Cache", "hit")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(e.body)
+			return
+		}
+		// The leader abandoned the entry (every candidate failed, or a
+		// definitive client error): fetch for ourselves, uncached.
+		rt.m.cacheMisses.Inc()
+		rt.hedgedGET(w, r, cands, "/predict", r.URL.RawQuery)
+		return
+	}
+	rt.m.cacheMisses.Inc()
+	filled := false
+	defer func() {
+		if !filled {
+			cache.abandon(key, e)
+		}
+	}()
+	body, shardID, replicaID, served := rt.hedgedGET(w, r, cands, "/predict", r.URL.RawQuery)
+	if served {
+		cache.fill(e, body, shardID, replicaID)
+		filled = true
+	}
 }
 
 // hedgedGET is the failover engine shared by /predict: it walks the
@@ -365,7 +428,10 @@ func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
 // first success. First 4xx forwards too: it is the same answer
 // everywhere. Only when every candidate has failed does the client see
 // a 503, with Retry-After when the fleet was shedding rather than dead.
-func (rt *Router) hedgedGET(w http.ResponseWriter, r *http.Request, cands []candidate, path, rawQuery string) {
+// The return values feed the optional response cache: the 200 body it
+// forwarded with its shard/replica attribution, served=false for every
+// other outcome (which must never be cached).
+func (rt *Router) hedgedGET(w http.ResponseWriter, r *http.Request, cands []candidate, path, rawQuery string) (body []byte, shardID, replicaID string, served bool) {
 	ctx := r.Context()
 	results := make(chan attemptResult, len(cands))
 	next, inFlight := 0, 0
@@ -417,7 +483,7 @@ func (rt *Router) hedgedGET(w http.ResponseWriter, r *http.Request, cands []cand
 				w.Header().Set("X-Fleet-Replica", res.cand.rep.ID)
 				w.WriteHeader(http.StatusOK)
 				_, _ = w.Write(res.body)
-				return
+				return res.body, res.cand.shard.ID, res.cand.rep.ID, true
 			}
 			if res.definitive() {
 				if ct := res.header.Get("Content-Type"); ct != "" {

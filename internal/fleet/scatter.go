@@ -5,12 +5,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
 
 	"lumos5g/internal/obs"
+	"lumos5g/internal/wire"
 )
 
 // Fan-out routes. The contract that matters here is explicit
@@ -31,17 +33,6 @@ type batchQuery struct {
 	Lon     float64  `json:"lon"`
 	Speed   *float64 `json:"speed,omitempty"`
 	Bearing *float64 `json:"bearing,omitempty"`
-}
-
-// replicaRow is the slice of a replica's batch answer the router
-// forwards.
-type replicaRow struct {
-	Mbps     float64  `json:"mbps"`
-	Class    string   `json:"class"`
-	Source   string   `json:"source"`
-	Tier     int      `json:"tier"`
-	Degraded bool     `json:"degraded"`
-	Missing  []string `json:"missing,omitempty"`
 }
 
 // BatchRow is one row of the fleet batch answer: the replica's
@@ -104,8 +95,43 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 	}
 }
 
+// decodeBatch reads the /predict/batch request body as either the
+// binary frame (Content-Type: wire.ContentType) or the JSON default,
+// returning the rows in wire form. A non-empty errMsg is a 400.
+func (rt *Router) decodeBatch(r *http.Request) (queries []wire.Query, errMsg string) {
+	if r.Header.Get("Content-Type") == wire.ContentType {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			return nil, "unreadable request body"
+		}
+		qs, err := wire.DecodeQueries(body, rt.cfg.MaxBatchRows)
+		if err != nil {
+			return nil, fmt.Sprintf("bad binary batch frame: %v", err)
+		}
+		return qs, ""
+	}
+	var jqs []batchQuery
+	if err := json.NewDecoder(r.Body).Decode(&jqs); err != nil {
+		return nil, "body must be a JSON array of {lat, lon[, speed][, bearing]} queries"
+	}
+	if len(jqs) > rt.cfg.MaxBatchRows {
+		return nil, fmt.Sprintf("batch too large: %d queries (max %d)", len(jqs), rt.cfg.MaxBatchRows)
+	}
+	queries = make([]wire.Query, len(jqs))
+	for i, q := range jqs {
+		queries[i] = wire.Query{Lat: q.Lat, Lon: q.Lon, Speed: q.Speed, Bearing: q.Bearing}
+	}
+	return queries, ""
+}
+
 // handleBatch scatters the batch across owning shards and gathers an
-// explicitly-partial answer.
+// explicitly-partial answer. Sub-batches forward to replicas as binary
+// frames regardless of the client encoding — the replicas always speak
+// the wire format, and the columnar frame is the cheap path. The client
+// gets a binary response only when it asked (Accept) and the answer is
+// complete: a partial answer carries per-row failure markers (null
+// mbps, shard provenance, error strings) the binary frame cannot
+// represent, so it falls back to the JSON BatchResponse envelope.
 func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
@@ -118,24 +144,20 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, 16<<20)
-	var queries []batchQuery
-	if err := json.NewDecoder(r.Body).Decode(&queries); err != nil {
-		writeError(w, http.StatusBadRequest, "body must be a JSON array of {lat, lon[, speed][, bearing]} queries")
+	queries, errMsg := rt.decodeBatch(r)
+	if errMsg != "" {
+		writeError(w, http.StatusBadRequest, errMsg)
 		return
 	}
 	if len(queries) == 0 {
 		writeError(w, http.StatusBadRequest, "empty batch")
 		return
 	}
-	if len(queries) > rt.cfg.MaxBatchRows {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch too large: %d queries (max %d)", len(queries), rt.cfg.MaxBatchRows))
-		return
-	}
 	// Validate every row up front with the replicas' own ranges, so a
 	// bad row rejects the batch here instead of poisoning one shard's
 	// whole sub-batch downstream.
-	for i, q := range queries {
-		if err := validateQuery(q); err != nil {
+	for i := range queries {
+		if err := validateQuery(&queries[i]); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
 			return
 		}
@@ -157,18 +179,21 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(sh *Shard, idxs []int) {
 			defer wg.Done()
-			sub := make([]batchQuery, len(idxs))
+			sub := make([]wire.Query, len(idxs))
 			for j, i := range idxs {
 				sub[j] = queries[i]
 			}
-			body, _ := json.Marshal(sub)
+			body := wire.AppendQueries(nil, sub)
 			res := rt.shardTry(r.Context(), sh, func(c candidate) attemptResult {
-				return rt.tryPOST(r.Context(), c, "/predict/batch", body)
+				return rt.tryPOSTAs(r.Context(), c, "/predict/batch", body,
+					wire.ContentType, wire.ContentType)
 			})
-			var served []replicaRow
+			var served []wire.Result
 			ok := res.ok()
 			if ok {
-				if err := json.Unmarshal(res.body, &served); err != nil || len(served) != len(idxs) {
+				var err error
+				served, err = wire.DecodeResults(res.body, len(idxs))
+				if err != nil || len(served) != len(idxs) {
 					ok = false
 				}
 			}
@@ -206,6 +231,24 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if partial {
 		rt.m.partials.Inc()
 	}
+	if !partial && r.Header.Get("Accept") == wire.ContentType {
+		rs := make([]wire.Result, len(rows))
+		for i := range rows {
+			br := &rows[i]
+			rs[i] = wire.Result{
+				Mbps: *br.Mbps, Class: br.Class, Source: br.Source,
+				Tier: br.Tier, Degraded: br.Degraded, Missing: br.Missing,
+			}
+		}
+		if frame, err := wire.AppendResults(nil, rs); err == nil {
+			w.Header().Set("Content-Type", wire.ContentType)
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(frame)
+			return
+		}
+		// An unencodable merge (string-table overflow) falls back to
+		// the JSON envelope rather than failing the whole batch.
+	}
 	writeJSON(w, http.StatusOK, BatchResponse{Partial: partial, Rows: rows})
 }
 
@@ -220,7 +263,7 @@ func shardFailureReason(sh *Shard, res attemptResult) string {
 	}
 }
 
-func validateQuery(q batchQuery) error {
+func validateQuery(q *wire.Query) error {
 	if err := checkRange(q.Lat, "lat", -90, 90); err != nil {
 		return err
 	}

@@ -2,7 +2,6 @@ package mapserver
 
 import (
 	"container/list"
-	"encoding/json"
 	"math"
 	"sync"
 
@@ -131,11 +130,27 @@ func (c *predCache) dropEntry(key predKey, el *list.Element) {
 	c.mu.Unlock()
 }
 
-// getOrCompute returns the response and wire body for key, computing
-// and inserting it (once, whatever the concurrency) on a miss. A nil
-// body (outcomeInvalid) means the computed response has no JSON wire
-// form and must not be served.
+// computer produces one prediction for a cache miss. The hot path
+// passes the handler's pooled predictCall so a request allocates no
+// per-call closure; tests use the computeFunc adapter.
+type computer interface{ computePredict() predictResponse }
+
+// computeFunc adapts a plain function to the computer interface.
+type computeFunc func() predictResponse
+
+func (f computeFunc) computePredict() predictResponse { return f() }
+
+// getOrCompute is the closure-taking form of run, kept for tests and
+// non-hot callers.
 func (c *predCache) getOrCompute(key predKey, compute func() predictResponse) (predictResponse, []byte, cacheOutcome) {
+	return c.run(key, computeFunc(compute))
+}
+
+// run returns the response and wire body for key, computing and
+// inserting it (once, whatever the concurrency) on a miss. A nil body
+// (outcomeInvalid) means the computed response has no JSON wire form
+// and must not be served.
+func (c *predCache) run(key predKey, comp computer) (predictResponse, []byte, cacheOutcome) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -146,7 +161,7 @@ func (c *predCache) getOrCompute(key predKey, compute func() predictResponse) (p
 			return e.resp, e.body, outcomeHit
 		}
 		// The leader abandoned the entry; answer uncached.
-		resp := compute()
+		resp := comp.computePredict()
 		body := marshalResponse(resp)
 		if body == nil {
 			return resp, nil, outcomeInvalid
@@ -178,7 +193,7 @@ func (c *predCache) getOrCompute(key predKey, compute func() predictResponse) (p
 			}
 		}
 	}()
-	resp := compute()
+	resp := comp.computePredict()
 	body := marshalResponse(resp)
 	done = true
 	if body == nil {
@@ -210,14 +225,21 @@ func wireSafe(resp predictResponse) bool {
 // marshalResponse renders the wire body exactly as json.Encoder would
 // (trailing newline included) so cached and uncached responses are
 // byte-identical. Returns nil — never panics — when the response has no
-// JSON encoding; the caller turns that into a clean 500.
+// JSON encoding; the caller turns that into a clean 500. The body is
+// rendered once and memoised alongside the cache entry, so a hit never
+// pays the encoding again.
 func marshalResponse(resp predictResponse) []byte {
+	b := make([]byte, 0, 128)
+	return appendMarshalResponse(b, resp)
+}
+
+// appendMarshalResponse is marshalResponse into a caller-owned buffer.
+// NOTE: cached bodies must own their bytes — only pass a fresh buffer
+// when the result is stored.
+func appendMarshalResponse(dst []byte, resp predictResponse) []byte {
 	if !wireSafe(resp) {
 		return nil
 	}
-	b, err := json.Marshal(resp)
-	if err != nil {
-		return nil
-	}
-	return append(b, '\n')
+	dst = appendPredictResponse(dst, resp)
+	return append(dst, '\n')
 }

@@ -1,0 +1,81 @@
+package mapserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"lumos5g"
+	"lumos5g/internal/engine"
+	"lumos5g/internal/ml/nn"
+)
+
+// TestLSTMServesEndToEnd trains the recurrent model family and serves
+// it through the whole stack — Train → ChainFromPredictor →
+// NewWithChain → HTTP /predict — proving the compiled LSTM kernel is a
+// first-class servable, not just a bench artifact. A full-sensor query
+// must answer from the model tiers (tier >= 0), and a sensor-less query
+// must demote through the same chain without error.
+func TestLSTMServesEndToEnd(t *testing.T) {
+	area, err := lumos5g.AreaByName("Airport")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lumos5g.CampaignConfig{Seed: 1, WalkPasses: 3, BackgroundUEProb: 0.1}
+	clean, _ := lumos5g.CleanDataset(lumos5g.GenerateArea(area, cfg))
+	tm := lumos5g.BuildThroughputMap(clean, 2)
+	sc := lumos5g.Scale{
+		Seed:    1,
+		Seq2Seq: nn.Seq2SeqConfig{Hidden: 8, Layers: 1, Epochs: 2, Batch: 64},
+	}
+	pred, err := lumos5g.Train(clean, lumos5g.GroupLM, lumos5g.ModelLSTM, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := lumos5g.ChainFromPredictor(pred, engine.MapMean(tm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewWithChain(tm, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	lat, lon := clean.Records[50].Latitude, clean.Records[50].Longitude
+	resp, body := get(t, fmt.Sprintf("%s/predict?lat=%f&lon=%f&speed=4.5&bearing=10", srv.URL, lat, lon))
+	if resp.StatusCode != 200 {
+		t.Fatalf("full-sensor query: %d %s", resp.StatusCode, body)
+	}
+	var full predictResponse
+	if err := json.Unmarshal([]byte(body), &full); err != nil {
+		t.Fatal(err)
+	}
+	if full.Tier < 0 {
+		t.Fatalf("full-sensor query fell past every LSTM tier: %+v", full)
+	}
+	if math.IsNaN(full.Mbps) || math.IsInf(full.Mbps, 0) || full.Mbps < 0 {
+		t.Fatalf("LSTM served a bad throughput: %+v", full)
+	}
+	if full.Degraded {
+		t.Fatalf("full-sensor query should not be degraded: %+v", full)
+	}
+
+	resp, body = get(t, fmt.Sprintf("%s/predict?lat=%f&lon=%f", srv.URL, lat, lon))
+	if resp.StatusCode != 200 {
+		t.Fatalf("sensor-less query: %d %s", resp.StatusCode, body)
+	}
+	var bare predictResponse
+	if err := json.Unmarshal([]byte(body), &bare); err != nil {
+		t.Fatal(err)
+	}
+	if !bare.Degraded {
+		t.Fatalf("sensor-less query must demote and mark itself degraded: %+v", bare)
+	}
+	if math.IsNaN(bare.Mbps) || math.IsInf(bare.Mbps, 0) {
+		t.Fatalf("demoted answer is non-finite: %+v", bare)
+	}
+}

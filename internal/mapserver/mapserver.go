@@ -45,6 +45,7 @@ import (
 	"lumos5g/internal/engine"
 	"lumos5g/internal/geo"
 	"lumos5g/internal/ingest"
+	"lumos5g/internal/wire"
 )
 
 // Server bundles the published artifacts.
@@ -462,6 +463,45 @@ func engineResponse(p engine.Prediction) predictResponse {
 	}
 }
 
+// predictCall is the pooled per-request scratch of handlePredict: it
+// carries the parsed query into the cache's compute seam as an
+// interface, so the hot path allocates neither a closure nor the
+// escaped *float64 optionals (pointers into the pooled struct are
+// already heap-stable).
+type predictCall struct {
+	s          *Server
+	eng        *engine.Engine
+	px         geo.Pixel
+	speed      float64
+	bearing    float64
+	hasSpeed   bool
+	hasBearing bool
+}
+
+var predictCallPool = sync.Pool{New: func() any { return new(predictCall) }}
+
+func (pc *predictCall) speedPtr() *float64 {
+	if !pc.hasSpeed {
+		return nil
+	}
+	return &pc.speed
+}
+
+func (pc *predictCall) bearingPtr() *float64 {
+	if !pc.hasBearing {
+		return nil
+	}
+	return &pc.bearing
+}
+
+// computePredict implements the cache's computer seam: one model walk,
+// observed into the tier-latency histogram.
+func (pc *predictCall) computePredict() predictResponse {
+	p := pc.eng.Predict(pc.px, pc.speedPtr(), pc.bearingPtr())
+	pc.s.m.tierLatency.With(p.Source).Observe(p.Walk.Seconds())
+	return engineResponse(p)
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	rq := r.URL.RawQuery
 	lat, err := queryFloat(queryValue(rq, "lat"), "lat", -90, 90)
@@ -474,26 +514,29 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	px := geo.Pixelize(geo.LatLon{Lat: lat, Lon: lon}, geo.DefaultZoom)
+
+	pc := predictCallPool.Get().(*predictCall)
+	defer predictCallPool.Put(pc)
+	pc.s = s
+	pc.px = geo.Pixelize(geo.LatLon{Lat: lat, Lon: lon}, geo.DefaultZoom)
+	pc.hasSpeed, pc.hasBearing = false, false
 
 	// Present-but-malformed optional parameters are still client errors.
-	var speed, bearing *float64
-	var speedV, bearingV float64
 	if raw := queryValue(rq, "speed"); raw != "" {
-		speedV, err = queryFloat(raw, "speed (km/h)", 0, 500)
+		pc.speed, err = queryFloat(raw, "speed (km/h)", 0, 500)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		speed = &speedV
+		pc.hasSpeed = true
 	}
 	if raw := queryValue(rq, "bearing"); raw != "" {
-		bearingV, err = queryFloat(raw, "bearing (degrees)", -360, 360)
+		pc.bearing, err = queryFloat(raw, "bearing (degrees)", -360, 360)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		bearing = &bearingV
+		pc.hasBearing = true
 	}
 
 	// One read of the (engine, cache) pair: a hot swap replaces both
@@ -502,39 +545,37 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// — the old cache is unreachable afterwards, so its answers die with
 	// it.
 	s.mu.RLock()
-	eng, cache := s.eng, s.cache
+	pc.eng = s.eng
+	cache := s.cache
 	s.mu.RUnlock()
 	const route = "/predict"
-	if eng.Chain() == nil {
-		resp := engineResponse(eng.MapOnly(px))
-		if !wireSafe(resp) {
+	if pc.eng.Chain() == nil {
+		resp := engineResponse(pc.eng.MapOnly(pc.px))
+		body := marshalResponse(resp)
+		if body == nil {
 			s.m.nonFinite.Inc()
 			writeError(w, http.StatusInternalServerError, "prediction is not finite")
 			return
 		}
 		s.m.tierServed.With(route, resp.Source).Inc()
 		annotatePredict(r.Context(), resp.Tier, resp.Source, "off")
-		writeJSON(w, http.StatusOK, resp)
+		writeJSONBytes(w, http.StatusOK, body)
 		return
-	}
-	compute := func() predictResponse {
-		p := eng.Predict(px, speed, bearing)
-		s.m.tierLatency.With(p.Source).Observe(p.Walk.Seconds())
-		return engineResponse(p)
 	}
 	if cache == nil {
-		resp := compute()
-		if !wireSafe(resp) {
+		resp := pc.computePredict()
+		body := marshalResponse(resp)
+		if body == nil {
 			s.m.nonFinite.Inc()
 			writeError(w, http.StatusInternalServerError, "prediction is not finite")
 			return
 		}
 		s.m.tierServed.With(route, resp.Source).Inc()
 		annotatePredict(r.Context(), resp.Tier, resp.Source, "off")
-		writeJSON(w, http.StatusOK, resp)
+		writeJSONBytes(w, http.StatusOK, body)
 		return
 	}
-	resp, body, outcome := cache.getOrCompute(quantizeKey(px, speed, bearing), compute)
+	resp, body, outcome := cache.run(quantizeKey(pc.px, pc.speedPtr(), pc.bearingPtr()), pc)
 	if outcome == outcomeInvalid || body == nil {
 		s.m.nonFinite.Inc()
 		writeError(w, http.StatusInternalServerError, "prediction is not finite")
@@ -569,15 +610,42 @@ type batchQueryJSON struct {
 // middleware bounds the bytes; this bounds the work).
 const maxBatchQueries = 4096
 
+// decodeBatchQueries parses the request body in whichever of the two
+// negotiated formats the Content-Type names: the binary columnar frame
+// (wire.ContentType) or the JSON array default. Both decode to
+// wire.Query rows.
+func decodeBatchQueries(r *http.Request) ([]wire.Query, string) {
+	if r.Header.Get("Content-Type") == wire.ContentType {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			return nil, "unreadable request body"
+		}
+		qs, err := wire.DecodeQueries(body, maxBatchQueries)
+		if err != nil {
+			return nil, err.Error()
+		}
+		return qs, ""
+	}
+	var jq []batchQueryJSON
+	if err := json.NewDecoder(r.Body).Decode(&jq); err != nil {
+		return nil, "body must be a JSON array of {lat, lon[, speed][, bearing]} queries"
+	}
+	qs := make([]wire.Query, len(jq))
+	for i, q := range jq {
+		qs[i] = wire.Query{Lat: q.Lat, Lon: q.Lon, Speed: q.Speed, Bearing: q.Bearing}
+	}
+	return qs, ""
+}
+
 func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
 		writeError(w, http.StatusMethodNotAllowed, "method not allowed")
 		return
 	}
-	var queries []batchQueryJSON
-	if err := json.NewDecoder(r.Body).Decode(&queries); err != nil {
-		writeError(w, http.StatusBadRequest, "body must be a JSON array of {lat, lon[, speed][, bearing]} queries")
+	queries, decodeErr := decodeBatchQueries(r)
+	if decodeErr != "" {
+		writeError(w, http.StatusBadRequest, decodeErr)
 		return
 	}
 	if len(queries) == 0 {
@@ -592,7 +660,8 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	pxs := make([]geo.Pixel, len(queries))
 	speeds := make([]*float64, len(queries))
 	bearings := make([]*float64, len(queries))
-	for i, bq := range queries {
+	for i := range queries {
+		bq := &queries[i]
 		if err := checkRange(bq.Lat, "lat", -90, 90); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %s", i, err))
 			return
@@ -621,13 +690,16 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	for i, p := range s.Engine().PredictBatch(pxs, speeds, bearings) {
 		out[i] = engineResponse(p)
 	}
-	s.finishBatch(w, out)
+	// The response format is chosen by Accept alone (binary only on an
+	// exact wire.ContentType match; JSON is the default) — independent
+	// of the request format, so a binary sender can still read JSON.
+	s.finishBatch(w, out, r.Header.Get("Accept") == wire.ContentType)
 }
 
 // finishBatch validates and publishes one batch answer. Per-query tier
 // counters are incremented only once the whole batch is known to be
 // servable, so counters never include predictions that were never sent.
-func (s *Server) finishBatch(w http.ResponseWriter, out []predictResponse) {
+func (s *Server) finishBatch(w http.ResponseWriter, out []predictResponse, binary bool) {
 	for i := range out {
 		if !wireSafe(out[i]) {
 			s.m.nonFinite.Inc()
@@ -638,5 +710,48 @@ func (s *Server) finishBatch(w http.ResponseWriter, out []predictResponse) {
 	for i := range out {
 		s.m.tierServed.With("/predict/batch", out[i].Source).Inc()
 	}
-	writeJSON(w, http.StatusOK, out)
+	if binary {
+		rs := make([]wire.Result, len(out))
+		for i := range out {
+			rs[i] = wire.Result{
+				Mbps:     out[i].Mbps,
+				Class:    out[i].Class,
+				Source:   out[i].Source,
+				Tier:     out[i].Tier,
+				Degraded: out[i].Degraded,
+				Missing:  out[i].Missing,
+			}
+		}
+		bufp := batchBufPool.Get().(*[]byte)
+		b, err := wire.AppendResults((*bufp)[:0], rs)
+		if err != nil {
+			batchBufPool.Put(bufp)
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header()["Content-Type"] = wireCT
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(b)
+		*bufp = b[:0]
+		batchBufPool.Put(bufp)
+		return
+	}
+	// Render the array with the hand-rolled encoder — byte-identical to
+	// json.Encoder of []predictResponse — through a pooled buffer.
+	bufp := batchBufPool.Get().(*[]byte)
+	b := append((*bufp)[:0], '[')
+	for i := range out {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendPredictResponse(b, out[i])
+	}
+	b = append(b, ']', '\n')
+	writeJSONBytes(w, http.StatusOK, b)
+	*bufp = b[:0]
+	batchBufPool.Put(bufp)
 }
+
+// wireCT is the shared Content-Type header value of binary batch
+// responses (see jsonCT for why it is a shared slice).
+var wireCT = []string{wire.ContentType}

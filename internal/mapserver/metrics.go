@@ -56,6 +56,85 @@ type serverMetrics struct {
 	// Model lifecycle (written by SetChain / ReloadModelFile).
 	reloads         *obs.Counter
 	reloadsRejected *obs.Counter
+
+	// Child-instrument caches for the request path. obs vectors key
+	// children on a joined label string, so every With() on a
+	// multi-label vector allocates the key; the request path instead
+	// resolves its children once per (route, code) / route and reuses
+	// the cached pointers (obs instruments are safe for concurrent use).
+	childMu     sync.RWMutex
+	reqChildren map[routeCode]*obs.Counter
+	routeObs    map[string]*routeInstruments
+}
+
+// routeCode keys the cached lumos_http_requests_total children.
+type routeCode struct {
+	route string
+	code  int
+}
+
+// routeInstruments holds one route's per-request instruments, resolved
+// once so the hot path does no vector lookups.
+type routeInstruments struct {
+	latency  *obs.Histogram
+	inflight *obs.Gauge
+}
+
+// requestCounter returns the requests_total child for (route, code),
+// resolving and caching it on first use. Steady-state lookups are a
+// read-locked map probe with no allocations.
+func (m *serverMetrics) requestCounter(route string, code int) *obs.Counter {
+	k := routeCode{route: route, code: code}
+	m.childMu.RLock()
+	c := m.reqChildren[k]
+	m.childMu.RUnlock()
+	if c != nil {
+		return c
+	}
+	c = m.requests.With(route, statusLabel(code))
+	m.childMu.Lock()
+	m.reqChildren[k] = c
+	m.childMu.Unlock()
+	return c
+}
+
+// routeInstruments returns the cached latency/in-flight instruments for
+// a (normalized) route.
+func (m *serverMetrics) routeInstruments(route string) *routeInstruments {
+	m.childMu.RLock()
+	ri := m.routeObs[route]
+	m.childMu.RUnlock()
+	if ri != nil {
+		return ri
+	}
+	ri = &routeInstruments{latency: m.latency.With(route), inflight: m.inflight.With(route)}
+	m.childMu.Lock()
+	m.routeObs[route] = ri
+	m.childMu.Unlock()
+	return ri
+}
+
+// statusLabel renders an HTTP status code as its metrics label without
+// allocating for the codes this server actually produces
+// (strconv.Itoa only caches values below 100).
+func statusLabel(code int) string {
+	switch code {
+	case http.StatusOK:
+		return "200"
+	case http.StatusBadRequest:
+		return "400"
+	case http.StatusNotFound:
+		return "404"
+	case http.StatusMethodNotAllowed:
+		return "405"
+	case http.StatusRequestEntityTooLarge:
+		return "413"
+	case http.StatusInternalServerError:
+		return "500"
+	case http.StatusServiceUnavailable:
+		return "503"
+	}
+	return strconv.Itoa(code)
 }
 
 func newServerMetrics(s *Server) *serverMetrics {
@@ -93,6 +172,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Successful model hot swaps."),
 		reloadsRejected: r.NewCounter("lumos_model_reloads_rejected_total",
 			"Model artifacts rejected on reload (previous model kept serving)."),
+		reqChildren: map[routeCode]*obs.Counter{},
+		routeObs:    map[string]*routeInstruments{},
 	}
 	r.NewGaugeFunc("lumos_predict_cache_entries",
 		"Entries in the current prediction-cache generation.",
@@ -226,18 +307,25 @@ type accessLogLine struct {
 	Cache  string  `json:"cache,omitempty"`
 }
 
+// swPool recycles the statusWriter wrappers of withObs. A wrapper is
+// only ever referenced synchronously below withObs in the middleware
+// stack (http.TimeoutHandler hands its inner handler a separate
+// buffered writer), so returning it to the pool after the counters are
+// recorded is safe.
+var swPool = sync.Pool{New: func() any { return new(statusWriter) }}
+
 // withObs is the outermost middleware: it counts and times every
 // request (including the 500s and 503s manufactured by the recovery and
 // timeout layers beneath it), threads a request ID through the context,
 // and emits one structured JSON log line per request when logging is on.
 func (s *Server) withObs(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		route := normalizeRoute(r.URL.Path)
-		infl := s.m.inflight.With(route)
-		infl.Add(1)
-		defer infl.Add(-1)
+		ri := s.m.routeInstruments(normalizeRoute(r.URL.Path))
+		ri.inflight.Add(1)
+		defer ri.inflight.Add(-1)
 
-		sw := &statusWriter{ResponseWriter: w}
+		sw := swPool.Get().(*statusWriter)
+		sw.ResponseWriter, sw.code, sw.bytes = w, 0, 0
 		var lg *reqLog
 		if s.logw != nil {
 			lg = &reqLog{id: nextRequestID(), tier: -2}
@@ -248,11 +336,13 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 		next.ServeHTTP(sw, r)
 		dur := time.Since(start)
 
-		code := sw.status()
-		s.m.requests.With(route, strconv.Itoa(code)).Inc()
-		s.m.latency.With(route).Observe(dur.Seconds())
+		code, bytes := sw.status(), sw.bytes
+		sw.ResponseWriter = nil
+		swPool.Put(sw)
+		s.m.requestCounter(normalizeRoute(r.URL.Path), code).Inc()
+		ri.latency.Observe(dur.Seconds())
 		if lg != nil {
-			s.writeAccessLog(lg, r, code, sw.bytes, dur)
+			s.writeAccessLog(lg, r, code, bytes, dur)
 		}
 	})
 }

@@ -24,6 +24,17 @@ type apiError struct {
 // serving paths do not grow a fresh encoder buffer per response.
 var encodePool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
+// jsonCT is the Content-Type value shared by every JSON response.
+// Assigning the slice directly (setJSONType) instead of Header().Set
+// avoids the per-request []string{v} allocation Set performs; the slice
+// is never mutated, only replaced wholesale by handlers that set a
+// different type.
+var jsonCT = []string{"application/json"}
+
+func setJSONType(w http.ResponseWriter) {
+	w.Header()["Content-Type"] = jsonCT
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	buf := encodePool.Get().(*bytes.Buffer)
 	buf.Reset()
@@ -33,12 +44,12 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	// instead of a torn body.
 	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		encodePool.Put(buf)
-		w.Header().Set("Content-Type", "application/json")
+		setJSONType(w)
 		w.WriteHeader(http.StatusInternalServerError)
 		_, _ = w.Write([]byte(`{"error":"response encoding failed"}` + "\n"))
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	setJSONType(w)
 	w.WriteHeader(code)
 	_, _ = w.Write(buf.Bytes())
 	encodePool.Put(buf)
@@ -47,7 +58,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // writeJSONBytes sends a pre-marshalled JSON body (the prediction
 // cache's stored wire form) without re-encoding.
 func writeJSONBytes(w http.ResponseWriter, code int, body []byte) {
-	w.Header().Set("Content-Type", "application/json")
+	setJSONType(w)
 	w.WriteHeader(code)
 	_, _ = w.Write(body)
 }
@@ -83,13 +94,26 @@ func withTimeout(next http.Handler, d time.Duration) http.Handler {
 	}
 	th := http.TimeoutHandler(next, d, `{"error":"request timed out"}`+"\n")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// GET /predict bypasses the TimeoutHandler envelope. Its handler
+		// is CPU-bound with strictly bounded work — a fixed-depth kernel
+		// walk, no I/O, no body read — so it cannot hang the way a slow
+		// body or a stuck artifact write can, and the http.Server's
+		// Read/Write timeouts (serve.go) still bound the connection.
+		// TimeoutHandler costs a goroutine, a context with deadline, a
+		// cloned header map and a buffered body per request — about half
+		// the allocations of the hot path — for protection this route
+		// cannot use.
+		if r.URL.Path == "/predict" && (r.Method == http.MethodGet || r.Method == http.MethodHead) {
+			next.ServeHTTP(w, r)
+			return
+		}
 		// TimeoutHandler writes its expiry body with whatever headers are
 		// already on the outer writer, so the JSON content type must be
 		// preset here for the 503 to match the rest of the API. On the
 		// success path the inner handler's headers are merged over these
 		// without deleting preset keys, and every route sets its own
 		// Content-Type, so this never leaks onto non-JSON responses.
-		w.Header().Set("Content-Type", "application/json")
+		setJSONType(w)
 		th.ServeHTTP(w, r)
 	})
 }
@@ -160,7 +184,12 @@ func withMaxBytes(next http.Handler, n int64) http.Handler {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		r.Body = http.MaxBytesReader(w, r.Body, n)
+		// GET/HEAD bodies are never read by any handler, so skip the
+		// per-request MaxBytesReader wrapper on those methods (it is one
+		// allocation on the hot /predict path for a body nobody touches).
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			r.Body = http.MaxBytesReader(w, r.Body, n)
+		}
 		next.ServeHTTP(w, r)
 	})
 }

@@ -18,6 +18,7 @@ func benchModel(b *testing.B) (*gbdt.Model, [][]float64) {
 func BenchmarkInterpretedBatch(b *testing.B) {
 	m, X := benchModel(b)
 	out := make([]float64, len(X))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j, x := range X {
@@ -31,9 +32,57 @@ func BenchmarkCompiledBatch(b *testing.B) {
 	m, X := benchModel(b)
 	e := m.Compiled()
 	out := make([]float64, len(X))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.PredictInto(X, out, 0, len(X))
 	}
 	_ = out
+}
+
+func BenchmarkInterpretedSingle(b *testing.B) {
+	m, X := benchModel(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(X[i%len(X)])
+	}
+}
+
+func BenchmarkCompiledSingle(b *testing.B) {
+	m, X := benchModel(b)
+	e := m.Compiled()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Predict(X[i%len(X)])
+	}
+}
+
+// TestKernelZeroAllocs pins the hot kernels at zero allocations per
+// call in steady state (the batch scratch pool is primed by the first
+// call), so a layout change that re-introduces per-call garbage fails
+// tests instead of only moving BENCH_serve.json numbers.
+func TestKernelZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool randomly drops Puts, so pool misses refill scratch via New")
+	}
+	X, y := synthData(512, 10, 1)
+	m := gbdt.New(gbdt.Config{Estimators: 60, MaxDepth: 6, Seed: 7})
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	e := m.Compiled()
+	out := make([]float64, len(X))
+	e.PredictInto(X, out, 0, len(X)) // prime the scratch pool
+	if n := testing.AllocsPerRun(50, func() {
+		e.PredictInto(X, out, 0, len(X))
+	}); n != 0 {
+		t.Fatalf("batch kernel allocates %v times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		e.Predict(X[0])
+	}); n != 0 {
+		t.Fatalf("single-query kernel allocates %v times per call, want 0", n)
+	}
 }

@@ -14,9 +14,22 @@
 //	i = left[i] + (q[feat[i]] > bin[i])
 //
 // with no leaf test and no taken/not-taken split branch — the step is
-// computed arithmetically, so deep pipelines never mispredict, and the
-// batch kernel interleaves four rows per tree so their dependent
-// load chains overlap.
+// computed arithmetically, so deep pipelines never mispredict.
+//
+// Quantized nodes live in level banks rather than per-tree runs: bank d
+// is the concatenation, tree by tree, of every tree's depth-d nodes
+// (bank 0 is all T roots at indices 0..T-1). Trees are walked
+// breadth-first across the whole ensemble at once — depth outer, tree
+// inner — so one depth-step touches exactly one contiguous bank instead
+// of striding across T tree-sized runs, and the T (single query) or
+// T×blockRows (batch) traversal chains inside a depth-step are all
+// data-independent, so their node and bin loads overlap instead of
+// serialising on load latency. Trees shallower than the ensemble's
+// maximum depth simply spin on their self-looping leaves for the extra
+// steps. Batch binning is feature-outer (one feature's edge array stays
+// hot across the whole block) into a row-major bin buffer
+// (q[r*nFeat+f]), which A/B-measured faster for the traversal's
+// data-dependent bin reads than a feature-major block.
 //
 // The quantized traversal bins each query row once against the training
 // Binner's quantile edges and compares uint8 bins. Because every
@@ -43,6 +56,8 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
+	"unsafe"
 
 	"lumos5g/internal/ml/tree"
 )
@@ -93,24 +108,34 @@ type Ensemble struct {
 
 	treeOff   []int32 // root node index per tree, len == NumTrees
 	treeDepth []int32 // fixed traversal step count per tree
+	maxDepth  int32   // max(treeDepth): the banked walk's step count
 	feature   []int32 // split feature, -1 for leaves (raw kernel + walkers)
 	thresh    []float64
 	left      []int32   // global left-child index; right = left+1; self at leaves
 	value     []float64 // leaf value (leaves only; internal nodes unused)
 
-	// Quantized traversal state (nil when Edges were not given). qedges
-	// hold the bin edges under the order-preserving uint64 mapping of
-	// orderedBits, so block binning runs on integer compares the compiler
-	// if-converts instead of float compares it branches on.
-	qnodes []qnode
+	// Quantized traversal state (nil when Edges were not given). lnodes
+	// and lvalue are the level-banked layout described in the package
+	// docs: bank d holds every tree's depth-d nodes, tree by tree, with
+	// tree t's root at index t; left still points at the (bank d+1)
+	// left child, right = left+1, leaves self-loop. qedges hold the bin
+	// edges under the order-preserving uint64 mapping of orderedBits, so
+	// block binning runs on integer compares the compiler if-converts
+	// instead of float compares it branches on.
+	lnodes []qnode
+	lvalue []float64
 	edges  [][]float64
 	qedges [][]uint64
 }
 
 // blockRows is the batch kernel's row-block size: large enough to
-// amortise streaming each tree's nodes across the block, small enough
-// that the per-block accumulator and bin buffers stay cache-resident.
-const blockRows = 64
+// amortise streaming each tree's node banks across the block (at 60+
+// trees the banks outgrow L1, so per-block re-streaming is the batch
+// kernel's dominant memory cost), small enough that the per-block
+// accumulator and bin buffers stay cache-resident. A/B-measured against
+// 64/128/512 on the 60-tree depth-6 reference ensemble; 256 was the
+// floor.
+const blockRows = 256
 
 // Compile flattens trees into an Ensemble. Trees must be non-empty and
 // structurally valid (as produced by tree.Grow or tree.Import). With
@@ -145,7 +170,6 @@ func Compile(trees []*tree.Tree, cfg Config) (*Ensemble, error) {
 		edges:     cfg.Edges,
 	}
 	if cfg.Edges != nil {
-		e.qnodes = make([]qnode, 0, total)
 		e.qedges = make([][]uint64, cfg.NumFeatures)
 		for f := 0; f < cfg.NumFeatures; f++ {
 			qe := make([]uint64, len(cfg.Edges[f]))
@@ -155,32 +179,54 @@ func Compile(trees []*tree.Tree, cfg Config) (*Ensemble, error) {
 			e.qedges[f] = qe
 		}
 	}
+	bfs := make([]treeBFS, len(trees))
 	for ti, t := range trees {
-		if err := e.compileTree(ti, t.Export(), cfg); err != nil {
+		b, err := bfsRenumber(ti, t.Export(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		bfs[ti] = b
+		e.treeOff[ti] = int32(len(e.feature))
+		e.treeDepth[ti] = b.depth
+		if b.depth > e.maxDepth {
+			e.maxDepth = b.depth
+		}
+		e.appendFlat(b)
+	}
+	if e.edges != nil {
+		if err := e.buildBanks(bfs); err != nil {
 			return nil, err
 		}
 	}
 	return e, nil
 }
 
-// compileTree renumbers one tree breadth-first and appends it to the
-// flattened arrays. BFS order is what makes the layout branch-free
-// friendly: a parent's two children are enqueued together, so they are
-// assigned consecutive slots and only the left index need be stored.
-func (e *Ensemble) compileTree(ti int, dto tree.TreeDTO, cfg Config) error {
+// treeBFS is one tree's breadth-first renumbering: the old node ids in
+// dequeue order, each entry's BFS level, the inverse map, and the tree
+// depth (fixed traversal step count).
+type treeBFS struct {
+	dto   tree.TreeDTO
+	order []int32 // old ids in BFS order
+	level []int32 // BFS level per order entry (levels are contiguous runs)
+	newID []int32 // old id -> BFS position
+	depth int32
+}
+
+// bfsRenumber walks one tree breadth-first, validating it on the way.
+// BFS order is what makes both layouts branch-free friendly: a parent's
+// two children are enqueued together, so they land adjacently (only the
+// left index need be stored), and BFS order is level order, so each
+// level is a contiguous run the bank builder can regroup. The seen guard
+// rejects cyclic or converging node graphs that would otherwise loop the
+// fixed-depth traversal astray.
+func bfsRenumber(ti int, dto tree.TreeDTO, cfg Config) (treeBFS, error) {
 	n := int32(len(dto.Nodes))
 	if n == 0 {
-		return fmt.Errorf("compiled: tree %d is empty", ti)
+		return treeBFS{}, fmt.Errorf("compiled: tree %d is empty", ti)
 	}
-	off := int32(len(e.feature))
-	e.treeOff[ti] = off
-
-	// BFS pass: assign new ids in dequeue order; children of one parent
-	// land adjacently. The seen guard rejects cyclic or converging node
-	// graphs that would otherwise loop the fixed-depth traversal astray.
-	order := make([]int32, 0, n)   // old ids in BFS order
-	newID := make([]int32, n)      // old id -> BFS position
-	level := make([]int32, 0, n)   // BFS level per order entry
+	order := make([]int32, 0, n)
+	level := make([]int32, 0, n)
+	newID := make([]int32, n)
 	seen := make([]bool, n)
 	order = append(order, 0)
 	level = append(level, 0)
@@ -198,43 +244,103 @@ func (e *Ensemble) compileTree(ti int, dto tree.TreeDTO, cfg Config) error {
 			continue
 		}
 		if int(nd.Feature) >= cfg.NumFeatures {
-			return fmt.Errorf("compiled: tree %d node %d splits feature %d of %d", ti, old, nd.Feature, cfg.NumFeatures)
+			return treeBFS{}, fmt.Errorf("compiled: tree %d node %d splits feature %d of %d", ti, old, nd.Feature, cfg.NumFeatures)
 		}
 		if nd.Left < 0 || nd.Left >= n || nd.Right < 0 || nd.Right >= n {
-			return fmt.Errorf("compiled: tree %d node %d child out of range", ti, old)
+			return treeBFS{}, fmt.Errorf("compiled: tree %d node %d child out of range", ti, old)
 		}
 		if seen[nd.Left] || seen[nd.Right] || nd.Left == nd.Right {
-			return fmt.Errorf("compiled: tree %d node %d children revisit a node", ti, old)
+			return treeBFS{}, fmt.Errorf("compiled: tree %d node %d children revisit a node", ti, old)
 		}
 		seen[nd.Left], seen[nd.Right] = true, true
 		order = append(order, nd.Left, nd.Right)
 		level = append(level, lv+1, lv+1)
 	}
-	e.treeDepth[ti] = depth
+	return treeBFS{dto: dto, order: order, level: level, newID: newID, depth: depth}, nil
+}
 
-	for pos, old := range order {
-		nd := dto.Nodes[old]
+// appendFlat appends one renumbered tree to the flat per-tree arrays
+// that back the raw-compare kernel and legacy artifacts without edges.
+func (e *Ensemble) appendFlat(b treeBFS) {
+	off := int32(len(e.feature))
+	for pos, old := range b.order {
+		nd := b.dto.Nodes[old]
 		self := off + int32(pos)
 		if nd.Feature < 0 {
 			e.feature = append(e.feature, -1)
 			e.thresh = append(e.thresh, 0)
 			e.left = append(e.left, self)
 			e.value = append(e.value, nd.Value)
-			if e.edges != nil {
-				e.qnodes = append(e.qnodes, qnode{feat: 0, bin: leafBin, left: self})
-			}
 			continue
 		}
 		e.feature = append(e.feature, nd.Feature)
 		e.thresh = append(e.thresh, nd.Threshold)
-		e.left = append(e.left, off+newID[nd.Left])
+		e.left = append(e.left, off+b.newID[nd.Left])
 		e.value = append(e.value, 0)
-		if e.edges != nil {
-			bt, err := quantizeThreshold(e.edges, nd, ti, int(old))
+	}
+}
+
+// buildBanks regroups the BFS-renumbered trees into the level-banked
+// quantized layout. Bank d is the concatenation, tree by tree, of each
+// tree's level-d nodes in BFS order; because BFS enqueues siblings
+// together and levels are contiguous runs, a parent's children stay
+// adjacent inside bank d+1 (right = left+1 survives the regrouping),
+// and bank 0 puts tree t's root at global index t.
+func (e *Ensemble) buildBanks(bfs []treeBFS) error {
+	nTrees := len(bfs)
+	nLevels := int(e.maxDepth) + 1
+	counts := make([][]int32, nTrees) // counts[t][lv]: tree t's level-lv node count
+	starts := make([][]int32, nTrees) // starts[t][lv]: BFS position where level lv begins
+	bankSize := make([]int32, nLevels)
+	for t, b := range bfs {
+		c := make([]int32, nLevels)
+		s := make([]int32, nLevels)
+		for pos, lv := range b.level {
+			if c[lv] == 0 {
+				s[lv] = int32(pos)
+			}
+			c[lv]++
+		}
+		counts[t], starts[t] = c, s
+		for lv, n := range c {
+			bankSize[lv] += n
+		}
+	}
+	// gOff[t][lv]: global index of tree t's first level-lv node.
+	cur := make([]int32, nLevels)
+	off := int32(0)
+	for lv, n := range bankSize {
+		cur[lv] = off
+		off += n
+	}
+	gOff := make([][]int32, nTrees)
+	for t := 0; t < nTrees; t++ {
+		g := make([]int32, nLevels)
+		for lv := 0; lv < nLevels; lv++ {
+			g[lv] = cur[lv]
+			cur[lv] += counts[t][lv]
+		}
+		gOff[t] = g
+	}
+	e.lnodes = make([]qnode, off)
+	e.lvalue = make([]float64, off)
+	for t, b := range bfs {
+		for pos, old := range b.order {
+			lv := b.level[pos]
+			g := gOff[t][lv] + int32(pos) - starts[t][lv]
+			nd := b.dto.Nodes[old]
+			if nd.Feature < 0 {
+				e.lnodes[g] = qnode{feat: 0, bin: leafBin, left: g}
+				e.lvalue[g] = nd.Value
+				continue
+			}
+			bt, err := quantizeThreshold(e.edges, nd, t, int(old))
 			if err != nil {
 				return err
 			}
-			e.qnodes = append(e.qnodes, qnode{feat: uint16(nd.Feature), bin: bt, left: off + newID[nd.Left]})
+			lp := b.newID[nd.Left] // BFS position of the left child
+			gl := gOff[t][lv+1] + lp - starts[t][lv+1]
+			e.lnodes[g] = qnode{feat: uint16(nd.Feature), bin: bt, left: gl}
 		}
 	}
 	return nil
@@ -297,6 +403,28 @@ func binValueBits(qe []uint64, u uint64) uint8 {
 	return uint8(base)
 }
 
+// binValueBitsPtr is binValueBits over a raw edge pointer: the same
+// branchless lower bound with the per-probe bounds checks gone. base
+// stays in [0, n] by construction (each masked add keeps base+n inside
+// the original interval), so every probe is in range — the block
+// binning loop is the kernel's second-hottest path after traversal.
+func binValueBitsPtr(edges unsafe.Pointer, nEdges uint64, u uint64) uint8 {
+	base, n := uint64(0), nEdges
+	for n > 1 {
+		half := n >> 1
+		probe := *(*uint64)(unsafe.Add(edges, uintptr(base+half-1)*8))
+		_, borrow := bits.Sub64(probe, u, 0) // borrow = probe < u
+		base += half & (0 - borrow)
+		n -= half
+	}
+	if n == 1 {
+		probe := *(*uint64)(unsafe.Add(edges, uintptr(base)*8))
+		_, borrow := bits.Sub64(probe, u, 0)
+		base += borrow
+	}
+	return uint8(base)
+}
+
 // NumTrees returns the compiled ensemble size.
 func (e *Ensemble) NumTrees() int { return len(e.treeOff) }
 
@@ -341,8 +469,17 @@ func (e *Ensemble) Predict(x []float64) float64 {
 	return acc
 }
 
-// predictQuantized bins the row once, then runs every tree's fixed-depth
-// branch-free walk.
+// predictQuantized bins the row once, then walks the ensemble eight
+// trees abreast with register-resident cursors: the eight chains are
+// data-independent, and because adjacent trees' level slices are
+// adjacent inside each bank, one depth-step of a tree group touches one
+// contiguous bank stretch (bank 0 holds all eight roots in one or two
+// cache lines). Trees shallower than maxDepth spin on their
+// self-looping leaves, so every group walks the same fixed maxDepth
+// steps; leaf values accumulate in tree order — the same adds in the
+// same order as the interpreted ensemble. Bounds-check elision via
+// unsafe follows the same Compile-time in-range proof as the batch
+// kernel.
 func (e *Ensemble) predictQuantized(x []float64) float64 {
 	var qbuf [64]uint8
 	q := qbuf[:]
@@ -352,15 +489,53 @@ func (e *Ensemble) predictQuantized(x []float64) float64 {
 	for f := 0; f < e.nFeat; f++ {
 		q[f] = binValueBits(e.qedges[f], orderedBits(x[f]))
 	}
+	nTrees := len(e.treeOff)
+	maxDepth := e.maxDepth
+	nodeBase := unsafe.Pointer(&e.lnodes[0])
+	valBase := unsafe.Pointer(&e.lvalue[0])
+	qBase := unsafe.Pointer(&q[0])
 	acc := e.init
-	qnodes := e.qnodes
-	for t, root := range e.treeOff {
-		i := root
-		for d := e.treeDepth[t]; d > 0; d-- {
-			nd := qnodes[i]
+	scale := e.scale
+	t := 0
+	for ; t+8 <= nTrees; t += 8 {
+		root := int32(t)
+		i0, i1, i2, i3 := root, root+1, root+2, root+3
+		i4, i5, i6, i7 := root+4, root+5, root+6, root+7
+		for d := maxDepth; d > 0; d-- {
+			n0 := *(*qnode)(unsafe.Add(nodeBase, uintptr(uint32(i0))*8))
+			n1 := *(*qnode)(unsafe.Add(nodeBase, uintptr(uint32(i1))*8))
+			n2 := *(*qnode)(unsafe.Add(nodeBase, uintptr(uint32(i2))*8))
+			n3 := *(*qnode)(unsafe.Add(nodeBase, uintptr(uint32(i3))*8))
+			i0 = n0.left + qstep(n0.bin, *(*uint8)(unsafe.Add(qBase, uintptr(n0.feat))))
+			i1 = n1.left + qstep(n1.bin, *(*uint8)(unsafe.Add(qBase, uintptr(n1.feat))))
+			i2 = n2.left + qstep(n2.bin, *(*uint8)(unsafe.Add(qBase, uintptr(n2.feat))))
+			i3 = n3.left + qstep(n3.bin, *(*uint8)(unsafe.Add(qBase, uintptr(n3.feat))))
+			n4 := *(*qnode)(unsafe.Add(nodeBase, uintptr(uint32(i4))*8))
+			n5 := *(*qnode)(unsafe.Add(nodeBase, uintptr(uint32(i5))*8))
+			n6 := *(*qnode)(unsafe.Add(nodeBase, uintptr(uint32(i6))*8))
+			n7 := *(*qnode)(unsafe.Add(nodeBase, uintptr(uint32(i7))*8))
+			i4 = n4.left + qstep(n4.bin, *(*uint8)(unsafe.Add(qBase, uintptr(n4.feat))))
+			i5 = n5.left + qstep(n5.bin, *(*uint8)(unsafe.Add(qBase, uintptr(n5.feat))))
+			i6 = n6.left + qstep(n6.bin, *(*uint8)(unsafe.Add(qBase, uintptr(n6.feat))))
+			i7 = n7.left + qstep(n7.bin, *(*uint8)(unsafe.Add(qBase, uintptr(n7.feat))))
+		}
+		acc += scale * *(*float64)(unsafe.Add(valBase, uintptr(uint32(i0))*8))
+		acc += scale * *(*float64)(unsafe.Add(valBase, uintptr(uint32(i1))*8))
+		acc += scale * *(*float64)(unsafe.Add(valBase, uintptr(uint32(i2))*8))
+		acc += scale * *(*float64)(unsafe.Add(valBase, uintptr(uint32(i3))*8))
+		acc += scale * *(*float64)(unsafe.Add(valBase, uintptr(uint32(i4))*8))
+		acc += scale * *(*float64)(unsafe.Add(valBase, uintptr(uint32(i5))*8))
+		acc += scale * *(*float64)(unsafe.Add(valBase, uintptr(uint32(i6))*8))
+		acc += scale * *(*float64)(unsafe.Add(valBase, uintptr(uint32(i7))*8))
+	}
+	lnodes := e.lnodes
+	for ; t < nTrees; t++ {
+		i := int32(t)
+		for d := maxDepth; d > 0; d-- {
+			nd := lnodes[i]
 			i = nd.left + qstep(nd.bin, q[nd.feat])
 		}
-		acc += e.scale * e.value[i]
+		acc += scale * e.lvalue[i]
 	}
 	if e.div != 0 {
 		acc /= e.div
@@ -412,33 +587,70 @@ func (e *Ensemble) predictIntoRaw(X [][]float64, out []float64, lo, hi int) {
 	}
 }
 
-// predictIntoQuantized bins each row once per block, then runs the
-// fixed-depth branch-free walk eight rows abreast: the eight traversal
-// chains are data-independent, so their node and bin loads overlap
-// instead of serialising on load latency.
+// batchScratch is one block's bin buffer. Pooled so steady-state batch
+// prediction does not allocate, and safe under concurrent
+// disjoint-range PredictInto.
+type batchScratch struct {
+	q []uint8 // bins, row-major: q[r*nf+f]
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// predictIntoQuantized bins each row once per block (feature-outer, so
+// one feature's edge array stays hot across the block; the bins store
+// row-major, which A/B-measured ~10% faster for the traversal's
+// data-dependent reads than a feature-major block at 60-tree
+// ensembles), then walks the banked layout tree-outer, eight rows
+// abreast with register-resident cursors: each tree's depth-step
+// advances eight data-independent chains from its slice of bank d to
+// its slice of bank d+1, so node and bin loads overlap instead of
+// serialising on load latency, without spilling T×blockRows cursors to
+// memory the way a fully depth-outer block walk would (measured ~30%
+// slower — the single-query path, with only T cursors, does walk fully
+// depth-outer). The unsafe loads elide bounds checks the compiler
+// cannot: every index is proven in range at Compile time (left child
+// indices land inside lnodes, feat < NumFeatures, leaves self-loop),
+// and the parity/fuzz suite pins the kernel against the interpreted
+// walk.
 func (e *Ensemble) predictIntoQuantized(X [][]float64, out []float64, lo, hi int) {
-	qnodes, value, nf := e.qnodes, e.value, e.nFeat
+	lnodes, lvalue, nf := e.lnodes, e.lvalue, e.nFeat
+	nTrees := len(e.treeOff)
 	scale := e.scale
 	var acc [blockRows]float64
-	q := make([]uint8, blockRows*nf)
+	sc := batchScratchPool.Get().(*batchScratch)
+	if cap(sc.q) < nf*blockRows {
+		sc.q = make([]uint8, nf*blockRows)
+	}
+	q := sc.q[:nf*blockRows]
 	for b := lo; b < hi; b += blockRows {
 		n := hi - b
 		if n > blockRows {
 			n = blockRows
 		}
 		rows := X[b : b+n]
-		for r := 0; r < n; r++ {
-			acc[r] = e.init
-		}
 		// Feature-outer binning keeps one feature's edge array hot across
 		// the whole block.
 		for f := 0; f < nf; f++ {
 			qe := e.qedges[f]
+			if len(qe) == 0 {
+				for r := range rows {
+					q[r*nf+f] = 0
+				}
+				continue
+			}
+			eb, ne := unsafe.Pointer(&qe[0]), uint64(len(qe))
 			for r, x := range rows {
-				q[r*nf+f] = binValueBits(qe, orderedBits(x[f]))
+				q[r*nf+f] = binValueBitsPtr(eb, ne, orderedBits(x[f]))
 			}
 		}
-		for t, root := range e.treeOff {
+		for r := 0; r < n; r++ {
+			acc[r] = e.init
+		}
+		nodeBase := unsafe.Pointer(&lnodes[0])
+		valBase := unsafe.Pointer(&lvalue[0])
+		qBase := unsafe.Pointer(&q[0])
+		for t := 0; t < nTrees; t++ {
+			root := int32(t) // bank 0: tree t's root is global index t
 			depth := e.treeDepth[t]
 			r := 0
 			for ; r+8 <= n; r += 8 {
@@ -453,44 +665,45 @@ func (e *Ensemble) predictIntoQuantized(X [][]float64, out []float64, lo, hi int
 				i0, i1, i2, i3 := root, root, root, root
 				i4, i5, i6, i7 := root, root, root, root
 				for d := depth; d > 0; d-- {
-					n0 := qnodes[i0]
-					n1 := qnodes[i1]
-					n2 := qnodes[i2]
-					n3 := qnodes[i3]
-					i0 = n0.left + qstep(n0.bin, q[o0+int(n0.feat)])
-					i1 = n1.left + qstep(n1.bin, q[o1+int(n1.feat)])
-					i2 = n2.left + qstep(n2.bin, q[o2+int(n2.feat)])
-					i3 = n3.left + qstep(n3.bin, q[o3+int(n3.feat)])
-					n4 := qnodes[i4]
-					n5 := qnodes[i5]
-					n6 := qnodes[i6]
-					n7 := qnodes[i7]
-					i4 = n4.left + qstep(n4.bin, q[o4+int(n4.feat)])
-					i5 = n5.left + qstep(n5.bin, q[o5+int(n5.feat)])
-					i6 = n6.left + qstep(n6.bin, q[o6+int(n6.feat)])
-					i7 = n7.left + qstep(n7.bin, q[o7+int(n7.feat)])
+					n0 := *(*qnode)(unsafe.Add(nodeBase, uintptr(uint32(i0))*8))
+					n1 := *(*qnode)(unsafe.Add(nodeBase, uintptr(uint32(i1))*8))
+					n2 := *(*qnode)(unsafe.Add(nodeBase, uintptr(uint32(i2))*8))
+					n3 := *(*qnode)(unsafe.Add(nodeBase, uintptr(uint32(i3))*8))
+					i0 = n0.left + qstep(n0.bin, *(*uint8)(unsafe.Add(qBase, uintptr(o0+int(n0.feat)))))
+					i1 = n1.left + qstep(n1.bin, *(*uint8)(unsafe.Add(qBase, uintptr(o1+int(n1.feat)))))
+					i2 = n2.left + qstep(n2.bin, *(*uint8)(unsafe.Add(qBase, uintptr(o2+int(n2.feat)))))
+					i3 = n3.left + qstep(n3.bin, *(*uint8)(unsafe.Add(qBase, uintptr(o3+int(n3.feat)))))
+					n4 := *(*qnode)(unsafe.Add(nodeBase, uintptr(uint32(i4))*8))
+					n5 := *(*qnode)(unsafe.Add(nodeBase, uintptr(uint32(i5))*8))
+					n6 := *(*qnode)(unsafe.Add(nodeBase, uintptr(uint32(i6))*8))
+					n7 := *(*qnode)(unsafe.Add(nodeBase, uintptr(uint32(i7))*8))
+					i4 = n4.left + qstep(n4.bin, *(*uint8)(unsafe.Add(qBase, uintptr(o4+int(n4.feat)))))
+					i5 = n5.left + qstep(n5.bin, *(*uint8)(unsafe.Add(qBase, uintptr(o5+int(n5.feat)))))
+					i6 = n6.left + qstep(n6.bin, *(*uint8)(unsafe.Add(qBase, uintptr(o6+int(n6.feat)))))
+					i7 = n7.left + qstep(n7.bin, *(*uint8)(unsafe.Add(qBase, uintptr(o7+int(n7.feat)))))
 				}
-				acc[r+0] += scale * value[i0]
-				acc[r+1] += scale * value[i1]
-				acc[r+2] += scale * value[i2]
-				acc[r+3] += scale * value[i3]
-				acc[r+4] += scale * value[i4]
-				acc[r+5] += scale * value[i5]
-				acc[r+6] += scale * value[i6]
-				acc[r+7] += scale * value[i7]
+				acc[r+0] += scale * *(*float64)(unsafe.Add(valBase, uintptr(uint32(i0))*8))
+				acc[r+1] += scale * *(*float64)(unsafe.Add(valBase, uintptr(uint32(i1))*8))
+				acc[r+2] += scale * *(*float64)(unsafe.Add(valBase, uintptr(uint32(i2))*8))
+				acc[r+3] += scale * *(*float64)(unsafe.Add(valBase, uintptr(uint32(i3))*8))
+				acc[r+4] += scale * *(*float64)(unsafe.Add(valBase, uintptr(uint32(i4))*8))
+				acc[r+5] += scale * *(*float64)(unsafe.Add(valBase, uintptr(uint32(i5))*8))
+				acc[r+6] += scale * *(*float64)(unsafe.Add(valBase, uintptr(uint32(i6))*8))
+				acc[r+7] += scale * *(*float64)(unsafe.Add(valBase, uintptr(uint32(i7))*8))
 			}
 			for ; r < n; r++ {
 				row := q[r*nf : (r+1)*nf]
 				i := root
 				for d := depth; d > 0; d-- {
-					nd := qnodes[i]
+					nd := lnodes[i]
 					i = nd.left + qstep(nd.bin, row[nd.feat])
 				}
-				acc[r] += scale * value[i]
+				acc[r] += scale * lvalue[i]
 			}
 		}
 		e.flush(acc[:n], out[b:b+n])
 	}
+	batchScratchPool.Put(sc)
 }
 
 // flush finalises one block of accumulators into the output slice.

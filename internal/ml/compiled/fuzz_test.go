@@ -1,0 +1,100 @@
+package compiled_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"lumos5g/internal/ml/forest"
+	"lumos5g/internal/ml/gbdt"
+)
+
+// FuzzCompiledParity drives the bit-parity contract with adversarial
+// queries: for a pool of ensembles spanning both tree families and a
+// range of shapes, the compiled kernel (single-row and batch) must
+// agree exactly — same bits, not "close" — with the interpreted
+// traversal on every finite input the fuzzer invents, including values
+// straddling split thresholds and far outside the training range.
+
+// parityModel pairs one fitted ensemble's interpreted entry point with
+// its compiled kernel.
+type parityModel struct {
+	nf          int
+	interpreted func([]float64) float64
+	kernel      func([]float64) float64
+	kernelBatch func([][]float64) []float64
+}
+
+var (
+	fuzzMu     sync.Mutex
+	fuzzModels = map[uint64]*parityModel{}
+)
+
+// fuzzModel returns the fitted model for one of 16 deterministic
+// shapes, fitting it on first use. The cache keeps the fuzz loop spent
+// on queries, not refits.
+func fuzzModel(t *testing.T, seed uint64) *parityModel {
+	key := seed % 16
+	fuzzMu.Lock()
+	defer fuzzMu.Unlock()
+	if m := fuzzModels[key]; m != nil {
+		return m
+	}
+	nf := 2 + int(key%6)
+	X, y := synthData(300, nf, key+1)
+	pm := &parityModel{nf: nf}
+	if key%2 == 0 {
+		m := gbdt.New(gbdt.Config{Estimators: 5 + int(key), MaxDepth: 2 + int(key%5), Seed: key + 3})
+		if err := m.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		e := m.Compiled()
+		if e == nil {
+			t.Fatal("gbdt fit did not compile")
+		}
+		pm.interpreted, pm.kernel, pm.kernelBatch = m.Predict, e.Predict, e.PredictBatch
+	} else {
+		m := forest.New(forest.Config{Trees: 3 + int(key), MaxDepth: 2 + int(key%7), Seed: key + 5})
+		if err := m.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		e := m.Compiled()
+		if e == nil {
+			t.Fatal("forest fit did not compile")
+		}
+		pm.interpreted, pm.kernel, pm.kernelBatch = m.Predict, e.Predict, e.PredictBatch
+	}
+	fuzzModels[key] = pm
+	return pm
+}
+
+func FuzzCompiledParity(f *testing.F) {
+	f.Add(uint64(0), 0.0, 1.0, -2.0, 3.5, 100.0)
+	f.Add(uint64(1), -50.0, 25.000000001, 24.999999999, 1e9, -1e9)
+	f.Add(uint64(7), 0.1, 0.2, 0.3, 0.4, 0.5)
+	f.Add(uint64(12), -200.0, 200.0, -0.0, 5e-324, 1e300)
+	f.Fuzz(func(t *testing.T, seed uint64, a, b, c, d, e float64) {
+		vals := [5]float64{a, b, c, d, e}
+		for i, v := range vals {
+			// The parity contract covers the finite domain: serving
+			// demotes non-finite features before any kernel runs.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				vals[i] = float64(i)
+			}
+		}
+		pm := fuzzModel(t, seed)
+		row := make([]float64, pm.nf)
+		for i := range row {
+			row[i] = vals[i%len(vals)]
+		}
+		want := pm.interpreted(row)
+		if got := pm.kernel(row); got != want {
+			t.Fatalf("single: compiled %v (%x) != interpreted %v (%x) for %v",
+				got, math.Float64bits(got), want, math.Float64bits(want), row)
+		}
+		if got := pm.kernelBatch([][]float64{row})[0]; got != want {
+			t.Fatalf("batch: compiled %v (%x) != interpreted %v (%x) for %v",
+				got, math.Float64bits(got), want, math.Float64bits(want), row)
+		}
+	})
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package compiled_test
+
+// raceEnabled reports whether the race detector is active. See the
+// race-tagged twin of this file for why the zero-allocation pins are
+// skipped when it is.
+const raceEnabled = false

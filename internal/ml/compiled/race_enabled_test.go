@@ -1,0 +1,9 @@
+//go:build race
+
+package compiled_test
+
+// raceEnabled reports whether the race detector is active. Under the
+// race detector sync.Pool deliberately drops ~25% of Put calls
+// (randomly, to widen the schedules the detector observes), so pooled
+// hot paths cannot hold a zero-allocations-per-call pin there.
+const raceEnabled = true

@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"errors"
+
+	"lumos5g/internal/ml/compiled"
+)
+
+// This file bridges the fitted nn models to the compiled inference
+// kernel (internal/ml/compiled): Compiled() flattens a trained model's
+// parameters into the kernel's contiguous fused-gate layout. The
+// kernel's float64 path replays this package's forward arithmetic
+// operation for operation, so Compiled().Predict is bit-identical to
+// the interpreted Predict — the same contract the tree ensembles hold.
+
+// exportLayer copies one cell's fused gate parameters.
+func exportLayer(c *LSTMCell) compiled.RNNLayer {
+	return compiled.RNNLayer{
+		In:     c.In,
+		Hidden: c.Hidden,
+		Wx:     append([]float64(nil), c.Wx.W...),
+		Wh:     append([]float64(nil), c.Wh.W...),
+		B:      append([]float64(nil), c.B.W...),
+	}
+}
+
+func exportLayers(cells []*LSTMCell) []compiled.RNNLayer {
+	out := make([]compiled.RNNLayer, len(cells))
+	for i, c := range cells {
+		out[i] = exportLayer(c)
+	}
+	return out
+}
+
+// Compiled flattens the fitted single-shot LSTM into the inference
+// kernel. The model must be trained.
+func (m *LSTMRegressor) Compiled() (*compiled.RNN, error) {
+	if !m.trained {
+		return nil, errors.New("nn: cannot compile an untrained model")
+	}
+	return compiled.CompileRNN(compiled.RNNSpec{
+		Enc:   exportLayers(m.layers),
+		WOut:  append([]float64(nil), m.wOut.W...),
+		BOut:  m.bOut.W[0],
+		Refs:  m.scaler.Refs(),
+		YMean: m.yMean,
+		YStd:  m.yStd,
+	})
+}
+
+// Compiled flattens the fitted encoder–decoder into the inference
+// kernel. The model must be trained.
+func (m *Seq2Seq) Compiled() (*compiled.RNN, error) {
+	if !m.trained {
+		return nil, errors.New("nn: cannot compile an untrained model")
+	}
+	return compiled.CompileRNN(compiled.RNNSpec{
+		Enc:    exportLayers(m.enc),
+		Dec:    exportLayers(m.dec),
+		WOut:   append([]float64(nil), m.wOut.W...),
+		BOut:   m.bOut.W[0],
+		Refs:   m.scaler.Refs(),
+		YMean:  m.yMean,
+		YStd:   m.yStd,
+		OutLen: m.cfg.OutLen,
+	})
+}

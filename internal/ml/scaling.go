@@ -53,6 +53,17 @@ func (s *QuantileScaler) Transform(x []float64) []float64 {
 // NumFeatures returns the fitted dimensionality.
 func (s *QuantileScaler) NumFeatures() int { return len(s.refs) }
 
+// Refs returns a deep copy of the per-feature sorted reference samples —
+// the complete fitted state, exported so compiled inference kernels can
+// replay Transform exactly (out[f] = RankGauss(Refs()[f], x[f])).
+func (s *QuantileScaler) Refs() [][]float64 {
+	out := make([][]float64, len(s.refs))
+	for f, r := range s.refs {
+		out[f] = append([]float64(nil), r...)
+	}
+	return out
+}
+
 // RankGauss maps v through the (linearly interpolated) empirical CDF of
 // the sorted refs and the normal quantile function, clipped to roughly
 // ±3. Constant features map to 0.

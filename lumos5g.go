@@ -105,6 +105,7 @@ const (
 	ModelHM      = core.ModelHM
 	ModelGDBT    = core.ModelGDBT
 	ModelSeq2Seq = core.ModelSeq2Seq
+	ModelLSTM    = core.ModelLSTM
 )
 
 // Throughput classes (§5.2: low < 300 Mbps, medium 300–700, high > 700).
@@ -171,7 +172,7 @@ func MergeDatasets(parts ...*Dataset) *Dataset { return dataset.Merge(parts...) 
 // ParseFeatureGroup parses "L", "T+M", "L+M+C", ... (order-insensitive).
 func ParseFeatureGroup(s string) (FeatureGroup, error) { return features.ParseGroup(s) }
 
-// ParseModel parses a model name: KNN, RF, OK, HM, GDBT, Seq2Seq.
+// ParseModel parses a model name: KNN, RF, OK, HM, GDBT, Seq2Seq, LSTM.
 func ParseModel(s string) (Model, error) {
 	switch strings.ToUpper(strings.TrimSpace(s)) {
 	case "KNN":
@@ -186,6 +187,8 @@ func ParseModel(s string) (Model, error) {
 		return ModelGDBT, nil
 	case "SEQ2SEQ":
 		return ModelSeq2Seq, nil
+	case "LSTM":
+		return ModelLSTM, nil
 	}
 	return 0, fmt.Errorf("lumos5g: unknown model %q", s)
 }

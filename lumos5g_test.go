@@ -5,7 +5,9 @@ import (
 	"math"
 	"testing"
 
+	"lumos5g/internal/features"
 	"lumos5g/internal/ml/gbdt"
+	"lumos5g/internal/ml/nn"
 )
 
 func tinyCampaign() CampaignConfig {
@@ -138,14 +140,42 @@ func TestTrainPredictor(t *testing.T) {
 	}
 }
 
-func TestTrainRejectsSeq2Seq(t *testing.T) {
+func TestTrainRejectsHM(t *testing.T) {
 	a, _ := AreaByName("Airport")
 	d, _ := CleanDataset(GenerateArea(a, tinyCampaign()))
-	if _, err := Train(d, GroupLM, ModelSeq2Seq, testScale()); err == nil {
-		t.Fatal("Train should reject sequence models")
-	}
 	if _, err := Train(d, GroupTM, ModelHM, testScale()); err == nil {
 		t.Fatal("Train should reject HM")
+	}
+}
+
+// TestTrainSequenceModels exercises the recurrent side of Train: the
+// LSTM and Seq2Seq families train on length-1 sequences of the tabular
+// features and serve through the compiled kernel, with PredictBatch
+// bit-identical to Predict (the ml.BatchRegressor contract).
+func TestTrainSequenceModels(t *testing.T) {
+	a, _ := AreaByName("Airport")
+	d, _ := CleanDataset(GenerateArea(a, tinyCampaign()))
+	sc := testScale()
+	sc.Seq2Seq = nn.Seq2SeqConfig{Hidden: 8, Layers: 1, Epochs: 2, Batch: 64}
+	for _, m := range []Model{ModelLSTM, ModelSeq2Seq} {
+		p, err := Train(d, GroupLM, m, sc)
+		if err != nil {
+			t.Fatalf("Train(%s): %v", m, err)
+		}
+		mat := features.Build(d, GroupLM)
+		single := make([]float64, len(mat.X))
+		for i, x := range mat.X {
+			single[i] = p.Predict(x)
+			if math.IsNaN(single[i]) || math.IsInf(single[i], 0) {
+				t.Fatalf("%s: non-finite prediction for row %d", m, i)
+			}
+		}
+		batch := p.PredictBatch(mat.X)
+		for i := range batch {
+			if batch[i] != single[i] {
+				t.Fatalf("%s: PredictBatch[%d]=%v != Predict=%v", m, i, batch[i], single[i])
+			}
+		}
 	}
 }
 

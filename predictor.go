@@ -11,6 +11,7 @@ import (
 	"lumos5g/internal/ml/gbdt"
 	"lumos5g/internal/ml/knn"
 	"lumos5g/internal/ml/kriging"
+	"lumos5g/internal/ml/nn"
 )
 
 // Predictor is a trained throughput model bound to a feature group — the
@@ -28,10 +29,14 @@ type Predictor struct {
 // area whose panels were never surveyed.
 var ErrNoUsableRows = errors.New("no usable rows")
 
-// Train fits a tabular model (KNN, RF, OK or GDBT) on the whole dataset
-// under the feature group and returns a reusable Predictor. For
-// train/test *evaluation*, use Evaluate instead — Train deliberately uses
-// every sample, as a production model would.
+// Train fits a model (KNN, RF, OK, GDBT, LSTM or Seq2Seq) on the whole
+// dataset under the feature group and returns a reusable Predictor. The
+// recurrent models train on length-1 sequences of the same tabular
+// features and serve through the compiled inference kernel
+// (internal/ml/compiled), so the paper's most accurate model class
+// answers point queries like any ensemble. For train/test *evaluation*,
+// use Evaluate instead — Train deliberately uses every sample, as a
+// production model would.
 func Train(d *Dataset, g FeatureGroup, m Model, sc Scale) (*Predictor, error) {
 	mat := features.Build(d, g)
 	if len(mat.X) == 0 {
@@ -51,8 +56,16 @@ func Train(d *Dataset, g FeatureGroup, m Model, sc Scale) (*Predictor, error) {
 		cfg := sc.GBDT
 		cfg.Seed = sc.Seed
 		reg = gbdt.New(cfg)
+	case core.ModelLSTM:
+		cfg := sc.Seq2Seq
+		cfg.Seed = sc.Seed
+		reg = nn.NewTabularLSTM(cfg)
+	case core.ModelSeq2Seq:
+		cfg := sc.Seq2Seq
+		cfg.Seed = sc.Seed
+		reg = nn.NewTabularSeq2Seq(cfg)
 	default:
-		return nil, fmt.Errorf("lumos5g: Train supports tabular models only, not %s", m)
+		return nil, fmt.Errorf("lumos5g: Train supports KNN, RF, OK, GDBT, LSTM and Seq2Seq, not %s", m)
 	}
 	if err := reg.Fit(mat.X, mat.Y); err != nil {
 		return nil, err
