@@ -9,10 +9,10 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: tier1 build vet test race race-core race-parallel race-fleet race-ingest race-load parity bench bench-json bench-serve bench-fleet bench-ingest bench-load fmt fuzz
+.PHONY: tier1 build vet test race race-core race-parallel race-fleet race-ingest race-load race-abr parity bench bench-json bench-serve bench-fleet bench-ingest bench-load bench-abr fmt fuzz
 
 tier1: ## build + vet + race-enabled test suite (run `make fuzz` too when touching parsers)
-	$(GO) build ./... && $(GO) build -o bin/lumosbench ./cmd/lumosbench && ./bin/lumosbench -selftest && $(GO) vet ./... && $(GO) test -race ./internal/obs/... ./internal/mapserver/... && $(MAKE) race-fleet && $(MAKE) race-ingest && $(MAKE) race-load && $(GO) test -race ./...
+	$(GO) build ./... && $(GO) build -o bin/lumosbench ./cmd/lumosbench && ./bin/lumosbench -selftest && $(GO) vet ./... && $(GO) test -race ./internal/obs/... ./internal/mapserver/... && $(MAKE) race-fleet && $(MAKE) race-ingest && $(MAKE) race-load && $(MAKE) race-abr && $(GO) test -race ./...
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,12 @@ race-ingest:
 # concurrency-independence property.
 race-load:
 	$(GO) test -race ./internal/cityscape/... ./internal/load/... ./internal/env/...
+
+# The ABR simulator/controllers and the interval serving path they
+# consume, race-checked: simulator correctness pins, interval ordering
+# across fallback tiers, and the dual-flavor prediction caches.
+race-abr:
+	$(GO) test -race ./internal/abr/... ./internal/mapserver/... ./internal/fleet/... .
 
 # The serial-vs-parallel parity audit: byte-identical campaigns, models
 # and batch predictions across worker counts.
@@ -95,6 +101,13 @@ bench-load:
 	$(GO) run ./cmd/lumosload -local -ues 1000 -qps 200 -duration 8s -warmup 2s -ramp 2s -shards 1 -replicas 1 \
 		-slo "/predict:50:250,/predict/batch:100:500,/ingest:100:500" -out BENCH_load.json
 
+# ABR campaign report: five controllers (reactive rate-based and
+# buffer-based, predictive on p50, interval-aware predictive on p10,
+# oracle) stream UE traces from five city scenarios, with forecasts
+# fetched live from a calibrated in-process fleet's /predict/batch.
+bench-abr:
+	$(GO) run ./cmd/lumosbench -abrbench BENCH_abr.json
+
 # Short fuzz burst over every fuzz target (one -fuzz per package per
 # invocation is a `go test` restriction).
 fuzz:
@@ -102,6 +115,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzLoadPredictor -fuzztime=$(FUZZTIME) .
 	$(GO) test -run='^$$' -fuzz=FuzzIngestSample -fuzztime=$(FUZZTIME) ./internal/ingest
 	$(GO) test -run='^$$' -fuzz=FuzzCompiledParity -fuzztime=$(FUZZTIME) ./internal/ml/compiled
+	$(GO) test -run='^$$' -fuzz=FuzzSimulate -fuzztime=$(FUZZTIME) ./internal/abr
 
 fmt:
 	gofmt -w ./cmd ./internal ./examples *.go

@@ -9,6 +9,7 @@
 //	lumosbench -selftest
 //	lumosbench -fleetbench BENCH_fleet.json
 //	lumosbench -ingestbench BENCH_ingest.json
+//	lumosbench -abrbench BENCH_abr.json
 //
 // With no -run flag every experiment runs in paper order. The quick
 // profile (default) uses a reduced campaign and scaled-down models that
@@ -38,7 +39,16 @@ func main() {
 	selftest := flag.Bool("selftest", false, "run the serving fast-path parity and allocation-budget gates (no timing loops) and exit non-zero on any failure")
 	fleetbench := flag.String("fleetbench", "", "run sharded-fleet routing benchmarks (1 vs N shards, replica killed mid-run), write JSON to this path, and exit")
 	ingestbench := flag.String("ingestbench", "", "run streaming-ingest and refit-hot-swap benchmarks (admission rate, shed at overload, refit cost, predict p99 during refit), write JSON to this path, and exit")
+	abrbench := flag.String("abrbench", "", "run the ABR streaming campaign (five controllers over five city scenarios, forecasts from a live calibrated fleet), write JSON to this path, and exit")
 	flag.Parse()
+
+	if *abrbench != "" {
+		if err := runABRBench(*abrbench, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "lumosbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *ingestbench != "" {
 		if err := runIngestBench(*ingestbench, *seed); err != nil {

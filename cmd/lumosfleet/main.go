@@ -130,7 +130,7 @@ func main() {
 	}
 
 	tm := lumos5g.BuildThroughputMap(d, *minSamples)
-	chain, err := lumos5g.TrainFallbackChain(d, lumos5g.DefaultFallbackGroups, lumos5g.ModelGDBT, lumos5g.Scale{Seed: *seed})
+	chain, err := lumos5g.TrainCalibratedFallbackChain(d, lumos5g.DefaultFallbackGroups, lumos5g.ModelGDBT, lumos5g.Scale{Seed: *seed})
 	if err != nil {
 		log.Fatal(err)
 	}

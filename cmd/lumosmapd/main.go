@@ -117,7 +117,7 @@ func main() {
 		}
 	default:
 		var err error
-		chain, err = lumos5g.TrainFallbackChain(d, lumos5g.DefaultFallbackGroups, lumos5g.ModelGDBT, lumos5g.Scale{Seed: *seed})
+		chain, err = lumos5g.TrainCalibratedFallbackChain(d, lumos5g.DefaultFallbackGroups, lumos5g.ModelGDBT, lumos5g.Scale{Seed: *seed})
 		if err != nil {
 			log.Fatal(err)
 		}

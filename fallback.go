@@ -34,6 +34,10 @@ import (
 type FallbackChain struct {
 	tiers []*Predictor
 	prior float64
+	// hmOff holds conformal offsets for the harmonic-mean / prior last
+	// resort (residuals of truth vs the prior), so even featureless
+	// answers carry a calibrated band. nil serves degenerate intervals.
+	hmOff *ml.ConformalOffsets
 	// served[i] counts queries answered by tier i; the last slot is the
 	// harmonic-mean / prior last resort.
 	served []atomic.Uint64
@@ -60,6 +64,16 @@ type ChainPrediction struct {
 	// Missing lists the first tier's unusable feature columns when the
 	// prediction is degraded (why the preferred model could not run).
 	Missing []string
+	// P10 and P90 bound the nominal 80% prediction band around Mbps
+	// (which is the p50 of the triple). They are filled only by
+	// PredictInterval / PredictIntervalBatch and always satisfy
+	// P10 <= Mbps <= P90; both are floored at 0 like Mbps itself.
+	P10 float64
+	P90 float64
+	// HasInterval reports that the serving tier carried conformal
+	// calibration; when false the band is the degenerate P10 = Mbps =
+	// P90 ("no uncertainty estimate"), never an invented one.
+	HasInterval bool
 }
 
 // DefaultFallbackGroups is the recommended tier order: the full
@@ -118,6 +132,67 @@ func TrainFallbackChain(d *Dataset, groups []FeatureGroup, m Model, sc Scale) (*
 	return NewFallbackChain(prior, tiers...)
 }
 
+// TrainCalibratedFallbackChain is TrainFallbackChain with uncertainty:
+// every tier is trained via TrainCalibrated (fit on the seeded train
+// split, conformal offsets from the holdout), and the last resort gets
+// offsets from the spread of the dataset's throughputs around the
+// harmonic-mean prior, so PredictInterval serves a calibrated band from
+// every tier including HM.
+func TrainCalibratedFallbackChain(d *Dataset, groups []FeatureGroup, m Model, sc Scale) (*FallbackChain, error) {
+	if len(groups) == 0 {
+		groups = DefaultFallbackGroups
+	}
+	var tiers []*Predictor
+	for _, g := range groups {
+		p, err := TrainCalibrated(d, g, m, sc)
+		if err != nil {
+			if errors.Is(err, ErrNoUsableRows) {
+				continue
+			}
+			return nil, fmt.Errorf("lumos5g: train calibrated fallback tier %s: %w", g, err)
+		}
+		tiers = append(tiers, p)
+	}
+	prior, err := hm.New(d.Len()).Predict(d.Throughputs())
+	if err != nil || !(prior > 0) {
+		return nil, fmt.Errorf("lumos5g: cannot derive fallback prior from dataset: %v", err)
+	}
+	c, err := NewFallbackChain(prior, tiers...)
+	if err != nil {
+		return nil, err
+	}
+	if tput := d.Throughputs(); len(tput) >= ml.MinCalibration {
+		priors := make([]float64, len(tput))
+		for i := range priors {
+			priors[i] = prior
+		}
+		off, err := ml.CalibrateConformal(priors, tput)
+		if err == nil {
+			c.hmOff = &off
+		}
+	}
+	return c, nil
+}
+
+// SetLastResortOffsets attaches conformal offsets to the chain's
+// harmonic-mean / prior last resort (the artifact-load path).
+func (c *FallbackChain) SetLastResortOffsets(o ml.ConformalOffsets) error {
+	if !o.Valid() {
+		return fmt.Errorf("lumos5g: non-finite last-resort offsets %+v", o)
+	}
+	c.hmOff = &o
+	return nil
+}
+
+// LastResortOffsets returns the last resort's conformal offsets and
+// whether any exist.
+func (c *FallbackChain) LastResortOffsets() (ml.ConformalOffsets, bool) {
+	if c.hmOff == nil {
+		return ml.ConformalOffsets{}, false
+	}
+	return *c.hmOff, true
+}
+
 // HarmonicMeanThroughput is the dataset-wide harmonic-mean throughput —
 // the same prior TrainFallbackChain bakes into a chain's last resort.
 // Returns 0 when the dataset cannot support one (empty, or all-zero).
@@ -148,6 +223,34 @@ func ChainFromPredictor(p *Predictor, priorMbps float64) (*FallbackChain, error)
 // query to the first tier that is fully satisfied. Predict never fails:
 // a nil or empty query is served by the last resort.
 func (c *FallbackChain) Predict(q map[string]float64) ChainPrediction {
+	return c.predict(q, false)
+}
+
+// PredictInterval serves one query exactly like Predict — same tier
+// walk, same Mbps, same served-counter accounting — and additionally
+// fills the P10/P90 band from the serving tier's conformal calibration
+// (degenerate when the tier is uncalibrated). The triple always
+// satisfies P10 <= Mbps <= P90.
+func (c *FallbackChain) PredictInterval(q map[string]float64) ChainPrediction {
+	return c.predict(q, true)
+}
+
+// fillInterval attaches the serving tier's band to an answer whose Mbps
+// is already floored at 0.
+func fillInterval(cp *ChainPrediction, off *ml.ConformalOffsets) {
+	if off == nil {
+		cp.P10, cp.P90 = cp.Mbps, cp.Mbps
+		return
+	}
+	iv := off.Interval(cp.Mbps)
+	cp.P10, cp.P90 = iv.P10, iv.P90
+	if cp.P10 < 0 {
+		cp.P10 = 0
+	}
+	cp.HasInterval = true
+}
+
+func (c *FallbackChain) predict(q map[string]float64, withIval bool) ChainPrediction {
 	var firstMissing []string
 	for i, p := range c.tiers {
 		missing := features.MissingFeatures(q, p.names)
@@ -171,7 +274,7 @@ func (c *FallbackChain) Predict(q map[string]float64) ChainPrediction {
 			mbps = 0
 		}
 		c.served[i].Add(1)
-		return ChainPrediction{
+		cp := ChainPrediction{
 			Mbps:     mbps,
 			Class:    ClassOf(mbps),
 			Tier:     i,
@@ -179,6 +282,10 @@ func (c *FallbackChain) Predict(q map[string]float64) ChainPrediction {
 			Degraded: i > 0,
 			Missing:  missingIfDegraded(firstMissing, i > 0),
 		}
+		if withIval {
+			fillInterval(&cp, p.ival)
+		}
+		return cp
 	}
 	// Last resort: the query's own throughput history when usable,
 	// otherwise the training prior. Both are the HM estimator's domain.
@@ -189,7 +296,7 @@ func (c *FallbackChain) Predict(q map[string]float64) ChainPrediction {
 		mbps = v
 	}
 	c.served[len(c.tiers)].Add(1)
-	return ChainPrediction{
+	cp := ChainPrediction{
 		Mbps:     mbps,
 		Class:    ClassOf(mbps),
 		Tier:     len(c.tiers),
@@ -197,6 +304,10 @@ func (c *FallbackChain) Predict(q map[string]float64) ChainPrediction {
 		Degraded: len(c.tiers) > 0,
 		Missing:  missingIfDegraded(firstMissing, len(c.tiers) > 0),
 	}
+	if withIval {
+		fillInterval(&cp, c.hmOff)
+	}
+	return cp
 }
 
 // PredictBatch serves many queries at once, answering exactly as if
@@ -206,6 +317,17 @@ func (c *FallbackChain) Predict(q map[string]float64) ChainPrediction {
 // (missing sensors, or a non-finite tier prediction) stay pending for
 // the next tier, mirroring the per-query demotion loop.
 func (c *FallbackChain) PredictBatch(qs []map[string]float64) []ChainPrediction {
+	return c.predictBatch(qs, false)
+}
+
+// PredictIntervalBatch serves many queries with P10/P90 bands attached.
+// Element i equals PredictInterval(qs[i]) exactly — same tier walk,
+// same floats, same served-counter totals.
+func (c *FallbackChain) PredictIntervalBatch(qs []map[string]float64) []ChainPrediction {
+	return c.predictBatch(qs, true)
+}
+
+func (c *FallbackChain) predictBatch(qs []map[string]float64, withIval bool) []ChainPrediction {
 	out := make([]ChainPrediction, len(qs))
 	pending := make([]int, len(qs))
 	for i := range pending {
@@ -255,6 +377,9 @@ func (c *FallbackChain) PredictBatch(qs []map[string]float64) []ChainPrediction 
 					Degraded: ti > 0,
 					Missing:  missingIfDegraded(firstMissing[qi], ti > 0),
 				}
+				if withIval {
+					fillInterval(&out[qi], p.ival)
+				}
 			}
 		}
 		pending = next
@@ -275,6 +400,9 @@ func (c *FallbackChain) PredictBatch(qs []map[string]float64) []ChainPrediction 
 			Source:   LastResortGroup,
 			Degraded: len(c.tiers) > 0,
 			Missing:  missingIfDegraded(firstMissing[qi], len(c.tiers) > 0),
+		}
+		if withIval {
+			fillInterval(&out[qi], c.hmOff)
 		}
 	}
 	return out

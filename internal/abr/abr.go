@@ -22,6 +22,47 @@ import (
 // eMBB tiers.
 var DefaultLadder = []float64{20, 50, 145, 300, 700, 1200, 1800}
 
+// Typed validation errors, matchable with errors.Is on anything
+// Simulate returns.
+var (
+	// ErrLadder rejects a bitrate ladder that is not non-empty, finite,
+	// positive and strictly ascending.
+	ErrLadder = errors.New("abr: ladder must be positive and strictly ascending")
+	// ErrForecast rejects a forecast that is empty or carries a
+	// non-finite or negative entry.
+	ErrForecast = errors.New("abr: forecast must be non-empty, finite and non-negative")
+)
+
+// validLadder reports whether the (defaulted) ladder satisfies the
+// ErrLadder contract.
+func validLadder(ladder []float64) bool {
+	if len(ladder) == 0 {
+		return false
+	}
+	prev := 0.0
+	for _, b := range ladder {
+		if math.IsNaN(b) || math.IsInf(b, 0) || b <= prev {
+			return false
+		}
+		prev = b
+	}
+	return true
+}
+
+// validForecast reports whether one forecast window satisfies the
+// ErrForecast contract.
+func validForecast(fc []float64) bool {
+	if len(fc) == 0 {
+		return false
+	}
+	for _, r := range fc {
+		if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Config describes the player.
 type Config struct {
 	// Ladder is the ascending bitrate ladder in Mbps. Nil means
@@ -100,6 +141,9 @@ func (m Metrics) String() string {
 // b with throughput r takes b/r seconds.
 func Simulate(cfg Config, ctrl Controller, trace []float64, forecasts func(t int) []float64) (Metrics, error) {
 	cfg = cfg.withDefaults()
+	if !validLadder(cfg.Ladder) {
+		return Metrics{}, fmt.Errorf("%w (got %v)", ErrLadder, cfg.Ladder)
+	}
 	if len(trace) == 0 {
 		return Metrics{}, errors.New("abr: empty trace")
 	}
@@ -118,8 +162,8 @@ func Simulate(cfg Config, ctrl Controller, trace []float64, forecasts func(t int
 	for clock < horizon {
 		t := int(clock)
 		fc := forecasts(t)
-		if len(fc) == 0 {
-			return Metrics{}, fmt.Errorf("abr: empty forecast at t=%d", t)
+		if !validForecast(fc) {
+			return Metrics{}, fmt.Errorf("%w (at t=%d: %v)", ErrForecast, t, fc)
 		}
 		s := State{BufferSec: buffer, Forecast: fc}
 		if prevIdx >= 0 {

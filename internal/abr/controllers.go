@@ -44,7 +44,14 @@ func (b BufferBased) Choose(cfg Config, s State) int {
 	if res <= 0 {
 		res = 5
 	}
+	// An unset cushion means the documented 20 s default, not a value
+	// derived from the reservoir; the reservoir-relative bump below only
+	// repairs configurations where the cushion does not clear the
+	// reservoir (the linear ramp needs cush > res).
 	cush := b.CushionSec
+	if cush <= 0 {
+		cush = 20
+	}
 	if cush <= res {
 		cush = res + 15
 	}
@@ -112,22 +119,69 @@ func (p Predictive) Choose(cfg Config, s State) int {
 }
 
 // score simulates the buffer over the horizon assuming the candidate
-// bitrate is held, returning the [64]-style objective.
+// bitrate is held, returning the [64]-style objective. The rollout is
+// clock-based, mirroring Simulate's inner loop exactly: a chunk whose
+// download spans several forecast seconds consumes each of those
+// seconds' predicted throughput in turn, instead of charging the whole
+// chunk to one forecast entry while the horizon silently advances a
+// chunk per entry. A chunk still downloading when the horizon ends is
+// charged the stall needed to finish it at the forecast's final rate,
+// so the candidate's cost never hides behind the horizon.
 func (p Predictive) score(cfg Config, s State, bitrate float64, fc []float64) float64 {
 	buffer := s.BufferSec
 	var qoe float64
-	for _, r := range fc {
-		if r < 0.1 {
-			r = 0.1
+	clock := 0.0
+	horizon := float64(len(fc))
+	for clock < horizon {
+		remaining := bitrate // Mbit remaining of this 1 s chunk
+		for remaining > 0 && clock < horizon {
+			r := fc[int(clock)]
+			if r < 0.1 {
+				r = 0.1
+			}
+			secLeft := math.Floor(clock+1) - clock
+			if secLeft <= 0 {
+				secLeft = 1
+			}
+			canDownload := r * secLeft
+			var dt float64
+			if canDownload >= remaining {
+				dt = remaining / r
+				remaining = 0
+			} else {
+				dt = secLeft
+				remaining -= canDownload
+			}
+			if buffer >= dt {
+				buffer -= dt
+			} else {
+				qoe -= cfg.RebufferPenalty * (dt - buffer)
+				buffer = 0
+			}
+			clock += dt
 		}
-		dt := bitrate / r // seconds to fetch one 1 s chunk
-		if buffer >= dt {
-			buffer -= dt
-		} else {
-			qoe -= cfg.RebufferPenalty * (dt - buffer)
-			buffer = 0
+		if remaining > 0 {
+			// The horizon ended mid-chunk, but the download doesn't: the
+			// chunk still has to finish at whatever the forecast's tail
+			// promises. Charging that stall keeps unsustainable rungs from
+			// scoring flat (and then winning on the switch term) whenever
+			// the forecast predicts that every rung stalls — the failure
+			// mode that pinned the bitrate high entering predicted dead
+			// zones.
+			r := fc[len(fc)-1]
+			if r < 0.1 {
+				r = 0.1
+			}
+			if dt := remaining / r; dt > buffer {
+				qoe -= cfg.RebufferPenalty * (dt - buffer)
+			}
+			break
 		}
-		buffer = math.Min(buffer+1, cfg.MaxBufferSec)
+		buffer++
+		if buffer > cfg.MaxBufferSec {
+			clock += buffer - cfg.MaxBufferSec
+			buffer = cfg.MaxBufferSec
+		}
 		qoe += bitrate
 	}
 	if s.PrevBitrate > 0 {
@@ -135,6 +189,17 @@ func (p Predictive) score(cfg Config, s State, bitrate float64, fc []float64) fl
 	}
 	return qoe
 }
+
+// Named relabels a controller for reports. The interval-aware variant
+// of the campaign runner is the same predictive policy fed the p10
+// (conservative) forecast series instead of the p50 — the policy is
+// identical, only the forecast source and the report label change.
+type Named struct {
+	Controller
+	Label string
+}
+
+func (n Named) Name() string { return n.Label }
 
 // Oracle is the upper-bound reference: the model-predictive controller
 // fed the true future throughput (used to normalise QoE comparisons in

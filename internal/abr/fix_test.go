@@ -1,0 +1,225 @@
+package abr
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestBufferBasedCushionDefault pins the documented default: an unset
+// CushionSec means 20 s, not ReservoirSec+15. With a 2 s reservoir the
+// old derivation put the cushion at 17 s and a 19 s buffer already
+// returned the top rung; the documented contract says the ramp runs to
+// 20 s.
+func TestBufferBasedCushionDefault(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	top := len(cfg.Ladder) - 1
+
+	b := BufferBased{ReservoirSec: 2}
+	if got := b.Choose(cfg, State{BufferSec: 19, Forecast: []float64{1}}); got >= top {
+		t.Fatalf("19 s buffer is inside the documented [2, 20] ramp, got top rung %d", got)
+	}
+	if got := b.Choose(cfg, State{BufferSec: 20, Forecast: []float64{1}}); got != top {
+		t.Fatalf("20 s buffer must reach the top rung, got %d", got)
+	}
+
+	// Fully-unset controller: reservoir 5, cushion 20 (both documented).
+	d := BufferBased{}
+	if got := d.Choose(cfg, State{BufferSec: 5, Forecast: []float64{1}}); got != 0 {
+		t.Fatalf("at the reservoir the lowest rung serves, got %d", got)
+	}
+	if got := d.Choose(cfg, State{BufferSec: 20, Forecast: []float64{1}}); got != top {
+		t.Fatalf("at the cushion the top rung serves, got %d", got)
+	}
+
+	// The cush > res guard survives: a cushion at or below the reservoir
+	// is repaired, never a zero-width (division by zero) ramp.
+	g := BufferBased{ReservoirSec: 25, CushionSec: 10}
+	mid := g.Choose(cfg, State{BufferSec: 30, Forecast: []float64{1}})
+	if mid < 0 || mid > top {
+		t.Fatalf("repaired ramp returned out-of-range rung %d", mid)
+	}
+}
+
+// pinned always chooses one fixed rung.
+type pinned struct{ idx int }
+
+func (pinned) Name() string               { return "pinned" }
+func (p pinned) Choose(Config, State) int { return p.idx }
+
+// TestPredictiveScoreMatchesSimulate pins score's rollout to the real
+// simulator: holding one bitrate over a horizon must cost exactly what
+// Simulate charges for the same trace with the same starting buffer,
+// whenever every chunk completes inside the horizon (the cases below
+// are built to align; a chunk cut off by the horizon is additionally
+// charged its tail stall, which trace-end in Simulate — session over —
+// rightly is not). This is the regression for the dt>1s bug — a
+// 300 Mbit chunk over a 100 Mbps link spans three forecast seconds,
+// and the old per-entry loop charged all three to the first second's
+// forecast while burning one horizon entry per chunk.
+func TestPredictiveScoreMatchesSimulate(t *testing.T) {
+	slowTail := make([]float64, 22) // 2×1 s chunks at 700, then one 20 s crawl chunk at 35
+	slowTail[0], slowTail[1] = 700, 700
+	for i := 2; i < len(slowTail); i++ {
+		slowTail[i] = 35
+	}
+	cases := []struct {
+		name    string
+		start   float64
+		bitrate float64
+		fc      []float64
+	}{
+		{"slow link multi-second chunks", 5, 300, []float64{100, 100, 100, 100, 100, 100, 100, 100, 100}},
+		{"fast link sub-second chunks", 5, 145, []float64{290, 290}},
+		{"cliff mid-horizon", 8, 700, slowTail},
+		{"ramp", 3, 300, []float64{300, 150, 150, 100, 100, 100}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{StartupSec: tc.start}.withDefaults()
+			idx := -1
+			for i, b := range cfg.Ladder {
+				if b == tc.bitrate {
+					idx = i
+				}
+			}
+			if idx < 0 {
+				t.Fatalf("bitrate %v not on the ladder", tc.bitrate)
+			}
+			// PrevBitrate equal to the candidate: no switch term on either
+			// side, so the two numbers must agree exactly.
+			got := Predictive{}.score(cfg, State{BufferSec: tc.start, PrevBitrate: tc.bitrate, Forecast: tc.fc}, tc.bitrate, tc.fc)
+			m, err := Simulate(cfg, pinned{idx}, tc.fc, func(int) []float64 { return []float64{1} })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-m.QoE) > 1e-6 {
+				t.Fatalf("score %v != Simulate QoE %v", got, m.QoE)
+			}
+		})
+	}
+}
+
+// TestPredictiveDeadZoneNotPinnedHigh: when the forecast collapses so
+// far that every rung's rollout stalls, the scores must still separate
+// by download cost. The old horizon-end break dropped the unfinished
+// chunk's stall entirely, flattening all scores to the same penalty —
+// and then the switch term won, keeping PrevBitrate's high rung right
+// as the player entered a predicted dead zone.
+func TestPredictiveDeadZoneNotPinnedHigh(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	for _, fcv := range []float64{0, 1, 50} {
+		fc := []float64{fcv, fcv, fcv, fcv, fcv, fcv, fcv, fcv}
+		idx := Predictive{}.Choose(cfg, State{BufferSec: 10, PrevBitrate: 1800, Forecast: fc})
+		if got := cfg.Ladder[idx]; got > 145 {
+			t.Fatalf("forecast %v Mbps with prev 1800: chose %v Mbps, bitrate stayed pinned high", fcv, got)
+		}
+	}
+}
+
+// TestPredictiveSlowLinkNotOverconfident: the concrete failure of the
+// old score loop. Over a 100 Mbps forecast, holding 700 Mbps stalls
+// ~6 s per chunk; the old loop charged one horizon entry per chunk and
+// scored only len(fc) chunks of stall, underpricing the top rungs. The
+// fixed rollout must prefer a sustainable rung.
+func TestPredictiveSlowLinkNotOverconfident(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	fc := []float64{100, 100, 100, 100, 100, 100, 100, 100, 100, 100}
+	idx := Predictive{}.Choose(cfg, State{BufferSec: 5, Forecast: fc})
+	if got := cfg.Ladder[idx]; got > 100 {
+		t.Fatalf("100 Mbps forecast horizon: predictive chose unsustainable %v Mbps", got)
+	}
+}
+
+func TestTypedValidationErrors(t *testing.T) {
+	ok := func(int) []float64 { return []float64{100} }
+	cases := []struct {
+		name string
+		cfg  Config
+		fcs  func(int) []float64
+		want error
+	}{
+		{"descending ladder", Config{Ladder: []float64{100, 50}}, ok, ErrLadder},
+		{"duplicate rung", Config{Ladder: []float64{50, 50}}, ok, ErrLadder},
+		{"nonpositive rung", Config{Ladder: []float64{0, 50}}, ok, ErrLadder},
+		{"nan rung", Config{Ladder: []float64{50, math.NaN()}}, ok, ErrLadder},
+		{"empty forecast", Config{}, func(int) []float64 { return nil }, ErrForecast},
+		{"negative forecast", Config{}, func(int) []float64 { return []float64{-1} }, ErrForecast},
+		{"nan forecast", Config{}, func(int) []float64 { return []float64{math.NaN()} }, ErrForecast},
+		{"inf forecast", Config{}, func(int) []float64 { return []float64{math.Inf(1)} }, ErrForecast},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Simulate(tc.cfg, RateBased{}, []float64{100, 100}, tc.fcs)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("want %v, got %v", tc.want, err)
+			}
+		})
+	}
+	// The happy path still simulates.
+	if _, err := Simulate(Config{}, RateBased{}, []float64{100, 100, 100}, ok); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzSimulate: whatever the trace, config knobs and forecast values,
+// Simulate must never panic, never report negative rebuffering, and
+// only ever fail with a typed or documented error.
+func FuzzSimulate(f *testing.F) {
+	f.Add(float64(100), float64(500), float64(20), float64(5), uint8(3), uint8(10))
+	f.Add(float64(0), float64(-5), float64(-1), float64(0), uint8(0), uint8(1))
+	f.Add(float64(1e9), float64(0.01), float64(1), float64(100), uint8(7), uint8(40))
+	f.Add(math.Inf(1), math.NaN(), float64(30), float64(5), uint8(2), uint8(8))
+	f.Fuzz(func(t *testing.T, r0, r1, maxBuf, startup float64, ctrlPick, traceLen uint8) {
+		n := int(traceLen)%64 + 1
+		trace := make([]float64, n)
+		for i := range trace {
+			if i%2 == 0 {
+				trace[i] = r0
+			} else {
+				trace[i] = r1
+			}
+		}
+		// Traces must be usable numbers — the wire layer never delivers
+		// NaN/Inf (Finite() gates them) — but everything else is hostile.
+		for i := range trace {
+			if math.IsNaN(trace[i]) || math.IsInf(trace[i], 0) {
+				trace[i] = 1
+			}
+		}
+		fc := func(tt int) []float64 {
+			h := make([]float64, 3)
+			for i := range h {
+				idx := tt + i
+				if idx >= n {
+					idx = n - 1
+				}
+				v := trace[idx]
+				if v < 0 {
+					v = 0
+				}
+				h[i] = v
+			}
+			return h
+		}
+		ctrls := []Controller{
+			RateBased{}, BufferBased{}, Predictive{HorizonSec: 3},
+			Predictive{HorizonSec: 3, Burst: true}, Oracle{HorizonSec: 3},
+			greedyTop{}, badIdx{}, pinned{0},
+		}
+		cfg := Config{MaxBufferSec: maxBuf, StartupSec: startup}
+		m, err := Simulate(cfg, ctrls[int(ctrlPick)%len(ctrls)], trace, fc)
+		if err != nil {
+			return
+		}
+		if m.RebufferSec < 0 {
+			t.Fatalf("negative rebuffer %v", m.RebufferSec)
+		}
+		if math.IsNaN(m.QoE) || math.IsNaN(m.MeanBitrateMbps) {
+			t.Fatalf("NaN metrics %+v", m)
+		}
+		if m.Switches < 0 {
+			t.Fatalf("negative switches %d", m.Switches)
+		}
+	})
+}

@@ -39,6 +39,15 @@ type Prediction struct {
 	Degraded bool
 	// Missing lists the unusable features that demoted the query.
 	Missing []string
+	// P10 and P90 bound the nominal 80% prediction band around Mbps
+	// (the p50). Filled only by PredictInterval/PredictIntervalBatch;
+	// always 0 <= P10 <= Mbps <= P90 there.
+	P10 float64
+	P90 float64
+	// HasInterval reports a calibrated band; false means the triple is
+	// degenerate (P10 = Mbps = P90) because the serving tier — or the
+	// map itself — carries no conformal calibration.
+	HasInterval bool
 	// Walk is how long the model walk took (zero for map-only answers);
 	// the serving layer feeds it to its latency instruments.
 	Walk time.Duration
@@ -50,7 +59,9 @@ type Prediction struct {
 // artifacts or degenerate maps, so the serving path checks instead of
 // trusting.
 func (p Prediction) Finite() bool {
-	return !math.IsNaN(p.Mbps) && !math.IsInf(p.Mbps, 0)
+	return !math.IsNaN(p.Mbps) && !math.IsInf(p.Mbps, 0) &&
+		!math.IsNaN(p.P10) && !math.IsInf(p.P10, 0) &&
+		!math.IsNaN(p.P90) && !math.IsInf(p.P90, 0)
 }
 
 // Engine is one immutable model generation: the published throughput
@@ -169,6 +180,21 @@ func fromChain(p lumos5g.ChainPrediction, walk time.Duration) Prediction {
 	}
 }
 
+// fromChainInterval converts one interval-carrying chain answer.
+func fromChainInterval(p lumos5g.ChainPrediction, walk time.Duration) Prediction {
+	out := fromChain(p, walk)
+	out.P10, out.P90, out.HasInterval = p.P10, p.P90, p.HasInterval
+	return out
+}
+
+// withDegenerateBand pins a point answer's band to the zero-width
+// triple, keeping the p10 <= p50 <= p90 contract for answers that carry
+// no calibration (map-only serving).
+func withDegenerateBand(p Prediction) Prediction {
+	p.P10, p.P90, p.HasInterval = p.Mbps, p.Mbps, false
+	return p
+}
+
 // Predict answers one query: a chain walk when a model serves, the map
 // itself otherwise. speed and bearing are optional sensors (nil =
 // absent; the chain demotes the query instead of rejecting it).
@@ -184,14 +210,42 @@ func (e *Engine) Predict(px geo.Pixel, speed, bearing *float64) Prediction {
 	return fromChain(p, walk)
 }
 
+// PredictInterval answers one query like Predict and carries the
+// serving tier's p10/p90 band. Map-only answers get the degenerate
+// zero-width band — the ordering contract holds on every path.
+func (e *Engine) PredictInterval(px geo.Pixel, speed, bearing *float64) Prediction {
+	if e.chain == nil {
+		return withDegenerateBand(e.MapOnly(px))
+	}
+	vals := queryVals(px, speed, bearing)
+	start := time.Now()
+	p := e.chain.PredictInterval(vals)
+	walk := time.Since(start)
+	putVals(vals)
+	return fromChainInterval(p, walk)
+}
+
 // PredictBatch answers many queries in one model pass. speeds and
 // bearings run parallel to pxs (nil entries = absent sensors); the
 // slices may themselves be nil when no query carries that sensor.
 func (e *Engine) PredictBatch(pxs []geo.Pixel, speeds, bearings []*float64) []Prediction {
+	return e.predictBatch(pxs, speeds, bearings, false)
+}
+
+// PredictIntervalBatch answers many queries with p10/p90 bands
+// attached; element i equals PredictInterval of query i exactly.
+func (e *Engine) PredictIntervalBatch(pxs []geo.Pixel, speeds, bearings []*float64) []Prediction {
+	return e.predictBatch(pxs, speeds, bearings, true)
+}
+
+func (e *Engine) predictBatch(pxs []geo.Pixel, speeds, bearings []*float64, withIval bool) []Prediction {
 	out := make([]Prediction, len(pxs))
 	if e.chain == nil {
 		for i, px := range pxs {
 			out[i] = e.MapOnly(px)
+			if withIval {
+				out[i] = withDegenerateBand(out[i])
+			}
 		}
 		return out
 	}
@@ -206,8 +260,14 @@ func (e *Engine) PredictBatch(pxs []geo.Pixel, speeds, bearings []*float64) []Pr
 		}
 		vals[i] = queryVals(px, sp, br)
 	}
-	for i, p := range e.chain.PredictBatch(vals) {
-		out[i] = fromChain(p, 0)
+	if withIval {
+		for i, p := range e.chain.PredictIntervalBatch(vals) {
+			out[i] = fromChainInterval(p, 0)
+		}
+	} else {
+		for i, p := range e.chain.PredictBatch(vals) {
+			out[i] = fromChain(p, 0)
+		}
 	}
 	for _, v := range vals {
 		putVals(v)

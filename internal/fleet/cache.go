@@ -20,6 +20,16 @@ import (
 // that staleness window. Hits and misses surface as
 // fleet_predict_cache_{hits,misses}_total in the router /metrics.
 
+// rcKey is the cache identity: the quantized query plus the negotiated
+// wire flavor. The interval body is a different byte stream than the
+// point body, so the two negotiations of one quantized query must not
+// share an entry (the router caches opaque replica bytes — it cannot
+// re-render one flavor from the other the way the replica cache does).
+type rcKey struct {
+	engine.Key
+	ival bool
+}
+
 // rcEntry is one cached answer. ready is closed by the leader once
 // body/shard/replica are final; a nil body after ready means the leader
 // failed and followers must fetch for themselves.
@@ -31,7 +41,7 @@ type rcEntry struct {
 }
 
 type rcItem struct {
-	key engine.Key
+	key rcKey
 	e   *rcEntry
 }
 
@@ -39,7 +49,7 @@ type routerCache struct {
 	cap   int
 	mu    sync.Mutex
 	ll    *list.List
-	items map[engine.Key]*list.Element
+	items map[rcKey]*list.Element
 }
 
 func newRouterCache(capacity int) *routerCache {
@@ -49,14 +59,14 @@ func newRouterCache(capacity int) *routerCache {
 	return &routerCache{
 		cap:   capacity,
 		ll:    list.New(),
-		items: make(map[engine.Key]*list.Element, capacity),
+		items: make(map[rcKey]*list.Element, capacity),
 	}
 }
 
 // acquire returns the entry for key and whether the caller is its
 // leader (responsible for filling it and closing ready). Followers wait
 // on ready; the LRU is bounded by cap with oldest-entry eviction.
-func (c *routerCache) acquire(key engine.Key) (*rcEntry, bool) {
+func (c *routerCache) acquire(key rcKey) (*rcEntry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
@@ -82,7 +92,7 @@ func (c *routerCache) fill(e *rcEntry, body []byte, shard, replica string) {
 
 // abandon drops the leader's pending entry (failed fetch) and unblocks
 // followers with a nil body, so the key stays fetchable.
-func (c *routerCache) abandon(key engine.Key, e *rcEntry) {
+func (c *routerCache) abandon(key rcKey, e *rcEntry) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok && el.Value.(*rcItem).e == e {
 		c.ll.Remove(el)

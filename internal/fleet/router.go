@@ -388,7 +388,11 @@ func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
 		rt.hedgedGET(w, r, cands, "/predict", r.URL.RawQuery)
 		return
 	}
-	e, leader := cache.acquire(key)
+	// The intervals negotiation (forwarded verbatim to the replica)
+	// changes the response bytes, so it is part of the cache identity.
+	iv := q.Get("intervals")
+	ckey := rcKey{Key: key, ival: iv == "1" || iv == "true"}
+	e, leader := cache.acquire(ckey)
 	if !leader {
 		<-e.ready
 		if e.body != nil {
@@ -411,7 +415,7 @@ func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
 	filled := false
 	defer func() {
 		if !filled {
-			cache.abandon(key, e)
+			cache.abandon(ckey, e)
 		}
 	}()
 	body, shardID, replicaID, served := rt.hedgedGET(w, r, cands, "/predict", r.URL.RawQuery)

@@ -38,16 +38,22 @@ type batchQuery struct {
 // BatchRow is one row of the fleet batch answer: the replica's
 // prediction plus shard provenance, or an explicit failure marker.
 // Mbps is a pointer so a failed row is a JSON null — absence you can
-// see — rather than a fake zero.
+// see — rather than a fake zero. P10/P50/P90 are present only when the
+// batch negotiated intervals (and the row served), so interval-off
+// fleet answers keep the historical field set.
 type BatchRow struct {
-	Mbps     *float64 `json:"mbps"`
-	Class    string   `json:"class,omitempty"`
-	Source   string   `json:"source,omitempty"`
-	Tier     int      `json:"tier"`
-	Degraded bool     `json:"degraded"`
-	Missing  []string `json:"missing,omitempty"`
-	Shard    string   `json:"shard"`
-	Error    string   `json:"error,omitempty"`
+	Mbps       *float64 `json:"mbps"`
+	P10        *float64 `json:"p10,omitempty"`
+	P50        *float64 `json:"p50,omitempty"`
+	P90        *float64 `json:"p90,omitempty"`
+	Calibrated *bool    `json:"calibrated,omitempty"`
+	Class      string   `json:"class,omitempty"`
+	Source     string   `json:"source,omitempty"`
+	Tier       int      `json:"tier"`
+	Degraded   bool     `json:"degraded"`
+	Missing    []string `json:"missing,omitempty"`
+	Shard      string   `json:"shard"`
+	Error      string   `json:"error,omitempty"`
 }
 
 // BatchResponse is the fleet /predict/batch wire form.
@@ -163,6 +169,19 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Interval negotiation: an interval Accept or ?intervals=1 asks the
+	// replicas for the v2 frame (DecodeResults reads either version, so
+	// the gather loop needs no flavor plumbing).
+	accept := r.Header.Get("Accept")
+	wantIval := accept == wire.ContentTypeIntervals
+	if iv := r.URL.Query().Get("intervals"); iv == "1" || iv == "true" {
+		wantIval = true
+	}
+	subAccept := wire.ContentType
+	if wantIval {
+		subAccept = wire.ContentTypeIntervals
+	}
+
 	// Group row indices by owning shard (rendezvous on the cell).
 	byShard := make(map[*Shard][]int)
 	for i, q := range queries {
@@ -186,7 +205,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			body := wire.AppendQueries(nil, sub)
 			res := rt.shardTry(r.Context(), sh, func(c candidate) attemptResult {
 				return rt.tryPOSTAs(r.Context(), c, "/predict/batch", body,
-					wire.ContentType, wire.ContentType)
+					wire.ContentType, subAccept)
 			})
 			var served []wire.Result
 			ok := res.ok()
@@ -222,6 +241,11 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 					Tier: sr.Tier, Degraded: sr.Degraded, Missing: sr.Missing,
 					Shard: sh.ID,
 				}
+				if wantIval {
+					p10, p50, p90, cal := sr.P10, sr.Mbps, sr.P90, sr.HasInterval
+					rows[i].P10, rows[i].P50, rows[i].P90 = &p10, &p50, &p90
+					rows[i].Calibrated = &cal
+				}
 				rt.m.batchRows.With("served").Inc()
 			}
 		}(sh, idxs)
@@ -231,7 +255,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if partial {
 		rt.m.partials.Inc()
 	}
-	if !partial && r.Header.Get("Accept") == wire.ContentType {
+	if !partial && (accept == wire.ContentType || accept == wire.ContentTypeIntervals) {
 		rs := make([]wire.Result, len(rows))
 		for i := range rows {
 			br := &rows[i]
@@ -239,9 +263,22 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 				Mbps: *br.Mbps, Class: br.Class, Source: br.Source,
 				Tier: br.Tier, Degraded: br.Degraded, Missing: br.Missing,
 			}
+			if br.P10 != nil && br.P90 != nil {
+				rs[i].P10, rs[i].P90 = *br.P10, *br.P90
+				rs[i].HasInterval = br.Calibrated != nil && *br.Calibrated
+			}
 		}
-		if frame, err := wire.AppendResults(nil, rs); err == nil {
-			w.Header().Set("Content-Type", wire.ContentType)
+		var frame []byte
+		var err error
+		ct := wire.ContentType
+		if accept == wire.ContentTypeIntervals {
+			frame, err = wire.AppendResultsIntervals(nil, rs)
+			ct = wire.ContentTypeIntervals
+		} else {
+			frame, err = wire.AppendResults(nil, rs)
+		}
+		if err == nil {
+			w.Header().Set("Content-Type", ct)
 			w.WriteHeader(http.StatusOK)
 			_, _ = w.Write(frame)
 			return

@@ -101,7 +101,9 @@ func (c RefitConfig) withDefaults() RefitConfig {
 		c.Model = lumos5g.ModelGDBT
 	}
 	if c.Train == nil {
-		c.Train = lumos5g.TrainFallbackChain
+		// Calibrated, so a refit never hot-swaps a chain that serves
+		// intervals for one that silently stopped.
+		c.Train = lumos5g.TrainCalibratedFallbackChain
 	}
 	return c
 }

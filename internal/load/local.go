@@ -39,6 +39,11 @@ type LocalConfig struct {
 	Replicas int
 	// CampaignUEs sizes the training campaign (default 24).
 	CampaignUEs int
+	// GBDT overrides the serving model's size; the zero value keeps the
+	// CI-friendly 30-tree depth-4 default. Benchmarks that score forecast
+	// quality (the ABR campaign) want a bigger model than the load
+	// harness's latency-focused default.
+	GBDT gbdt.Config
 	// Ingest enables POST /ingest on the fleet (default true via
 	// NoIngest=false; refits are effectively disabled with a long
 	// interval so the load run measures serving, not training).
@@ -66,8 +71,14 @@ func StartLocalFleet(city *cityscape.City, cfg LocalConfig) (*LocalFleet, error)
 	}
 
 	tm := lumos5g.BuildThroughputMap(d, 2)
-	chain, err := lumos5g.TrainFallbackChain(d, lumos5g.DefaultFallbackGroups, lumos5g.ModelGDBT,
-		lumos5g.Scale{GBDT: gbdt.Config{Estimators: 30, MaxDepth: 4}, Seed: cfg.Seed})
+	gcfg := cfg.GBDT
+	if gcfg.Estimators == 0 && gcfg.MaxDepth == 0 {
+		gcfg = gbdt.Config{Estimators: 30, MaxDepth: 4}
+	}
+	// Calibrated: the self-test fleet answers ?intervals=1 with real
+	// conformal bands, so interval-aware clients exercise end to end.
+	chain, err := lumos5g.TrainCalibratedFallbackChain(d, lumos5g.DefaultFallbackGroups, lumos5g.ModelGDBT,
+		lumos5g.Scale{GBDT: gcfg, Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
 	}

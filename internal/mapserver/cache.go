@@ -73,14 +73,41 @@ func (o cacheOutcome) String() string {
 	}
 }
 
-// cacheEntry is one memoised prediction. ready is closed by the leader
-// after resp/body are written; a nil body after ready means the leader
-// failed mid-compute (it panicked, or produced a wire-unsafe value) and
-// the reader must compute for itself.
+// band is the uncertainty triple around a response's Mbps (the p50):
+// the conformal p10/p90 bounds and whether the serving tier carried a
+// real calibration (has=false means the triple is degenerate at Mbps).
+type band struct {
+	p10, p90 float64
+	has      bool
+}
+
+// degenerateBand pins the zero-width band at mbps.
+func degenerateBand(mbps float64) band { return band{p10: mbps, p90: mbps} }
+
+// bandOf extracts the band from an interval-carrying engine answer.
+func bandOf(p engine.Prediction) band {
+	return band{p10: p.P10, p90: p.P90, has: p.HasInterval}
+}
+
+// bandSafe reports whether the band has a JSON encoding (see wireSafe).
+func bandSafe(bd band) bool {
+	return !math.IsNaN(bd.p10) && !math.IsInf(bd.p10, 0) &&
+		!math.IsNaN(bd.p90) && !math.IsInf(bd.p90, 0)
+}
+
+// cacheEntry is one memoised prediction. One model walk fills both wire
+// forms — the interval-off body (bit-identical to the pre-interval
+// format) and the interval body — so a key serves either negotiation
+// from the same entry and the cache stays keyed on the quantized query
+// alone. ready is closed by the leader after resp/body/ibody are
+// written; a nil body after ready means the leader failed mid-compute
+// (it panicked, or produced a wire-unsafe value) and the reader must
+// compute for itself.
 type cacheEntry struct {
 	ready chan struct{}
 	resp  predictResponse
-	body  []byte // marshalled JSON wire form, newline-terminated
+	body  []byte // marshalled point JSON wire form, newline-terminated
+	ibody []byte // marshalled interval JSON wire form, newline-terminated
 }
 
 type lruItem struct {
@@ -130,27 +157,36 @@ func (c *predCache) dropEntry(key predKey, el *list.Element) {
 	c.mu.Unlock()
 }
 
-// computer produces one prediction for a cache miss. The hot path
-// passes the handler's pooled predictCall so a request allocates no
-// per-call closure; tests use the computeFunc adapter.
-type computer interface{ computePredict() predictResponse }
+// computer produces one prediction (point form plus band) for a cache
+// miss. The hot path passes the handler's pooled predictCall so a
+// request allocates no per-call closure; tests use the computeFunc
+// adapter.
+type computer interface {
+	computePredict() (predictResponse, band)
+}
 
-// computeFunc adapts a plain function to the computer interface.
+// computeFunc adapts a plain point-form function to the computer
+// interface with the degenerate band.
 type computeFunc func() predictResponse
 
-func (f computeFunc) computePredict() predictResponse { return f() }
+func (f computeFunc) computePredict() (predictResponse, band) {
+	resp := f()
+	return resp, degenerateBand(resp.Mbps)
+}
 
 // getOrCompute is the closure-taking form of run, kept for tests and
-// non-hot callers.
+// non-hot callers (point bodies only).
 func (c *predCache) getOrCompute(key predKey, compute func() predictResponse) (predictResponse, []byte, cacheOutcome) {
-	return c.run(key, computeFunc(compute))
+	return c.run(key, computeFunc(compute), false)
 }
 
 // run returns the response and wire body for key, computing and
-// inserting it (once, whatever the concurrency) on a miss. A nil body
-// (outcomeInvalid) means the computed response has no JSON wire form
-// and must not be served.
-func (c *predCache) run(key predKey, comp computer) (predictResponse, []byte, cacheOutcome) {
+// inserting it (once, whatever the concurrency) on a miss. wantIval
+// selects which of the entry's two bodies is returned; the leader
+// renders both, so the flavor a key was first asked in never decides
+// what later requests can negotiate. A nil body (outcomeInvalid) means
+// the computed response has no JSON wire form and must not be served.
+func (c *predCache) run(key predKey, comp computer, wantIval bool) (predictResponse, []byte, cacheOutcome) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -158,11 +194,14 @@ func (c *predCache) run(key predKey, comp computer) (predictResponse, []byte, ca
 		c.mu.Unlock()
 		<-e.ready
 		if e.body != nil {
+			if wantIval {
+				return e.resp, e.ibody, outcomeHit
+			}
 			return e.resp, e.body, outcomeHit
 		}
 		// The leader abandoned the entry; answer uncached.
-		resp := comp.computePredict()
-		body := marshalResponse(resp)
+		resp, bd := comp.computePredict()
+		body := marshalFlavor(resp, bd, wantIval)
 		if body == nil {
 			return resp, nil, outcomeInvalid
 		}
@@ -193,10 +232,11 @@ func (c *predCache) run(key predKey, comp computer) (predictResponse, []byte, ca
 			}
 		}
 	}()
-	resp := comp.computePredict()
+	resp, bd := comp.computePredict()
 	body := marshalResponse(resp)
+	ibody := marshalIntervalResponse(resp, bd)
 	done = true
-	if body == nil {
+	if body == nil || ibody == nil {
 		// Wire-unsafe value: never publish it. Drop the entry so the key
 		// stays computable, unblock waiters (they recompute for
 		// themselves), and report the abandonment.
@@ -209,7 +249,11 @@ func (c *predCache) run(key predKey, comp computer) (predictResponse, []byte, ca
 	}
 	e.resp = resp
 	e.body = body
+	e.ibody = ibody
 	close(e.ready)
+	if wantIval {
+		return e.resp, e.ibody, outcomeMiss
+	}
 	return e.resp, e.body, outcomeMiss
 }
 
@@ -242,4 +286,24 @@ func appendMarshalResponse(dst []byte, resp predictResponse) []byte {
 	}
 	dst = appendPredictResponse(dst, resp)
 	return append(dst, '\n')
+}
+
+// marshalIntervalResponse is marshalResponse for the interval wire
+// form: the response with its p10/p50/p90 band spliced in. Nil when
+// either the point value or the band has no JSON encoding.
+func marshalIntervalResponse(resp predictResponse, bd band) []byte {
+	if !wireSafe(resp) || !bandSafe(bd) {
+		return nil
+	}
+	b := make([]byte, 0, 160)
+	b = appendPredictIntervalResponse(b, intervalResponse(resp, bd))
+	return append(b, '\n')
+}
+
+// marshalFlavor renders whichever wire form the request negotiated.
+func marshalFlavor(resp predictResponse, bd band, wantIval bool) []byte {
+	if wantIval {
+		return marshalIntervalResponse(resp, bd)
+	}
+	return marshalResponse(resp)
 }

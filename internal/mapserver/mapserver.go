@@ -495,11 +495,20 @@ func (pc *predictCall) bearingPtr() *float64 {
 }
 
 // computePredict implements the cache's computer seam: one model walk,
-// observed into the tier-latency histogram.
-func (pc *predictCall) computePredict() predictResponse {
-	p := pc.eng.Predict(pc.px, pc.speedPtr(), pc.bearingPtr())
+// observed into the tier-latency histogram. The walk always carries the
+// band (same tier decision and Mbps as Predict — the interval is two
+// extra adds) so a single cache entry serves both negotiations.
+func (pc *predictCall) computePredict() (predictResponse, band) {
+	p := pc.eng.PredictInterval(pc.px, pc.speedPtr(), pc.bearingPtr())
 	pc.s.m.tierLatency.With(p.Source).Observe(p.Walk.Seconds())
-	return engineResponse(p)
+	return engineResponse(p), bandOf(p)
+}
+
+// wantIntervals reports whether the raw query negotiated the interval
+// wire form (?intervals=1 or ?intervals=true).
+func wantIntervals(rawQuery string) bool {
+	v := queryValue(rawQuery, "intervals")
+	return v == "1" || v == "true"
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -549,9 +558,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	cache := s.cache
 	s.mu.RUnlock()
 	const route = "/predict"
+	wantIval := wantIntervals(rq)
 	if pc.eng.Chain() == nil {
 		resp := engineResponse(pc.eng.MapOnly(pc.px))
-		body := marshalResponse(resp)
+		body := marshalFlavor(resp, degenerateBand(resp.Mbps), wantIval)
 		if body == nil {
 			s.m.nonFinite.Inc()
 			writeError(w, http.StatusInternalServerError, "prediction is not finite")
@@ -563,8 +573,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if cache == nil {
-		resp := pc.computePredict()
-		body := marshalResponse(resp)
+		resp, bd := pc.computePredict()
+		body := marshalFlavor(resp, bd, wantIval)
 		if body == nil {
 			s.m.nonFinite.Inc()
 			writeError(w, http.StatusInternalServerError, "prediction is not finite")
@@ -575,7 +585,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeJSONBytes(w, http.StatusOK, body)
 		return
 	}
-	resp, body, outcome := cache.run(quantizeKey(pc.px, pc.speedPtr(), pc.bearingPtr()), pc)
+	resp, body, outcome := cache.run(quantizeKey(pc.px, pc.speedPtr(), pc.bearingPtr()), pc, wantIval)
 	if outcome == outcomeInvalid || body == nil {
 		s.m.nonFinite.Inc()
 		writeError(w, http.StatusInternalServerError, "prediction is not finite")
@@ -686,50 +696,70 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		speeds[i], bearings[i] = bq.Speed, bq.Bearing
 	}
 
-	out := make([]predictResponse, len(queries))
-	for i, p := range s.Engine().PredictBatch(pxs, speeds, bearings) {
-		out[i] = engineResponse(p)
+	// The response format is chosen by Accept plus the intervals query
+	// parameter — independent of the request format, so a binary sender
+	// can still read JSON. Binary needs an exact Accept match on one of
+	// the two frame content types; an interval Accept (or ?intervals=1)
+	// selects the interval columns / JSON fields.
+	accept := r.Header.Get("Accept")
+	binary := accept == wire.ContentType || accept == wire.ContentTypeIntervals
+	wantIval := accept == wire.ContentTypeIntervals || wantIntervals(r.URL.RawQuery)
+	eng := s.Engine()
+	var preds []engine.Prediction
+	if wantIval {
+		preds = eng.PredictIntervalBatch(pxs, speeds, bearings)
+	} else {
+		preds = eng.PredictBatch(pxs, speeds, bearings)
 	}
-	// The response format is chosen by Accept alone (binary only on an
-	// exact wire.ContentType match; JSON is the default) — independent
-	// of the request format, so a binary sender can still read JSON.
-	s.finishBatch(w, out, r.Header.Get("Accept") == wire.ContentType)
+	s.finishBatch(w, preds, binary, wantIval)
 }
 
 // finishBatch validates and publishes one batch answer. Per-query tier
 // counters are incremented only once the whole batch is known to be
 // servable, so counters never include predictions that were never sent.
-func (s *Server) finishBatch(w http.ResponseWriter, out []predictResponse, binary bool) {
-	for i := range out {
-		if !wireSafe(out[i]) {
+func (s *Server) finishBatch(w http.ResponseWriter, preds []engine.Prediction, binary, wantIval bool) {
+	for i := range preds {
+		if !preds[i].Finite() {
 			s.m.nonFinite.Inc()
 			writeError(w, http.StatusInternalServerError, fmt.Sprintf("query %d: prediction is not finite", i))
 			return
 		}
 	}
-	for i := range out {
-		s.m.tierServed.With("/predict/batch", out[i].Source).Inc()
+	for i := range preds {
+		s.m.tierServed.With("/predict/batch", preds[i].Source).Inc()
 	}
 	if binary {
-		rs := make([]wire.Result, len(out))
-		for i := range out {
+		rs := make([]wire.Result, len(preds))
+		for i := range preds {
+			p := &preds[i]
 			rs[i] = wire.Result{
-				Mbps:     out[i].Mbps,
-				Class:    out[i].Class,
-				Source:   out[i].Source,
-				Tier:     out[i].Tier,
-				Degraded: out[i].Degraded,
-				Missing:  out[i].Missing,
+				Mbps:        p.Mbps,
+				Class:       p.Class,
+				Source:      p.Source,
+				Tier:        p.Tier,
+				Degraded:    p.Degraded,
+				Missing:     p.Missing,
+				P10:         p.P10,
+				P90:         p.P90,
+				HasInterval: p.HasInterval,
 			}
 		}
 		bufp := batchBufPool.Get().(*[]byte)
-		b, err := wire.AppendResults((*bufp)[:0], rs)
+		var b []byte
+		var err error
+		ct := wireCT
+		if wantIval {
+			b, err = wire.AppendResultsIntervals((*bufp)[:0], rs)
+			ct = wireIvalCT
+		} else {
+			b, err = wire.AppendResults((*bufp)[:0], rs)
+		}
 		if err != nil {
 			batchBufPool.Put(bufp)
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
-		w.Header()["Content-Type"] = wireCT
+		w.Header()["Content-Type"] = ct
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(b)
 		*bufp = b[:0]
@@ -737,14 +767,19 @@ func (s *Server) finishBatch(w http.ResponseWriter, out []predictResponse, binar
 		return
 	}
 	// Render the array with the hand-rolled encoder — byte-identical to
-	// json.Encoder of []predictResponse — through a pooled buffer.
+	// json.Encoder of the response structs — through a pooled buffer.
 	bufp := batchBufPool.Get().(*[]byte)
 	b := append((*bufp)[:0], '[')
-	for i := range out {
+	for i := range preds {
 		if i > 0 {
 			b = append(b, ',')
 		}
-		b = appendPredictResponse(b, out[i])
+		resp := engineResponse(preds[i])
+		if wantIval {
+			b = appendPredictIntervalResponse(b, intervalResponse(resp, bandOf(preds[i])))
+		} else {
+			b = appendPredictResponse(b, resp)
+		}
 	}
 	b = append(b, ']', '\n')
 	writeJSONBytes(w, http.StatusOK, b)
@@ -752,6 +787,9 @@ func (s *Server) finishBatch(w http.ResponseWriter, out []predictResponse, binar
 	batchBufPool.Put(bufp)
 }
 
-// wireCT is the shared Content-Type header value of binary batch
-// responses (see jsonCT for why it is a shared slice).
-var wireCT = []string{wire.ContentType}
+// wireCT / wireIvalCT are the shared Content-Type header values of
+// binary batch responses (see jsonCT for why they are shared slices).
+var (
+	wireCT     = []string{wire.ContentType}
+	wireIvalCT = []string{wire.ContentTypeIntervals}
+)

@@ -1,0 +1,75 @@
+package gbdt
+
+import (
+	"testing"
+
+	"lumos5g/internal/ml"
+	"lumos5g/internal/rng"
+)
+
+// quantData generates y = x0 + N(0, 2): the conditional q10/q90 sit
+// ~2.56 either side of x0, far enough apart to separate the fits.
+func quantData(seed uint64, n int) ([][]float64, []float64) {
+	src := rng.New(seed)
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x0 := src.Range(0, 20)
+		X[i] = []float64{x0, src.Norm()}
+		y[i] = x0 + src.NormMeanStd(0, 2)
+	}
+	return X, y
+}
+
+// TestGBDTQuantileCoverage fits pinball-loss models at q=0.1 and q=0.9
+// and checks each tracks its conditional quantile: the fraction of
+// held-out truths at or below the prediction must land near q, and the
+// q90 surface must sit clearly above the q10 surface.
+func TestGBDTQuantileCoverage(t *testing.T) {
+	X, y := quantData(21, 4000)
+	Xt, yt := quantData(22, 2000)
+	fit := func(q float64) []float64 {
+		m := New(Config{Estimators: 400, LearningRate: 0.1, MaxDepth: 3, Seed: 23, Quantile: q})
+		if err := m.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		return ml.PredictAll(m, Xt)
+	}
+	lo := fit(0.1)
+	hi := fit(0.9)
+	below := func(pred []float64) float64 {
+		n := 0
+		for i := range pred {
+			if yt[i] <= pred[i] {
+				n++
+			}
+		}
+		return float64(n) / float64(len(pred))
+	}
+	if f := below(lo); f < 0.04 || f > 0.18 {
+		t.Fatalf("q10 empirical level %.3f outside [0.04, 0.18]", f)
+	}
+	if f := below(hi); f < 0.82 || f > 0.96 {
+		t.Fatalf("q90 empirical level %.3f outside [0.82, 0.96]", f)
+	}
+	var gap float64
+	for i := range lo {
+		gap += hi[i] - lo[i]
+	}
+	gap /= float64(len(lo))
+	// True conditional gap is ~5.1 (2 * 2.56 sigma); tree fits overshoot
+	// somewhat at the feature-range edges, so allow generous slack above.
+	if gap < 2 || gap > 16 {
+		t.Fatalf("mean q90-q10 gap %.2f outside [2, 16]", gap)
+	}
+}
+
+func TestGBDTQuantileValidation(t *testing.T) {
+	X, y := quantData(24, 50)
+	for _, q := range []float64{-0.1, 1, 1.5} {
+		m := New(Config{Estimators: 5, Quantile: q})
+		if err := m.Fit(X, y); err == nil {
+			t.Fatalf("Quantile=%v accepted", q)
+		}
+	}
+}

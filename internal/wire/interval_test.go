@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sampleIntervalResults() []Result {
+	rs := sampleResults()
+	rs[0].P10, rs[0].P90, rs[0].HasInterval = 610.25, 1044.5, true
+	rs[1].P10, rs[1].P90, rs[1].HasInterval = 0, 240.75, true
+	rs[2].P10, rs[2].P90 = rs[2].Mbps, rs[2].Mbps // degenerate map answer
+	rs[3].P10, rs[3].P90, rs[3].HasInterval = 333.75, 333.75, true
+	return rs
+}
+
+func TestIntervalResultRoundTrip(t *testing.T) {
+	rs := sampleIntervalResults()
+	frame, err := AppendResultsIntervals(nil, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[4] != VersionIntervals {
+		t.Fatalf("frame version %d, want %d", frame[4], VersionIntervals)
+	}
+	back, err := DecodeResults(frame, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rs {
+		a, b := rs[i], back[i]
+		if a.Mbps != b.Mbps || a.P10 != b.P10 || a.P90 != b.P90 || a.HasInterval != b.HasInterval ||
+			a.Class != b.Class || a.Source != b.Source || a.Tier != b.Tier || a.Degraded != b.Degraded {
+			t.Fatalf("row %d: %+v != %+v", i, a, b)
+		}
+	}
+	// The fleet merge property, interval flavour: decode + re-encode is
+	// byte-identical.
+	again, err := AppendResultsIntervals(nil, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, frame) {
+		t.Fatal("interval response frame is not deterministic under decode/encode")
+	}
+}
+
+// TestIntervalFrameIsV1Prefix pins the layout contract: the version-2
+// frame is the version-1 bytes (modulo the version octet) followed by
+// the interval columns, so interval-off encodes stay bit-identical to
+// pre-interval builds.
+func TestIntervalFrameIsV1Prefix(t *testing.T) {
+	rs := sampleIntervalResults()
+	v1, err := AppendResults(nil, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := AppendResultsIntervals(nil, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v2) != len(v1)+16*len(rs)+bitmapLen(len(rs)) {
+		t.Fatalf("v2 length %d, want v1 %d + %d", len(v2), len(v1), 16*len(rs)+bitmapLen(len(rs)))
+	}
+	if v2[4] != VersionIntervals || v1[4] != Version {
+		t.Fatalf("version octets %d/%d", v1[4], v2[4])
+	}
+	if !bytes.Equal(v1[5:], v2[5:len(v1)]) {
+		t.Fatal("v2 frame does not start with the v1 layout")
+	}
+}
+
+// TestV1DecodeDegenerateBand: point frames come back with the ordered
+// degenerate triple, never uninitialised bounds.
+func TestV1DecodeDegenerateBand(t *testing.T) {
+	frame, err := AppendResults(nil, sampleIntervalResults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeResults(frame, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range back {
+		if r.HasInterval || r.P10 != r.Mbps || r.P90 != r.Mbps {
+			t.Fatalf("row %d: v1 decode band %+v", i, r)
+		}
+	}
+}
+
+func TestIntervalFrameTruncation(t *testing.T) {
+	frame, err := AppendResultsIntervals(nil, sampleIntervalResults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := len(frame) - 1; cut > len(frame)-20; cut-- {
+		if _, err := DecodeResults(frame[:cut], 4096); err == nil {
+			t.Fatalf("truncated interval frame (len %d) accepted", cut)
+		}
+	}
+}

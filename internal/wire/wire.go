@@ -29,6 +29,14 @@
 //	                                   mirrors source on the wire)
 //	bitmap ⌈n/8⌉                       degraded bits
 //	(u8 count, u8 index × count) × n   missing features per row
+//
+// Response frame version 2 (negotiated via ContentTypeIntervals) is the
+// version-1 layout followed by the uncertainty columns; the mbps column
+// doubles as the p50:
+//
+//	f64 p10 × n
+//	f64 p90 × n
+//	bitmap ⌈n/8⌉                       calibrated-interval bits
 package wire
 
 import (
@@ -43,8 +51,20 @@ import (
 // stays JSON.
 const ContentType = "application/x-lumos5g-batch"
 
+// ContentTypeIntervals is the uncertainty-carrying response
+// negotiation: a request whose Accept is exactly this string is
+// answered with a version-2 response frame that carries p10/p90
+// columns next to the mbps (p50) column. Request frames are the same
+// either way — queries carry no intervals — so Content-Type stays
+// ContentType.
+const ContentTypeIntervals = "application/x-lumos5g-batch-intervals"
+
 // Version is the frame version both directions currently speak.
 const Version = 1
+
+// VersionIntervals is the response frame version that appends the
+// p10/p90 columns (requests have no version-2 form).
+const VersionIntervals = 2
 
 const (
 	reqMagic  = "L5GB"
@@ -60,7 +80,10 @@ type Query struct {
 }
 
 // Result is one batch prediction answer. Group is not carried — it
-// mirrors Source on this wire, as documented on the JSON form.
+// mirrors Source on this wire, as documented on the JSON form. The
+// interval fields ride only on version-2 frames (AppendResultsIntervals
+// / ContentTypeIntervals); version-1 decodes leave them degenerate at
+// Mbps with HasInterval false.
 type Result struct {
 	Mbps     float64
 	Class    string
@@ -68,6 +91,11 @@ type Result struct {
 	Tier     int
 	Degraded bool
 	Missing  []string
+	// P10 and P90 bound the nominal 80% band around Mbps (the p50).
+	P10, P90 float64
+	// HasInterval distinguishes a calibrated band from the degenerate
+	// zero-width triple served by uncalibrated tiers.
+	HasInterval bool
 }
 
 func appendU32(dst []byte, v uint32) []byte {
@@ -219,11 +247,23 @@ func (t *stringTable) intern(s string) (int, error) {
 	return i, nil
 }
 
-// AppendResults appends the binary response frame for rs. The string
-// table is built in first-use row order, so re-encoding decoded rows
-// reproduces the frame byte for byte — the property the fleet router's
-// merge path relies on.
+// AppendResults appends the version-1 binary response frame for rs
+// (interval fields ignored). The string table is built in first-use row
+// order, so re-encoding decoded rows reproduces the frame byte for
+// byte — the property the fleet router's merge path relies on.
 func AppendResults(dst []byte, rs []Result) ([]byte, error) {
+	return appendResults(dst, rs, Version)
+}
+
+// AppendResultsIntervals appends the version-2 response frame: the
+// version-1 layout plus p10/p90 columns and the calibrated bitmap.
+// Deterministic like AppendResults, and byte-identical across encode
+// sites for the same logical rows.
+func AppendResultsIntervals(dst []byte, rs []Result) ([]byte, error) {
+	return appendResults(dst, rs, VersionIntervals)
+}
+
+func appendResults(dst []byte, rs []Result, version byte) ([]byte, error) {
 	n := len(rs)
 	var tab stringTable
 	classIdx := make([]int, n)
@@ -253,7 +293,7 @@ func AppendResults(dst []byte, rs []Result) ([]byte, error) {
 		}
 	}
 	dst = append(dst, respMagic...)
-	dst = append(dst, Version)
+	dst = append(dst, version)
 	dst = appendU32(dst, uint32(n))
 	dst = append(dst, byte(len(tab.order)))
 	for _, s := range tab.order {
@@ -286,11 +326,30 @@ func AppendResults(dst []byte, rs []Result) ([]byte, error) {
 			dst = append(dst, byte(m))
 		}
 	}
+	if version >= VersionIntervals {
+		for i := range rs {
+			dst = appendF64(dst, rs[i].P10)
+		}
+		for i := range rs {
+			dst = appendF64(dst, rs[i].P90)
+		}
+		off := len(dst)
+		dst = append(dst, make([]byte, bitmapLen(n))...)
+		for i := range rs {
+			if rs[i].HasInterval {
+				dst[off+i/8] |= 1 << (i % 8)
+			}
+		}
+	}
 	return dst, nil
 }
 
-// DecodeResults parses a binary response frame. maxResults bounds the
-// declared row count before any allocation sized from it.
+// DecodeResults parses a binary response frame, accepting both the
+// version-1 point form and the version-2 interval form. maxResults
+// bounds the declared row count before any allocation sized from it.
+// Version-1 rows come back with the degenerate band P10 = Mbps = P90
+// and HasInterval false, so the struct's ordering invariant holds
+// regardless of which frame arrived.
 func DecodeResults(b []byte, maxResults int) ([]Result, error) {
 	if len(b) < len(respMagic)+1+4+1 {
 		return nil, errTruncated
@@ -298,8 +357,9 @@ func DecodeResults(b []byte, maxResults int) ([]Result, error) {
 	if string(b[:4]) != respMagic {
 		return nil, errors.New("wire: not a batch response frame")
 	}
-	if b[4] != Version {
-		return nil, fmt.Errorf("wire: unsupported response frame version %d", b[4])
+	version := b[4]
+	if version != Version && version != VersionIntervals {
+		return nil, fmt.Errorf("wire: unsupported response frame version %d", version)
 	}
 	n := int(readU32(b[5:]))
 	if n < 0 || n > maxResults {
@@ -375,6 +435,28 @@ func DecodeResults(b []byte, maxResults int) ([]Result, error) {
 			}
 		}
 		b = b[cnt:]
+	}
+	if version >= VersionIntervals {
+		if len(b) < 16*n+bitmapLen(n) {
+			return nil, errTruncated
+		}
+		for i := 0; i < n; i++ {
+			rs[i].P10 = readF64(b[8*i:])
+		}
+		b = b[8*n:]
+		for i := 0; i < n; i++ {
+			rs[i].P90 = readF64(b[8*i:])
+		}
+		b = b[8*n:]
+		ivm := b[:bitmapLen(n)]
+		b = b[bitmapLen(n):]
+		for i := 0; i < n; i++ {
+			rs[i].HasInterval = ivm[i/8]&(1<<(i%8)) != 0
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			rs[i].P10, rs[i].P90 = rs[i].Mbps, rs[i].Mbps
+		}
 	}
 	if len(b) != 0 {
 		return nil, errors.New("wire: trailing bytes after response frame")

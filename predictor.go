@@ -22,6 +22,10 @@ type Predictor struct {
 	model Model
 	reg   ml.Regressor
 	names []string
+	// ival holds split-conformal residual offsets when the predictor was
+	// calibrated (TrainCalibrated, or Calibrate on held-out rows); nil
+	// means PredictInterval serves degenerate zero-width bands.
+	ival *ml.ConformalOffsets
 }
 
 // ErrNoUsableRows is returned (wrapped) by Train when the dataset yields
@@ -42,35 +46,142 @@ func Train(d *Dataset, g FeatureGroup, m Model, sc Scale) (*Predictor, error) {
 	if len(mat.X) == 0 {
 		return nil, fmt.Errorf("lumos5g: %w for %s", ErrNoUsableRows, g)
 	}
-	var reg ml.Regressor
-	switch m {
-	case core.ModelKNN:
-		reg = knn.New(sc.KNN)
-	case core.ModelRF:
-		cfg := sc.RF
-		cfg.Seed = sc.Seed
-		reg = forest.New(cfg)
-	case core.ModelOK:
-		reg = kriging.New(sc.Kriging)
-	case core.ModelGDBT:
-		cfg := sc.GBDT
-		cfg.Seed = sc.Seed
-		reg = gbdt.New(cfg)
-	case core.ModelLSTM:
-		cfg := sc.Seq2Seq
-		cfg.Seed = sc.Seed
-		reg = nn.NewTabularLSTM(cfg)
-	case core.ModelSeq2Seq:
-		cfg := sc.Seq2Seq
-		cfg.Seed = sc.Seed
-		reg = nn.NewTabularSeq2Seq(cfg)
-	default:
-		return nil, fmt.Errorf("lumos5g: Train supports KNN, RF, OK, GDBT, LSTM and Seq2Seq, not %s", m)
+	reg, err := newRegressor(m, sc)
+	if err != nil {
+		return nil, err
 	}
 	if err := reg.Fit(mat.X, mat.Y); err != nil {
 		return nil, err
 	}
 	return &Predictor{group: g, model: m, reg: reg, names: mat.Names}, nil
+}
+
+// newRegressor constructs the unfitted model family for a Scale.
+func newRegressor(m Model, sc Scale) (ml.Regressor, error) {
+	switch m {
+	case core.ModelKNN:
+		return knn.New(sc.KNN), nil
+	case core.ModelRF:
+		cfg := sc.RF
+		cfg.Seed = sc.Seed
+		return forest.New(cfg), nil
+	case core.ModelOK:
+		return kriging.New(sc.Kriging), nil
+	case core.ModelGDBT:
+		cfg := sc.GBDT
+		cfg.Seed = sc.Seed
+		return gbdt.New(cfg), nil
+	case core.ModelLSTM:
+		cfg := sc.Seq2Seq
+		cfg.Seed = sc.Seed
+		return nn.NewTabularLSTM(cfg), nil
+	case core.ModelSeq2Seq:
+		cfg := sc.Seq2Seq
+		cfg.Seed = sc.Seed
+		return nn.NewTabularSeq2Seq(cfg), nil
+	default:
+		return nil, fmt.Errorf("lumos5g: Train supports KNN, RF, OK, GDBT, LSTM and Seq2Seq, not %s", m)
+	}
+}
+
+// TrainCalibrated fits a model on the deterministic train side of the
+// evaluation split (core's seeded 70/30 discipline, the same one
+// Evaluate and the experiments lab use) and conformally calibrates its
+// residual offsets on the held-out side, so PredictInterval serves
+// bands with honest finite-sample coverage. The point model sees only
+// TrainFrac of the data — that is the price of an uncontaminated
+// calibration set. When the holdout is too small to calibrate, the
+// predictor falls back to a full-data fit with no offsets (degenerate
+// intervals) rather than failing.
+func TrainCalibrated(d *Dataset, g FeatureGroup, m Model, sc Scale) (*Predictor, error) {
+	mat := features.Build(d, g)
+	if len(mat.X) == 0 {
+		return nil, fmt.Errorf("lumos5g: %w for %s", ErrNoUsableRows, g)
+	}
+	frac := sc.TrainFrac
+	if frac <= 0 || frac >= 1 {
+		frac = 0.7
+	}
+	trainX, trainY, calX, calY := core.SplitMatrixForTest(mat, frac, sc.Seed)
+	if len(trainY) < 2 || len(calY) < ml.MinCalibration {
+		return Train(d, g, m, sc)
+	}
+	reg, err := newRegressor(m, sc)
+	if err != nil {
+		return nil, err
+	}
+	if err := reg.Fit(trainX, trainY); err != nil {
+		return nil, err
+	}
+	p := &Predictor{group: g, model: m, reg: reg, names: mat.Names}
+	off, err := ml.CalibrateConformal(ml.PredictAll(reg, calX), calY)
+	if err != nil {
+		return nil, fmt.Errorf("lumos5g: calibrate %s: %w", g, err)
+	}
+	p.ival = &off
+	return p, nil
+}
+
+// Calibrate computes split-conformal offsets from held-out rows the
+// model was not trained on and attaches them to the predictor. X rows
+// follow FeatureNames order.
+func (p *Predictor) Calibrate(X [][]float64, ys []float64) error {
+	off, err := ml.CalibrateConformal(ml.PredictAll(p.reg, X), ys)
+	if err != nil {
+		return err
+	}
+	p.ival = &off
+	return nil
+}
+
+// SetConformalOffsets attaches pre-computed calibration offsets (the
+// artifact-load path). Non-finite offsets are rejected.
+func (p *Predictor) SetConformalOffsets(o ml.ConformalOffsets) error {
+	if !o.Valid() {
+		return fmt.Errorf("lumos5g: non-finite conformal offsets %+v", o)
+	}
+	p.ival = &o
+	return nil
+}
+
+// ConformalOffsets returns the calibration offsets and whether the
+// predictor has been calibrated.
+func (p *Predictor) ConformalOffsets() (ml.ConformalOffsets, bool) {
+	if p.ival == nil {
+		return ml.ConformalOffsets{}, false
+	}
+	return *p.ival, true
+}
+
+// HasInterval reports whether PredictInterval serves calibrated (rather
+// than degenerate) bands.
+func (p *Predictor) HasInterval() bool { return p.ival != nil }
+
+// PredictInterval returns the p10/p50/p90 band for one feature vector:
+// the point prediction plus conformal residual offsets, with
+// p10 <= p50 <= p90 enforced. Uncalibrated predictors return the
+// zero-width band at the point prediction.
+func (p *Predictor) PredictInterval(x []float64) ml.Interval {
+	mid := p.reg.Predict(x)
+	if p.ival == nil {
+		return ml.Degenerate(mid)
+	}
+	return p.ival.Interval(mid)
+}
+
+// PredictIntervalBatch returns the p10/p50/p90 band for every row of X.
+// Element i equals PredictInterval(X[i]) exactly.
+func (p *Predictor) PredictIntervalBatch(X [][]float64) []ml.Interval {
+	mids := ml.PredictAll(p.reg, X)
+	out := make([]ml.Interval, len(mids))
+	for i, mid := range mids {
+		if p.ival == nil {
+			out[i] = ml.Degenerate(mid)
+		} else {
+			out[i] = p.ival.Interval(mid)
+		}
+	}
+	return out
 }
 
 // Group returns the predictor's feature group.

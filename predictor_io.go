@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 
 	"lumos5g/internal/features"
+	"lumos5g/internal/ml"
 	"lumos5g/internal/ml/gbdt"
 )
 
@@ -105,12 +106,19 @@ func readEnvelope(r io.Reader, magic string) ([]byte, error) {
 	return payload, nil
 }
 
-// predictorDTO is the wire form of a trained predictor.
+// predictorDTO is the wire form of a trained predictor. The conformal
+// fields ride along as optional gob fields: artifacts written before
+// calibration existed decode with HasIval=false, and old readers skip
+// the new fields — no version bump needed.
 type predictorDTO struct {
 	Version int
 	Group   string
 	Names   []string
 	Model   []byte // gbdt payload
+	// Split-conformal interval calibration (PredictInterval offsets).
+	HasIval bool
+	IvalLo  float64
+	IvalHi  float64
 }
 
 const predictorWireVersion = 1
@@ -128,13 +136,19 @@ func (p *Predictor) Save(w io.Writer) error {
 	if err := g.Save(&model); err != nil {
 		return err
 	}
-	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(predictorDTO{
+	dto := predictorDTO{
 		Version: predictorWireVersion,
 		Group:   p.group.String(),
 		Names:   p.names,
 		Model:   model.Bytes(),
-	}); err != nil {
+	}
+	if p.ival != nil {
+		dto.HasIval = true
+		dto.IvalLo = p.ival.Lo
+		dto.IvalHi = p.ival.Hi
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(dto); err != nil {
 		return err
 	}
 	return writeEnvelope(w, magicPredictor, payload.Bytes())
@@ -188,12 +202,18 @@ func decodePredictor(r io.Reader) (*Predictor, error) {
 		return nil, fmt.Errorf("lumos5g: model expects %d features but %d names stored: %w",
 			model.NumFeatures(), len(dto.Names), ErrArtifactCorrupt)
 	}
-	return &Predictor{
+	p := &Predictor{
 		group: group,
 		model: ModelGDBT,
 		reg:   model,
 		names: dto.Names,
-	}, nil
+	}
+	if dto.HasIval {
+		if err := p.SetConformalOffsets(ml.ConformalOffsets{Lo: dto.IvalLo, Hi: dto.IvalHi}); err != nil {
+			return nil, fmt.Errorf("lumos5g: %v: %w", err, ErrArtifactCorrupt)
+		}
+	}
+	return p, nil
 }
 
 // chainDTO is the wire form of a fallback-chain bundle. Each tier is a
@@ -203,6 +223,11 @@ type chainDTO struct {
 	Version   int
 	PriorMbps float64
 	Tiers     [][]byte
+	// Last-resort conformal offsets; optional gob fields, see
+	// predictorDTO.
+	HasHMIval bool
+	HMLo      float64
+	HMHi      float64
 }
 
 const chainWireVersion = 1
@@ -211,6 +236,11 @@ const chainWireVersion = 1
 // each tier individually enveloped and checksummed.
 func (c *FallbackChain) Save(w io.Writer) error {
 	dto := chainDTO{Version: chainWireVersion, PriorMbps: c.prior}
+	if c.hmOff != nil {
+		dto.HasHMIval = true
+		dto.HMLo = c.hmOff.Lo
+		dto.HMHi = c.hmOff.Hi
+	}
 	for i, p := range c.tiers {
 		var buf bytes.Buffer
 		if err := p.Save(&buf); err != nil {
@@ -252,6 +282,11 @@ func LoadChain(r io.Reader) (*FallbackChain, error) {
 	c, err := NewFallbackChain(dto.PriorMbps, tiers...)
 	if err != nil {
 		return nil, fmt.Errorf("lumos5g: %v: %w", err, ErrArtifactCorrupt)
+	}
+	if dto.HasHMIval {
+		if err := c.SetLastResortOffsets(ml.ConformalOffsets{Lo: dto.HMLo, Hi: dto.HMHi}); err != nil {
+			return nil, fmt.Errorf("lumos5g: %v: %w", err, ErrArtifactCorrupt)
+		}
 	}
 	return c, nil
 }
